@@ -1,0 +1,63 @@
+// Reproduces Figure 6(a)-(d): DP vs DPS elapsed time on the graph
+// pattern suites Q1-Q5 with |Vq| = 4 (two shape families) and |Vq| = 5
+// (two shape families) over the largest dataset (the paper's 100M).
+// Expected shape: DPS significantly outperforms DP on every query.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/datasets.h"
+#include "workload/patterns.h"
+
+int main() {
+  using namespace fgpm;
+  double scale = workload::BenchScaleFromEnv();
+  bench::PrintHeader(
+      "Figure 6(a-d) — DP vs DPS on graph patterns Q1-Q5 (100M dataset)",
+      "elapsed ms; paper shape: DPS beats DP on every query",
+      scale);
+
+  auto specs = workload::PaperDatasets();
+  Graph g = workload::LoadDataset(specs.back(), scale);  // 100M
+  std::printf("dataset %s: %zu nodes, %zu edges\n", specs.back().name.c_str(),
+              g.NumNodes(), g.NumEdges());
+
+  auto matcher = GraphMatcher::Create(&g);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "%s\n", matcher.status().ToString().c_str());
+    return 1;
+  }
+
+  struct Panel {
+    const char* title;
+    std::vector<Pattern> patterns;
+  };
+  auto q4 = workload::XmarkGraphPatterns4();
+  auto q5 = workload::XmarkGraphPatterns5();
+  Panel panels[] = {
+      {"Figure 6(a) |Vq|=4 (shapes 4(e))",
+       {q4.begin(), q4.begin() + 3}},
+      {"Figure 6(b) |Vq|=4 (shapes 4(d))",
+       {q4.begin() + 3, q4.end()}},
+      {"Figure 6(c) |Vq|=5 (shapes 4(h))",
+       {q5.begin(), q5.begin() + 3}},
+      {"Figure 6(d) |Vq|=5 (shapes 4(i))",
+       {q5.begin() + 3, q5.end()}},
+  };
+
+  for (const Panel& panel : panels) {
+    std::printf("\n%s\n%-4s %10s | %10s %10s %7s | %12s %12s %7s\n",
+                panel.title, "Q", "matches", "DP(ms)", "DPS(ms)", "t-ratio",
+                "DP(pages)", "DPS(pages)", "ratio");
+    int qi = 1;
+    for (const auto& p : panel.patterns) {
+      auto dp = bench::RunEngine(**matcher, p, Engine::kDp);
+      auto dps = bench::RunEngine(**matcher, p, Engine::kDps);
+      std::printf("Q%-3d %10zu | %10.2f %10.2f %7.2f | %12llu %12llu %7.2f\n",
+                  qi++, dps.rows, dp.ms, dps.ms,
+                  dps.ms > 0 ? dp.ms / dps.ms : 0.0,
+                  (unsigned long long)dp.pages, (unsigned long long)dps.pages,
+                  dps.pages ? double(dp.pages) / double(dps.pages) : 0.0);
+    }
+  }
+  return 0;
+}

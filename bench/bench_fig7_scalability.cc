@@ -1,0 +1,58 @@
+// Reproduces Figure 7(a)-(c): scalability of DP vs DPS across the five
+// datasets 20M..100M, for a path pattern (Figure 4(a) shape), a tree
+// pattern (Figure 4(d) shape) and a graph pattern (Figure 4(i) shape).
+// Expected shape: both grow with data size; DPS stays well below DP and
+// the gap widens (the paper reports >= one order of magnitude).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/datasets.h"
+#include "workload/patterns.h"
+
+int main() {
+  using namespace fgpm;
+  double scale = workload::BenchScaleFromEnv();
+  bench::PrintHeader(
+      "Figure 7(a-c) — Scalability of DP vs DPS over 20M..100M",
+      "elapsed ms per dataset; paper shape: DPS an order of magnitude "
+      "below DP, gap widening with scale",
+      scale);
+
+  struct Panel {
+    const char* title;
+    Pattern pattern;
+  };
+  Panel panels[] = {
+      {"Figure 7(a) path pattern (Fig. 4(a))",
+       *Pattern::Parse("site->region->item")},
+      {"Figure 7(b) tree pattern (Fig. 4(d))",
+       *Pattern::Parse("region->item; item->name; item->incategory")},
+      {"Figure 7(c) graph pattern (Fig. 4(i))",
+       *Pattern::Parse("person->watch; watch->open_auction; "
+                       "open_auction->itemref; itemref->item; person->item")},
+  };
+
+  auto specs = workload::PaperDatasets();
+  for (const Panel& panel : panels) {
+    std::printf("\n%s: %s\n", panel.title, panel.pattern.ToString().c_str());
+    std::printf("%-8s %10s %9s | %9s %9s %7s | %11s %11s %7s\n", "dataset",
+                "|V|", "matches", "DP(ms)", "DPS(ms)", "t-ratio", "DP(pages)",
+                "DPS(pages)", "ratio");
+    for (const auto& spec : specs) {
+      Graph g = workload::LoadDataset(spec, scale);
+      auto matcher = GraphMatcher::Create(&g);
+      if (!matcher.ok()) {
+        std::fprintf(stderr, "%s\n", matcher.status().ToString().c_str());
+        return 1;
+      }
+      auto dp = bench::RunEngine(**matcher, panel.pattern, Engine::kDp);
+      auto dps = bench::RunEngine(**matcher, panel.pattern, Engine::kDps);
+      std::printf("%-8s %10zu %9zu | %9.2f %9.2f %7.2f | %11llu %11llu %7.2f\n",
+                  spec.name.c_str(), g.NumNodes(), dps.rows, dp.ms, dps.ms,
+                  dps.ms > 0 ? dp.ms / dps.ms : 0.0,
+                  (unsigned long long)dp.pages, (unsigned long long)dps.pages,
+                  dps.pages ? double(dp.pages) / double(dps.pages) : 0.0);
+    }
+  }
+  return 0;
+}

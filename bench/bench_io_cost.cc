@@ -1,0 +1,48 @@
+// Reproduces the Section 6.2 I/O claim: "For most queries, DP spends
+// over five times of I/O cost than what DPS spends." Reports buffer-pool
+// page accesses (hits + misses) and cold page reads per engine over the
+// Q1-Q5 suites.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/datasets.h"
+#include "workload/patterns.h"
+
+int main() {
+  using namespace fgpm;
+  double scale = workload::BenchScaleFromEnv();
+  bench::PrintHeader(
+      "Section 6.2 — I/O cost of DP vs DPS (Q1-Q5 suites)",
+      "buffer-pool page accesses; paper: DP does >5x the I/O of DPS",
+      scale);
+
+  auto specs = workload::PaperDatasets();
+  Graph g = workload::LoadDataset(specs.back(), scale);
+  auto matcher = GraphMatcher::Create(&g);
+  if (!matcher.ok()) {
+    std::fprintf(stderr, "%s\n", matcher.status().ToString().c_str());
+    return 1;
+  }
+
+  auto patterns = workload::XmarkGraphPatterns4();
+  auto q5 = workload::XmarkGraphPatterns5();
+  patterns.insert(patterns.end(), q5.begin(), q5.end());
+
+  std::printf("%-4s %10s | %14s %14s %8s\n", "Q", "matches", "DP(pages)",
+              "DPS(pages)", "ratio");
+  uint64_t dp_total = 0, dps_total = 0;
+  int qi = 1;
+  for (const auto& p : patterns) {
+    auto dp = bench::RunEngine(**matcher, p, Engine::kDp);
+    auto dps = bench::RunEngine(**matcher, p, Engine::kDps);
+    dp_total += dp.pages;
+    dps_total += dps.pages;
+    std::printf("Q%-3d %10zu | %14llu %14llu %8.2f\n", qi++, dps.rows,
+                (unsigned long long)dp.pages, (unsigned long long)dps.pages,
+                dps.pages ? double(dp.pages) / double(dps.pages) : 0.0);
+  }
+  std::printf("---\ntotal DP %llu pages, DPS %llu pages, ratio %.2f\n",
+              (unsigned long long)dp_total, (unsigned long long)dps_total,
+              dps_total ? double(dp_total) / double(dps_total) : 0.0);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Table 2: dataset statistics for the five XMark-derived
+// graphs — |V|, |E|, 2-hop cover size |H| and the ratio |H|/|V|.
+// Paper values for reference (factor 0.2 .. 1.0):
+//   |V| 336,244 .. 1,666,315   |E|/|V| ~ 1.18   |H|/|V| ~ 3.47-3.50
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "gdb/database.h"
+#include "workload/datasets.h"
+
+int main() {
+  using namespace fgpm;
+  double scale = workload::BenchScaleFromEnv();
+  bench::PrintHeader("Table 2 — Datasets Statistics",
+                     "columns: dataset |V| |E| |H| |H|/|V| (paper: "
+                     "|E|/|V|~1.18, |H|/|V|~3.5)",
+                     scale);
+
+  std::printf("%-8s %12s %12s %14s %10s %10s\n", "dataset", "|V|", "|E|",
+              "|H|", "|E|/|V|", "|H|/|V|");
+  for (const auto& spec : workload::PaperDatasets()) {
+    Graph g = workload::LoadDataset(spec, scale);
+    GraphDatabase db;
+    Status s = db.Build(g);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", spec.name.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    uint64_t h = db.labeling().CoverSize();
+    std::printf("%-8s %12zu %12zu %14llu %10.3f %10.3f\n", spec.name.c_str(),
+                g.NumNodes(), g.NumEdges(), (unsigned long long)h,
+                double(g.NumEdges()) / double(g.NumNodes()),
+                double(h) / double(g.NumNodes()));
+  }
+  return 0;
+}

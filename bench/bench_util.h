@@ -1,0 +1,50 @@
+// Shared helpers for the reproduction benches. Each bench binary prints
+// a self-describing table matching one table/figure of the paper (see
+// DESIGN.md per-experiment index and EXPERIMENTS.md for results).
+#ifndef FGPM_BENCH_BENCH_UTIL_H_
+#define FGPM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/graph_matcher.h"
+#include "workload/datasets.h"
+
+namespace fgpm::bench {
+
+inline void PrintHeader(const char* experiment, const char* description,
+                        double scale) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("dataset scale: %.3f of the paper's sizes "
+              "(set FGPM_BENCH_SCALE=1.0 for full size)\n", scale);
+  std::printf("==============================================================\n");
+}
+
+// Runs a pattern on an engine; returns elapsed ms (negative on error)
+// and fills counters.
+struct RunResult {
+  double ms = -1;
+  size_t rows = 0;
+  uint64_t pages = 0;  // buffer-pool accesses (hits + misses)
+};
+
+inline RunResult RunEngine(GraphMatcher& matcher, const Pattern& p,
+                           Engine engine) {
+  RunResult out;
+  WallTimer t;
+  auto r = matcher.Match(p, {.engine = engine});
+  if (!r.ok()) {
+    std::fprintf(stderr, "  [%s failed: %s]\n", EngineName(engine),
+                 r.status().ToString().c_str());
+    return out;
+  }
+  out.ms = t.ElapsedMillis();
+  out.rows = r->rows.size();
+  out.pages = r->stats.modeled_io_pages;
+  return out;
+}
+
+}  // namespace fgpm::bench
+
+#endif  // FGPM_BENCH_BENCH_UTIL_H_

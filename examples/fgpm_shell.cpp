@@ -1,0 +1,284 @@
+// Interactive shell over the fgpm public API: generate or load graphs,
+// build the database, run patterns with any engine, and inspect plans.
+//
+//   $ ./examples/fgpm_shell            # interactive
+//   $ echo "gen xmark 0.005
+//           match site->region;region->item
+//           explain person->watch" | ./examples/fgpm_shell
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "opt/explain.h"
+
+namespace {
+
+using namespace fgpm;
+
+struct ShellState {
+  std::unique_ptr<Graph> graph;
+  std::unique_ptr<GraphMatcher> matcher;
+  Engine engine = Engine::kDps;
+};
+
+bool ParseEngine(const std::string& name, Engine* out) {
+  for (Engine e : {Engine::kDps, Engine::kDp, Engine::kCanonical,
+                   Engine::kIntDp, Engine::kTsd, Engine::kNaive}) {
+    if (name == EngineName(e)) {
+      *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  gen xmark <factor>           generate an XMark-like graph\n"
+      "  gen er <n> <m> <labels>      generate a random digraph\n"
+      "  gen dag <n> <avgdeg> <labels> generate a random DAG\n"
+      "  gen supply <per_tier>        generate a supply-chain graph\n"
+      "  load <file>                  load a graph (fgpm-graph format)\n"
+      "  save <file>                  save the current graph\n"
+      "  savedb <file>                persist the built database\n"
+      "  opendb <file>                reopen a persisted database\n"
+      "  engine <DPS|DP|CANONICAL|INT-DP|TSD|NAIVE>\n"
+      "  addedge <u> <v>              insert an edge incrementally\n"
+      "  match <pattern>              run a pattern, e.g. A->B;B->C\n"
+      "  explain <pattern>            show the optimized plan + estimates\n"
+      "  stats                        graph/database statistics\n"
+      "  help | quit\n");
+}
+
+bool EnsureMatcher(ShellState& st) {
+  if (st.matcher) return true;
+  if (!st.graph) {
+    std::printf("no graph loaded; use 'gen' or 'load' first\n");
+    return false;
+  }
+  auto m = GraphMatcher::Create(st.graph.get());
+  if (!m.ok()) {
+    std::printf("build failed: %s\n", m.status().ToString().c_str());
+    return false;
+  }
+  st.matcher = *std::move(m);
+  std::printf("database built: %zu nodes, %u labels, cover %llu entries\n",
+              st.graph->NumNodes(), st.matcher->db().num_labels(),
+              (unsigned long long)st.matcher->db().labeling().CoverSize());
+  return true;
+}
+
+void SetGraph(ShellState& st, Graph g) {
+  st.matcher.reset();
+  st.graph = std::make_unique<Graph>(std::move(g));
+  std::printf("graph: %zu nodes, %zu edges, %zu labels\n",
+              st.graph->NumNodes(), st.graph->NumEdges(),
+              st.graph->NumLabels());
+}
+
+void HandleGen(ShellState& st, std::istringstream& args) {
+  std::string kind;
+  args >> kind;
+  if (kind == "xmark") {
+    double factor = 0.005;
+    args >> factor;
+    SetGraph(st, gen::XMarkLike({.factor = factor, .seed = 42}));
+  } else if (kind == "er") {
+    uint32_t n = 1000, labels = 5;
+    uint64_t m = 3000;
+    args >> n >> m >> labels;
+    SetGraph(st, gen::ErdosRenyi(n, m, labels, 42));
+  } else if (kind == "dag") {
+    uint32_t n = 1000, labels = 5;
+    double deg = 2.5;
+    args >> n >> deg >> labels;
+    SetGraph(st, gen::RandomDag(n, deg, labels, 42));
+  } else if (kind == "supply") {
+    uint32_t per_tier = 200;
+    args >> per_tier;
+    SetGraph(st, gen::SupplyChain(per_tier, 42));
+  } else {
+    std::printf("unknown generator '%s'\n", kind.c_str());
+  }
+}
+
+void HandleMatch(ShellState& st, const std::string& pattern_text) {
+  if (!EnsureMatcher(st)) return;
+  auto r = st.matcher->Match(pattern_text, {.engine = st.engine});
+  if (!r.ok()) {
+    std::printf("error: %s\n", r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu matches in %.2f ms (%s), %llu page accesses\n",
+              r->rows.size(), r->stats.elapsed_ms, EngineName(st.engine),
+              (unsigned long long)r->stats.modeled_io_pages);
+  size_t show = std::min<size_t>(r->rows.size(), 5);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("  (");
+    for (size_t j = 0; j < r->rows[i].size(); ++j) {
+      std::printf("%s%s=%u", j ? ", " : "", r->column_labels[j].c_str(),
+                  r->rows[i][j]);
+    }
+    std::printf(")\n");
+  }
+  if (r->rows.size() > show) {
+    std::printf("  ... %zu more\n", r->rows.size() - show);
+  }
+}
+
+void HandleExplain(ShellState& st, const std::string& pattern_text) {
+  if (!EnsureMatcher(st)) return;
+  auto pattern = Pattern::Parse(pattern_text);
+  if (!pattern.ok()) {
+    std::printf("parse error: %s\n", pattern.status().ToString().c_str());
+    return;
+  }
+  Engine plan_engine = st.engine;
+  if (plan_engine != Engine::kDp && plan_engine != Engine::kDps &&
+      plan_engine != Engine::kCanonical) {
+    plan_engine = Engine::kDps;
+  }
+  auto plan = st.matcher->MakePlan(*pattern, plan_engine);
+  if (!plan.ok()) {
+    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+    return;
+  }
+  auto exp = ExplainPlan(*pattern, *plan, st.matcher->db().catalog());
+  if (!exp.ok()) {
+    std::printf("explain failed: %s\n", exp.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s plan:\n%s", EngineName(plan_engine),
+              exp->ToString().c_str());
+}
+
+void HandleStats(ShellState& st) {
+  if (!st.graph && !st.matcher) {
+    std::printf("no graph loaded\n");
+    return;
+  }
+  if (st.graph) {
+    std::printf("graph: %zu nodes, %zu edges, %zu labels\n",
+                st.graph->NumNodes(), st.graph->NumEdges(),
+                st.graph->NumLabels());
+  }
+  if (st.matcher) {
+    const auto& db = st.matcher->db();
+    std::printf("2-hop cover: %llu entries (%.3f per node), %u centers\n",
+                (unsigned long long)db.labeling().CoverSize(),
+                double(db.labeling().CoverSize()) /
+                    std::max<uint64_t>(1, db.NumNodes()),
+                db.labeling().num_centers());
+    std::printf("R-join index: %llu subclusters, %llu entries; W-table: "
+                "%llu label pairs\n",
+                (unsigned long long)db.rjoin_index().NumSubclusters(),
+                (unsigned long long)db.rjoin_index().TotalEntries(),
+                (unsigned long long)db.wtable().NumPairs());
+  }
+  std::printf("engine: %s\n", EngineName(st.engine));
+}
+
+}  // namespace
+
+int main() {
+  ShellState st;
+  std::printf("fgpm shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    if (!(ss >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+    } else if (cmd == "gen") {
+      HandleGen(st, ss);
+    } else if (cmd == "load") {
+      std::string path;
+      ss >> path;
+      auto g = ReadGraphFromFile(path);
+      if (!g.ok()) {
+        std::printf("load failed: %s\n", g.status().ToString().c_str());
+      } else {
+        SetGraph(st, *std::move(g));
+      }
+    } else if (cmd == "save") {
+      std::string path;
+      ss >> path;
+      if (!st.graph) {
+        std::printf("no graph loaded\n");
+      } else {
+        Status s = WriteGraphToFile(*st.graph, path);
+        std::printf("%s\n", s.ok() ? "saved" : s.ToString().c_str());
+      }
+    } else if (cmd == "savedb") {
+      std::string path;
+      ss >> path;
+      if (!EnsureMatcher(st)) continue;
+      Status s = st.matcher->db().Save(path);
+      std::printf("%s\n", s.ok() ? "database saved" : s.ToString().c_str());
+    } else if (cmd == "opendb") {
+      std::string path;
+      ss >> path;
+      auto db = GraphDatabase::Open(path);
+      if (!db.ok()) {
+        std::printf("open failed: %s\n", db.status().ToString().c_str());
+        continue;
+      }
+      auto m = GraphMatcher::FromDatabase(*std::move(db));
+      if (!m.ok()) {
+        std::printf("attach failed: %s\n", m.status().ToString().c_str());
+        continue;
+      }
+      st.graph.reset();  // baselines unavailable without the graph
+      st.matcher = *std::move(m);
+      std::printf("database opened: %u labels, %llu nodes\n",
+                  st.matcher->db().num_labels(),
+                  (unsigned long long)st.matcher->db().NumNodes());
+    } else if (cmd == "addedge") {
+      NodeId u = 0, v = 0;
+      ss >> u >> v;
+      if (!st.graph) {
+        std::printf("no graph loaded\n");
+        continue;
+      }
+      if (!EnsureMatcher(st)) continue;
+      Status s = st.graph->AddEdge(u, v);
+      if (!s.ok()) {
+        std::printf("%s\n", s.ToString().c_str());
+        continue;
+      }
+      st.graph->Finalize();
+      s = st.matcher->db().ApplyEdgeInsert(*st.graph, u, v);
+      std::printf("%s\n", s.ok() ? "edge applied incrementally"
+                                  : s.ToString().c_str());
+    } else if (cmd == "engine") {
+      std::string name;
+      ss >> name;
+      if (!ParseEngine(name, &st.engine)) {
+        std::printf("unknown engine '%s'\n", name.c_str());
+      } else {
+        std::printf("engine set to %s\n", EngineName(st.engine));
+      }
+    } else if (cmd == "match") {
+      std::string rest;
+      std::getline(ss, rest);
+      HandleMatch(st, rest);
+    } else if (cmd == "explain") {
+      std::string rest;
+      std::getline(ss, rest);
+      HandleExplain(st, rest);
+    } else if (cmd == "stats") {
+      HandleStats(st);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", cmd.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// INT-DP — the multi-interval sort-merge baseline (Section 5.2): IGMJ
+// [Wang et al.] processes one R-join by a single synchronized scan of an
+// interval-sorted X-list and a postorder-sorted Y-list over the
+// multi-interval tree cover of the condensed DAG. Multi-join plans use
+// DP order selection; every R-join against a temporal table must first
+// RE-SORT the temporal column (the extra cost the paper charges INT-DP
+// for, Section 5.2 last paragraph).
+#ifndef FGPM_BASELINE_IGMJ_H_
+#define FGPM_BASELINE_IGMJ_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "gdb/catalog.h"
+#include "graph/graph.h"
+#include "query/pattern.h"
+#include "reach/interval.h"
+
+namespace fgpm {
+
+struct IntDpStats {
+  uint64_t sorts = 0;            // re-sorts of temporal columns
+  uint64_t entries_sorted = 0;   // total entries passed through sorts
+  uint64_t entries_scanned = 0;  // list entries consumed by sweeps
+  uint64_t merge_emits = 0;      // pairs emitted by IGMJ sweeps
+
+  // I/O the paper would charge INT-DP on a paged store: scanning the
+  // sorted lists plus one write+read pass per temporal re-sort (8-byte
+  // entries, 8 KiB pages).
+  uint64_t EstimatedIoPages() const {
+    return (entries_scanned * 8 + 2 * entries_sorted * 8) / 8192 + 1;
+  }
+};
+
+class IntDpEngine {
+ public:
+  // catalog may be null: join order falls back to the canonical order.
+  IntDpEngine(const Graph* g, const Catalog* catalog);
+
+  Result<MatchResult> Match(const Pattern& pattern);
+
+  const IntDpStats& stats() const { return stats_; }
+  const MultiIntervalIndex& index() const { return index_; }
+
+ private:
+  const Graph* g_;
+  const Catalog* catalog_;
+  MultiIntervalIndex index_;
+  IntDpStats stats_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_BASELINE_IGMJ_H_

@@ -1,0 +1,54 @@
+// TSD — holistic DAG pattern matching baseline (Section 5.1), after
+// TwigStackD [Chen et al.]. Works on DAGs only, like the original. The
+// two-phase structure is preserved:
+//   phase 1: reachability facts answerable on the DFS spanning forest are
+//            decided by interval containment in O(1);
+//   phase 2: facts crossing non-tree edges are recovered by expanding
+//            SSPI predecessor entries, buffering partially matched nodes.
+// Matching enumerates bindings holistically over interval-sorted extent
+// streams with per-edge consistency checks. Performance degrades as the
+// DAG densifies (more SSPI expansion) — the behavior Figure 5 shows.
+//
+// This is a behavioral reimplementation, not a line-by-line port of
+// TwigStackD (see DESIGN.md "Substitutions").
+#ifndef FGPM_BASELINE_TSD_H_
+#define FGPM_BASELINE_TSD_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "graph/graph.h"
+#include "query/pattern.h"
+#include "reach/sspi.h"
+
+namespace fgpm {
+
+struct TsdStats {
+  uint64_t interval_hits = 0;     // phase-1 answers
+  uint64_t sspi_expansions = 0;   // phase-2 predecessor walks
+  uint64_t buffered_nodes = 0;    // partial bindings held
+};
+
+class TsdEngine {
+ public:
+  // Fails with FailedPrecondition if g is not a DAG.
+  static Result<std::unique_ptr<TsdEngine>> Create(const Graph* g);
+
+  Result<MatchResult> Match(const Pattern& pattern);
+
+  const TsdStats& stats() const { return stats_; }
+
+ private:
+  explicit TsdEngine(const Graph* g) : g_(g), sspi_(*g) {}
+
+  bool Reaches(NodeId u, NodeId v);
+
+  const Graph* g_;
+  SspiIndex sspi_;
+  TsdStats stats_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_BASELINE_TSD_H_

@@ -1,0 +1,20 @@
+// Minimal CHECK macros. Failures print to stderr and abort — used for
+// internal invariant violations only; recoverable errors use Status.
+#ifndef FGPM_COMMON_LOGGING_H_
+#define FGPM_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define FGPM_CHECK(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "FGPM_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define FGPM_DCHECK(cond) FGPM_CHECK(cond)
+
+#endif  // FGPM_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+// Little binary archive helpers for persisting component metadata
+// (B+-tree roots, heap-file page lists, catalog statistics, 2-hop
+// labels). Page payloads are persisted separately by the disk manager;
+// these helpers cover everything that normally lives in C++ objects.
+#ifndef FGPM_COMMON_SERIALIZE_H_
+#define FGPM_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fgpm {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* os) : os_(os) {}
+
+  void U8(uint8_t v) { os_->write(reinterpret_cast<const char*>(&v), 1); }
+  void U32(uint32_t v) { os_->write(reinterpret_cast<const char*>(&v), 4); }
+  void U64(uint64_t v) { os_->write(reinterpret_cast<const char*>(&v), 8); }
+  void F64(double v) { os_->write(reinterpret_cast<const char*>(&v), 8); }
+
+  void Str(const std::string& s) {
+    U64(s.size());
+    os_->write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void VecU32(const std::vector<T>& v) {
+    static_assert(sizeof(T) == 4);
+    U64(v.size());
+    os_->write(reinterpret_cast<const char*>(v.data()), 4ll * v.size());
+  }
+
+  void VecU64(const std::vector<uint64_t>& v) {
+    U64(v.size());
+    os_->write(reinterpret_cast<const char*>(v.data()), 8ll * v.size());
+  }
+
+  bool ok() const { return static_cast<bool>(*os_); }
+
+ private:
+  std::ostream* os_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* is) : is_(is) {}
+
+  Status U8(uint8_t* v) { return Raw(v, 1); }
+  Status U32(uint32_t* v) { return Raw(v, 4); }
+  Status U64(uint64_t* v) { return Raw(v, 8); }
+  Status F64(double* v) { return Raw(v, 8); }
+
+  Status Str(std::string* s) {
+    uint64_t n = 0;
+    FGPM_RETURN_IF_ERROR(U64(&n));
+    if (n > (1ull << 32)) return Status::Corruption("string too long");
+    s->resize(n);
+    return Raw(s->data(), n);
+  }
+
+  template <typename T>
+  Status VecU32(std::vector<T>* v) {
+    static_assert(sizeof(T) == 4);
+    uint64_t n = 0;
+    FGPM_RETURN_IF_ERROR(U64(&n));
+    if (n > (1ull << 34)) return Status::Corruption("vector too long");
+    v->resize(n);
+    return Raw(v->data(), 4ull * n);
+  }
+
+  Status VecU64(std::vector<uint64_t>* v) {
+    uint64_t n = 0;
+    FGPM_RETURN_IF_ERROR(U64(&n));
+    if (n > (1ull << 33)) return Status::Corruption("vector too long");
+    v->resize(n);
+    return Raw(v->data(), 8ull * n);
+  }
+
+ private:
+  Status Raw(void* dst, uint64_t bytes) {
+    is_->read(static_cast<char*>(dst),
+              static_cast<std::streamsize>(bytes));
+    if (static_cast<uint64_t>(is_->gcount()) != bytes) {
+      return Status::Corruption("archive truncated");
+    }
+    return Status::OK();
+  }
+
+  std::istream* is_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_COMMON_SERIALIZE_H_

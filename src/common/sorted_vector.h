@@ -1,0 +1,65 @@
+// Set operations over sorted vectors. Graph codes (2-hop label entries)
+// are stored as sorted vectors of center ids, so intersection tests are
+// the innermost loop of every reachability check.
+#ifndef FGPM_COMMON_SORTED_VECTOR_H_
+#define FGPM_COMMON_SORTED_VECTOR_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace fgpm {
+
+// True if the two sorted ranges share at least one element.
+template <typename T>
+bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
+  auto ia = a.begin(), ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Intersection of two sorted vectors.
+template <typename T>
+std::vector<T> SortedIntersect(const std::vector<T>& a,
+                               const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Union of two sorted vectors (deduplicated).
+template <typename T>
+std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+// Inserts v into sorted vector if absent; returns true if inserted.
+template <typename T>
+bool SortedInsert(std::vector<T>* vec, const T& v) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), v);
+  if (it != vec->end() && *it == v) return false;
+  vec->insert(it, v);
+  return true;
+}
+
+// Binary-search membership test.
+template <typename T>
+bool SortedContains(const std::vector<T>& vec, const T& v) {
+  return std::binary_search(vec.begin(), vec.end(), v);
+}
+
+}  // namespace fgpm
+
+#endif  // FGPM_COMMON_SORTED_VECTOR_H_

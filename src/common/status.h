@@ -1,0 +1,130 @@
+// Lightweight Status / Result types for error propagation without
+// exceptions, in the spirit of absl::Status / arrow::Result.
+#ifndef FGPM_COMMON_STATUS_H_
+#define FGPM_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fgpm {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+  kCorruption,
+};
+
+// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Result<T>: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return *std::move(value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fgpm
+
+// Propagates a non-OK status from an expression.
+#define FGPM_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::fgpm::Status _fgpm_st = (expr);             \
+    if (!_fgpm_st.ok()) return _fgpm_st;          \
+  } while (0)
+
+// Assigns the value of a Result expression or propagates its status.
+#define FGPM_ASSIGN_OR_RETURN(lhs, expr)          \
+  FGPM_ASSIGN_OR_RETURN_IMPL_(                    \
+      FGPM_STATUS_CONCAT_(_fgpm_res, __LINE__), lhs, expr)
+#define FGPM_STATUS_CONCAT_INNER_(a, b) a##b
+#define FGPM_STATUS_CONCAT_(a, b) FGPM_STATUS_CONCAT_INNER_(a, b)
+#define FGPM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // FGPM_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing helpers used by the benchmark harness.
+#ifndef FGPM_COMMON_TIMER_H_
+#define FGPM_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fgpm {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(ElapsedSeconds() * 1e6);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_COMMON_TIMER_H_

@@ -1,0 +1,180 @@
+#include "core/graph_matcher.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/timer.h"
+
+#include "exec/naive_matcher.h"
+#include "opt/dp_optimizer.h"
+#include "opt/dps_optimizer.h"
+
+namespace fgpm {
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kDps:
+      return "DPS";
+    case Engine::kDp:
+      return "DP";
+    case Engine::kCanonical:
+      return "CANONICAL";
+    case Engine::kIntDp:
+      return "INT-DP";
+    case Engine::kTsd:
+      return "TSD";
+    case Engine::kNaive:
+      return "NAIVE";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<GraphMatcher>> GraphMatcher::Create(
+    const Graph* g, GraphDatabaseOptions db_options) {
+  if (g == nullptr || !g->finalized()) {
+    return Status::InvalidArgument("graph must be finalized");
+  }
+  auto db = std::make_unique<GraphDatabase>(db_options);
+  FGPM_RETURN_IF_ERROR(db->Build(*g));
+  return std::unique_ptr<GraphMatcher>(new GraphMatcher(g, std::move(db)));
+}
+
+Result<std::unique_ptr<GraphMatcher>> GraphMatcher::FromDatabase(
+    std::unique_ptr<GraphDatabase> db, const Graph* g) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  return std::unique_ptr<GraphMatcher>(new GraphMatcher(g, std::move(db)));
+}
+
+Result<Plan> GraphMatcher::MakePlan(const Pattern& pattern, Engine engine) const {
+  switch (engine) {
+    case Engine::kDps:
+      return OptimizeDps(pattern, db_->catalog());
+    case Engine::kDp:
+      return OptimizeDp(pattern, db_->catalog());
+    case Engine::kCanonical:
+      return MakeCanonicalPlan(pattern);
+    default:
+      return Status::InvalidArgument(
+          "planning is only meaningful for DPS/DP/CANONICAL");
+  }
+}
+
+Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
+                                        MatchOptions options) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  const Pattern* effective = &pattern;
+  Pattern reduced;
+  if (options.transitive_reduction) {
+    reduced = pattern.TransitiveReduction();
+    effective = &reduced;
+  }
+
+  switch (options.engine) {
+    case Engine::kDps:
+    case Engine::kDp:
+    case Engine::kCanonical: {
+      WallTimer opt_timer;
+      std::string cache_key;
+      const fgpm::Plan* plan = nullptr;
+      fgpm::Plan fresh;
+      if (options.use_plan_cache) {
+        cache_key = std::string(EngineName(options.engine)) + "|" +
+                    effective->ToString();
+        auto it = plan_cache_.find(cache_key);
+        if (it != plan_cache_.end()) plan = &it->second;
+      }
+      if (plan == nullptr) {
+        FGPM_ASSIGN_OR_RETURN(fresh, MakePlan(*effective, options.engine));
+        if (options.use_plan_cache) {
+          plan = &plan_cache_.emplace(cache_key, std::move(fresh))
+                      .first->second;
+        } else {
+          plan = &fresh;
+        }
+      }
+      double optimize_ms = opt_timer.ElapsedMillis();
+      FGPM_ASSIGN_OR_RETURN(MatchResult result,
+                            executor_.Execute(*effective, *plan));
+      // Like the paper, reported elapsed time covers optimization AND
+      // processing.
+      result.stats.optimize_ms = optimize_ms;
+      result.stats.elapsed_ms += optimize_ms;
+      return Project(std::move(result), *effective, options);
+    }
+    case Engine::kIntDp: {
+      if (graph_ == nullptr) {
+        return Status::FailedPrecondition(
+            "INT-DP needs the original graph (matcher opened from a saved "
+            "database only)");
+      }
+      if (!intdp_) {
+        intdp_ = std::make_unique<IntDpEngine>(graph_, &db_->catalog());
+      }
+      FGPM_ASSIGN_OR_RETURN(MatchResult result, intdp_->Match(*effective));
+      return Project(std::move(result), *effective, options);
+    }
+    case Engine::kTsd: {
+      if (graph_ == nullptr) {
+        return Status::FailedPrecondition(
+            "TSD needs the original graph (matcher opened from a saved "
+            "database only)");
+      }
+      if (!tsd_) {
+        FGPM_ASSIGN_OR_RETURN(tsd_, TsdEngine::Create(graph_));
+      }
+      FGPM_ASSIGN_OR_RETURN(MatchResult result, tsd_->Match(*effective));
+      return Project(std::move(result), *effective, options);
+    }
+    case Engine::kNaive: {
+      if (graph_ == nullptr) {
+        return Status::FailedPrecondition(
+            "the naive engine needs the original graph");
+      }
+      FGPM_ASSIGN_OR_RETURN(MatchResult result,
+                            NaiveMatch(*graph_, *effective));
+      return Project(std::move(result), *effective, options);
+    }
+  }
+  return Status::InvalidArgument("unknown engine");
+}
+
+Result<MatchResult> GraphMatcher::Project(MatchResult result,
+                                          const Pattern& pattern,
+                                          const MatchOptions& options) {
+  if (options.projection.empty()) return result;
+  std::vector<size_t> cols;
+  for (const std::string& name : options.projection) {
+    bool found = false;
+    for (size_t c = 0; c < result.column_labels.size(); ++c) {
+      if (result.column_labels[c] == name) {
+        cols.push_back(c);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("projection label '" + name +
+                                     "' is not a pattern label");
+    }
+  }
+  (void)pattern;
+  MatchResult projected;
+  projected.stats = result.stats;
+  for (size_t c : cols) projected.column_labels.push_back(result.column_labels[c]);
+  std::unordered_set<std::vector<NodeId>, RowHash> seen;
+  for (const auto& row : result.rows) {
+    std::vector<NodeId> out(cols.size());
+    for (size_t i = 0; i < cols.size(); ++i) out[i] = row[cols[i]];
+    if (seen.insert(out).second) projected.rows.push_back(std::move(out));
+  }
+  projected.stats.result_rows = projected.rows.size();
+  return projected;
+}
+
+Result<MatchResult> GraphMatcher::Match(std::string_view pattern_text,
+                                        MatchOptions options) {
+  FGPM_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(pattern_text));
+  return Match(p, options);
+}
+
+}  // namespace fgpm

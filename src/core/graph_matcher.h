@@ -1,0 +1,110 @@
+// fgpm::GraphMatcher — the library's front door.
+//
+//   fgpm::Graph g = fgpm::gen::XMarkLike({.factor = 0.01});
+//   auto matcher = fgpm::GraphMatcher::Create(&g);
+//   auto result = (*matcher)->Match("site->region; region->item");
+//   for (const auto& row : result->rows) ...
+//
+// Engines:
+//   kDps       — R-join order interleaved with R-semijoins (Section 4.2,
+//                the paper's best performer); default.
+//   kDp        — R-join-only dynamic programming (Section 4.1).
+//   kCanonical — first valid left-deep plan, no cost model.
+//   kIntDp     — IGMJ sort-merge baseline with DP ordering (Section 5.2).
+//   kTsd       — TwigStackD-style holistic baseline; DAG data only
+//                (Section 5.1).
+//   kNaive     — backtracking over a BFS oracle (ground truth).
+#ifndef FGPM_CORE_GRAPH_MATCHER_H_
+#define FGPM_CORE_GRAPH_MATCHER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/igmj.h"
+#include "baseline/tsd.h"
+#include "common/status.h"
+#include "exec/engine.h"
+#include "exec/plan.h"
+#include "gdb/database.h"
+#include "graph/graph.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+enum class Engine {
+  kDps,
+  kDp,
+  kCanonical,
+  kIntDp,
+  kTsd,
+  kNaive,
+};
+
+const char* EngineName(Engine e);
+
+struct MatchOptions {
+  Engine engine = Engine::kDps;
+  // Drop transitively implied pattern edges before planning.
+  bool transitive_reduction = false;
+  // Labels to keep in the result (the projection of Eq. 2); empty keeps
+  // all pattern labels. Projected results are re-deduplicated. Every
+  // name must be a pattern label.
+  std::vector<std::string> projection;
+  // Reuse optimized plans across calls with the same (pattern, engine).
+  bool use_plan_cache = true;
+};
+
+class GraphMatcher {
+ public:
+  // Builds the graph database (2-hop cover, base tables, R-join index,
+  // W-table, statistics) for `g`. The graph must stay alive as long as
+  // the matcher (baselines and the naive engine read it directly).
+  static Result<std::unique_ptr<GraphMatcher>> Create(
+      const Graph* g, GraphDatabaseOptions db_options = {});
+
+  // Wraps an already-built database (e.g. GraphDatabase::Open). When
+  // `g` is null the R-join engines (kDps/kDp/kCanonical) work fully;
+  // the baselines and the naive engine need the original graph and
+  // return FailedPrecondition without it.
+  static Result<std::unique_ptr<GraphMatcher>> FromDatabase(
+      std::unique_ptr<GraphDatabase> db, const Graph* g = nullptr);
+
+  Result<MatchResult> Match(const Pattern& pattern, MatchOptions options = {});
+  Result<MatchResult> Match(std::string_view pattern_text,
+                            MatchOptions options = {});
+
+  // Plans a pattern without executing (kDps/kDp/kCanonical only).
+  Result<fgpm::Plan> MakePlan(const Pattern& pattern, Engine engine) const;
+
+  GraphDatabase& db() { return *db_; }
+  const GraphDatabase& db() const { return *db_; }
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  GraphMatcher(const Graph* g, std::unique_ptr<GraphDatabase> db)
+      : graph_(g), db_(std::move(db)), executor_(db_.get()) {}
+
+  static Result<MatchResult> Project(MatchResult result,
+                                     const Pattern& pattern,
+                                     const MatchOptions& options);
+
+  const Graph* graph_;
+  std::unique_ptr<GraphDatabase> db_;
+  Executor executor_;
+  std::unique_ptr<IntDpEngine> intdp_;           // lazy
+  std::unique_ptr<TsdEngine> tsd_;               // lazy; DAG data only
+  // Plan cache keyed by "<engine>|<pattern text>".
+  std::unordered_map<std::string, fgpm::Plan> plan_cache_;
+
+ public:
+  // Invalidate cached plans (after ApplyEdgeInsert shifts statistics).
+  void ClearPlanCache() { plan_cache_.clear(); }
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_CORE_GRAPH_MATCHER_H_

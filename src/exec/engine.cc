@@ -1,0 +1,122 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "exec/temporal_table.h"
+
+namespace fgpm {
+
+void MatchResult::SortRows() { std::sort(rows.begin(), rows.end()); }
+
+Result<MatchResult> Executor::Execute(const Pattern& pattern,
+                                      const Plan& plan) {
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+
+  WallTimer timer;
+  IoSnapshot io_before = db_->Io();
+
+  MatchResult result;
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    result.column_labels.push_back(pattern.label(i));
+  }
+
+  // Resolve pattern labels; a label with no extent means zero matches.
+  std::vector<LabelId> node_labels(pattern.num_nodes());
+  bool resolvable = true;
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = db_->catalog().FindLabel(pattern.label(i));
+    if (!l) {
+      resolvable = false;
+      break;
+    }
+    node_labels[i] = *l;
+  }
+
+  if (resolvable) {
+    if (pattern.num_edges() == 0) {
+      // Single-label pattern: scan the base table.
+      FGPM_RETURN_IF_ERROR(
+          db_->table(node_labels[0]).Scan([&](const GraphCodeRecord& rec) {
+            result.rows.push_back({rec.node});
+          }));
+    } else {
+      TemporalTable table;
+      for (const PlanStep& step : plan.steps) {
+        ++result.stats.steps;
+        switch (step.kind) {
+          case StepKind::kHpsjBase:
+            FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
+                                              step.edge, &table,
+                                              &result.stats.operators));
+            break;
+          case StepKind::kScanBase:
+            FGPM_RETURN_IF_ERROR(ScanBase(*db_, pattern, node_labels,
+                                          step.scan_node, &table,
+                                          &result.stats.operators));
+            break;
+          case StepKind::kFilter:
+            FGPM_RETURN_IF_ERROR(ApplyFilter(*db_, pattern, node_labels,
+                                             step.filters, &table,
+                                             &result.stats.operators));
+            break;
+          case StepKind::kFetch:
+            FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
+                                            step.edge, step.bound_is_source,
+                                            &table,
+                                            &result.stats.operators));
+            break;
+          case StepKind::kSelect:
+            FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
+                                             step.edge, &table,
+                                             &result.stats.operators));
+            break;
+        }
+        // An empty intermediate stays empty; skip the remaining steps.
+        if (table.NumRows() == 0) break;
+      }
+
+      // Project to pattern-node order (plans bind labels in plan order).
+      if (table.NumColumns() == pattern.num_nodes()) {
+        std::vector<size_t> col_of(pattern.num_nodes());
+        for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+          auto c = table.ColumnOf(i);
+          FGPM_CHECK(c.has_value());
+          col_of[i] = *c;
+        }
+        size_t ncols = table.NumColumns();
+        result.rows.reserve(table.NumRows());
+        for (size_t r = 0; r < table.NumRows(); ++r) {
+          std::vector<NodeId> row(pattern.num_nodes());
+          for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+            row[i] = table.raw_rows()[r * ncols + col_of[i]];
+          }
+          result.rows.push_back(std::move(row));
+        }
+      }
+      // else: execution emptied out before binding all labels — result
+      // stays empty, which is correct (an empty intermediate join is
+      // empty forever).
+    }
+  }
+
+  result.stats.result_rows = result.rows.size();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  IoSnapshot io_after = db_->Io();
+  result.stats.io.page_reads = io_after.page_reads - io_before.page_reads;
+  result.stats.io.page_writes = io_after.page_writes - io_before.page_writes;
+  result.stats.io.pool_hits = io_after.pool_hits - io_before.pool_hits;
+  result.stats.io.pool_misses = io_after.pool_misses - io_before.pool_misses;
+  result.stats.io.code_cache_hits =
+      io_after.code_cache_hits - io_before.code_cache_hits;
+  result.stats.io.code_cache_misses =
+      io_after.code_cache_misses - io_before.code_cache_misses;
+  result.stats.modeled_io_pages =
+      result.stats.io.pool_hits + result.stats.io.pool_misses +
+      result.stats.operators.temporal_pages_read +
+      result.stats.operators.temporal_pages_written;
+  return result;
+}
+
+}  // namespace fgpm

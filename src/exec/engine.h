@@ -1,0 +1,54 @@
+// Plan executor: runs a left-deep R-join/R-semijoin plan against a
+// GraphDatabase and materializes the distinct match tuples.
+#ifndef FGPM_EXEC_ENGINE_H_
+#define FGPM_EXEC_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operators.h"
+#include "exec/plan.h"
+#include "gdb/database.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+struct ExecStats {
+  double elapsed_ms = 0;
+  double optimize_ms = 0;  // plan-selection time (set by GraphMatcher)
+  uint64_t result_rows = 0;
+  IoSnapshot io;           // delta over the execution
+  OperatorStats operators;
+  uint32_t steps = 0;
+  // Total page I/O under the paper's storage model: buffer-pool accesses
+  // for indexes/tables plus disk-resident temporal-table passes. INT-DP
+  // fills this with its own list-scan/re-sort estimate.
+  uint64_t modeled_io_pages = 0;
+};
+
+struct MatchResult {
+  // Column i binds pattern node i (label column_labels[i]).
+  std::vector<std::string> column_labels;
+  std::vector<std::vector<NodeId>> rows;  // distinct tuples
+  ExecStats stats;
+
+  // Canonical ordering for comparisons in tests.
+  void SortRows();
+};
+
+class Executor {
+ public:
+  explicit Executor(const GraphDatabase* db) : db_(db) {}
+
+  // Validates and runs `plan` for `pattern`. A pattern label absent from
+  // the database yields an empty (not erroneous) result.
+  Result<MatchResult> Execute(const Pattern& pattern, const Plan& plan);
+
+ private:
+  const GraphDatabase* db_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_EXEC_ENGINE_H_

@@ -1,0 +1,19 @@
+// Ground-truth pattern matcher: backtracking over label extents with a
+// BFS reachability oracle. Exponentially slower than the R-join engines
+// but obviously correct — every engine is validated against it.
+#ifndef FGPM_EXEC_NAIVE_MATCHER_H_
+#define FGPM_EXEC_NAIVE_MATCHER_H_
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "graph/graph.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+// Returns all distinct match tuples (columns in pattern-node order).
+Result<MatchResult> NaiveMatch(const Graph& g, const Pattern& pattern);
+
+}  // namespace fgpm
+
+#endif  // FGPM_EXEC_NAIVE_MATCHER_H_

@@ -1,0 +1,263 @@
+#include "exec/operators.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/sorted_vector.h"
+
+namespace fgpm {
+
+uint64_t TemporalTablePages(const TemporalTable& table) {
+  // 4 bytes per bound node id plus, per row and pending slot, the
+  // row's center list (as the paper's (r_i, X_i) pairs are materialized).
+  uint64_t bytes = table.raw_rows().size() * 4ull;
+  for (const auto& slot : table.pending()) {
+    for (uint32_t idx : slot.row_index) bytes += 4ull * slot.pool[idx].size();
+  }
+  return bytes / 8192 + 1;
+}
+
+Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
+                const std::vector<LabelId>& node_labels,
+                PatternNodeId scan_node, TemporalTable* out,
+                OperatorStats* stats) {
+  (void)pattern;
+  out->AddColumn(scan_node);
+  FGPM_RETURN_IF_ERROR(
+      db.table(node_labels[scan_node]).Scan([&](const GraphCodeRecord& r) {
+        ++stats->rows_scanned;
+        out->AppendRow({r.node});
+      }));
+  stats->temporal_pages_written += TemporalTablePages(*out);
+  return Status::OK();
+}
+
+Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels, uint32_t edge,
+                    TemporalTable* out, OperatorStats* stats) {
+  const PatternEdge& e = pattern.edges()[edge];
+  LabelId x = node_labels[e.from], y = node_labels[e.to];
+
+  out->AddColumn(e.from);
+  out->AddColumn(e.to);
+
+  std::vector<CenterId> centers;
+  FGPM_RETURN_IF_ERROR(db.wtable().Lookup(x, y, &centers));
+  ++stats->wtable_lookups;
+
+  // A pair can appear under several centers; HPSJ output is a set.
+  std::unordered_set<uint64_t> seen;
+  std::vector<NodeId> fs, ts;
+  for (CenterId w : centers) {
+    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetF(w, x, &fs));
+    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetT(w, y, &ts));
+    stats->cluster_fetches += 2;
+    for (NodeId u : fs) {
+      for (NodeId v : ts) {
+        ++stats->pairs_emitted;
+        if (seen.insert(PackPair(u, v)).second) {
+          out->AppendRow({u, v});
+        }
+      }
+    }
+  }
+  stats->temporal_pages_written += TemporalTablePages(*out);
+  return Status::OK();
+}
+
+Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels,
+                   const std::vector<FilterItem>& items, TemporalTable* table,
+                   OperatorStats* stats) {
+  if (items.empty()) return Status::InvalidArgument("empty filter");
+  stats->temporal_pages_read += TemporalTablePages(*table);
+  const auto& edges = pattern.edges();
+
+  struct ItemCtx {
+    FilterItem item;
+    size_t col = 0;      // probed column in the temporal table
+    LabelId col_label = 0;
+    bool use_out = false;  // probe out(x) vs in(y)
+    std::vector<CenterId> wcenters;  // W(X, Y)
+  };
+  std::vector<ItemCtx> ctx(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    const PatternEdge& e = edges[items[i].edge];
+    PatternNodeId bound = items[i].bound_is_source ? e.from : e.to;
+    auto col = table->ColumnOf(bound);
+    if (!col) return Status::InvalidArgument("filter column not bound");
+    ctx[i].item = items[i];
+    ctx[i].col = *col;
+    ctx[i].col_label = node_labels[bound];
+    ctx[i].use_out = items[i].bound_is_source;
+    FGPM_RETURN_IF_ERROR(db.wtable().Lookup(
+        node_labels[e.from], node_labels[e.to], &ctx[i].wcenters));
+    ++stats->wtable_lookups;
+  }
+
+  const size_t ncols = table->NumColumns();
+  const size_t nrows = table->NumRows();
+  const std::vector<NodeId>& rows = table->raw_rows();
+  std::vector<NodeId> new_rows;
+  // Surviving-row center sets per old pending slot (pools are shared and
+  // carried over; only row indexes are filtered), plus one fresh slot
+  // per filter item.
+  std::vector<TemporalTable::PendingSlot> new_pending;
+  for (const auto& slot : table->pending()) {
+    new_pending.push_back({slot.edge, slot.bound_is_source, slot.pool, {}});
+  }
+  size_t first_fresh = new_pending.size();
+  for (const auto& c : ctx) {
+    new_pending.push_back({c.item.edge, c.item.bound_is_source, {}, {}});
+  }
+
+  // One scan; one getCenters per (row, distinct column) shared across
+  // items (Remark 3.1).
+  std::unordered_map<size_t, GraphCodeRecord> col_codes;
+  std::vector<std::vector<CenterId>> xi(ctx.size());
+  for (size_t r = 0; r < nrows; ++r) {
+    ++stats->rows_scanned;
+    col_codes.clear();
+    bool ok = true;
+    for (size_t i = 0; i < ctx.size() && ok; ++i) {
+      auto it = col_codes.find(ctx[i].col);
+      if (it == col_codes.end()) {
+        GraphCodeRecord rec;
+        FGPM_RETURN_IF_ERROR(
+            db.GetCodes(rows[r * ncols + ctx[i].col], ctx[i].col_label, &rec));
+        ++stats->code_fetches;
+        it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
+      }
+      const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
+      xi[i] = SortedIntersect(code, ctx[i].wcenters);
+      if (xi[i].empty()) ok = false;
+    }
+    if (!ok) {
+      ++stats->rows_pruned;
+      continue;
+    }
+    new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
+                    rows.begin() + (r + 1) * ncols);
+    for (size_t s = 0; s < first_fresh; ++s) {
+      new_pending[s].row_index.push_back(table->pending()[s].row_index[r]);
+    }
+    for (size_t i = 0; i < ctx.size(); ++i) {
+      TemporalTable::PendingSlot& fresh = new_pending[first_fresh + i];
+      fresh.pool.push_back(std::move(xi[i]));
+      fresh.row_index.push_back(static_cast<uint32_t>(fresh.pool.size() - 1));
+    }
+  }
+
+  table->raw_rows() = std::move(new_rows);
+  table->pending() = std::move(new_pending);
+  stats->temporal_pages_written += TemporalTablePages(*table);
+  return Status::OK();
+}
+
+Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
+                  const std::vector<LabelId>& node_labels, uint32_t edge,
+                  bool bound_is_source, TemporalTable* table,
+                  OperatorStats* stats) {
+  auto slot_idx = table->PendingSlotFor(edge, bound_is_source);
+  if (!slot_idx) return Status::InvalidArgument("fetch without filter");
+  stats->temporal_pages_read += TemporalTablePages(*table);
+  const PatternEdge& e = pattern.edges()[edge];
+  PatternNodeId new_node = bound_is_source ? e.to : e.from;
+  LabelId new_label = node_labels[new_node];
+
+  const size_t ncols = table->NumColumns();
+  const size_t nrows = table->NumRows();
+  const std::vector<NodeId>& rows = table->raw_rows();
+  const auto& slot = table->pending()[*slot_idx];
+
+  std::vector<NodeId> new_rows;
+  std::vector<TemporalTable::PendingSlot> new_pending;
+  std::vector<size_t> kept_slots;
+  for (size_t s = 0; s < table->pending().size(); ++s) {
+    if (s == *slot_idx) continue;
+    kept_slots.push_back(s);
+    new_pending.push_back({table->pending()[s].edge,
+                           table->pending()[s].bound_is_source,
+                           table->pending()[s].pool,
+                           {}});
+  }
+
+  std::unordered_set<NodeId> row_dedup;
+  std::vector<NodeId> cluster;
+  for (size_t r = 0; r < nrows; ++r) {
+    row_dedup.clear();
+    for (CenterId w : slot.CentersFor(r)) {
+      // Expanding toward the edge target uses T-subclusters; toward the
+      // source uses F-subclusters.
+      if (bound_is_source) {
+        FGPM_RETURN_IF_ERROR(db.rjoin_index().GetT(w, new_label, &cluster));
+      } else {
+        FGPM_RETURN_IF_ERROR(db.rjoin_index().GetF(w, new_label, &cluster));
+      }
+      ++stats->cluster_fetches;
+      for (NodeId v : cluster) {
+        ++stats->pairs_emitted;
+        if (!row_dedup.insert(v).second) continue;
+        new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
+                        rows.begin() + (r + 1) * ncols);
+        new_rows.push_back(v);
+        for (size_t k = 0; k < kept_slots.size(); ++k) {
+          new_pending[k].row_index.push_back(
+              table->pending()[kept_slots[k]].row_index[r]);
+        }
+      }
+    }
+  }
+
+  table->AddColumn(new_node);
+  table->raw_rows() = std::move(new_rows);
+  table->pending() = std::move(new_pending);
+  stats->temporal_pages_written += TemporalTablePages(*table);
+  return Status::OK();
+}
+
+Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels, uint32_t edge,
+                   TemporalTable* table, OperatorStats* stats) {
+  const PatternEdge& e = pattern.edges()[edge];
+  auto cx = table->ColumnOf(e.from), cy = table->ColumnOf(e.to);
+  if (!cx || !cy) return Status::InvalidArgument("select columns not bound");
+  stats->temporal_pages_read += TemporalTablePages(*table);
+
+  const size_t ncols = table->NumColumns();
+  const size_t nrows = table->NumRows();
+  const std::vector<NodeId>& rows = table->raw_rows();
+  std::vector<NodeId> new_rows;
+  std::vector<TemporalTable::PendingSlot> new_pending;
+  for (const auto& slot : table->pending()) {
+    new_pending.push_back({slot.edge, slot.bound_is_source, slot.pool, {}});
+  }
+
+  GraphCodeRecord rx, ry;
+  for (size_t r = 0; r < nrows; ++r) {
+    ++stats->rows_scanned;
+    NodeId u = rows[r * ncols + *cx], v = rows[r * ncols + *cy];
+    FGPM_RETURN_IF_ERROR(db.GetCodes(u, node_labels[e.from], &rx));
+    FGPM_RETURN_IF_ERROR(db.GetCodes(v, node_labels[e.to], &ry));
+    stats->code_fetches += 2;
+    // Labels differ, so u != v; the code intersection decides (it covers
+    // same-SCC pairs through the shared component center).
+    if (!SortedIntersects(rx.out, ry.in)) {
+      ++stats->rows_pruned;
+      continue;
+    }
+    new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
+                    rows.begin() + (r + 1) * ncols);
+    for (size_t s = 0; s < table->pending().size(); ++s) {
+      new_pending[s].row_index.push_back(table->pending()[s].row_index[r]);
+    }
+  }
+  table->raw_rows() = std::move(new_rows);
+  table->pending() = std::move(new_pending);
+  stats->temporal_pages_written += TemporalTablePages(*table);
+  return Status::OK();
+}
+
+}  // namespace fgpm

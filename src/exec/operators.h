@@ -1,0 +1,73 @@
+// Physical operators of the R-join/R-semijoin engine:
+//   HpsjBaseJoin — Algorithm 1 (HPSJ) over two base tables.
+//   ApplyFilter  — Algorithm 2 Filter == R-semijoin; a call carries one
+//                  or more semijoins evaluated in ONE scan of the
+//                  temporal table with shared getCenters fetches
+//                  (Remark 3.1).
+//   ApplyFetch   — Algorithm 2 Fetch: expands pending centers through
+//                  the cluster-based R-join index.
+//   ApplySelect  — self R-join (Eq. 5): reachability selection between
+//                  two bound columns via graph codes.
+#ifndef FGPM_EXEC_OPERATORS_H_
+#define FGPM_EXEC_OPERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "exec/temporal_table.h"
+#include "gdb/database.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+struct OperatorStats {
+  uint64_t rows_scanned = 0;     // temporal rows examined by filters
+  uint64_t rows_pruned = 0;      // rows dropped by filters/selects
+  uint64_t pairs_emitted = 0;    // tuples produced before dedup
+  uint64_t code_fetches = 0;     // getCenters / graph-code retrievals
+  uint64_t cluster_fetches = 0;  // getF/getT cluster reads
+  uint64_t wtable_lookups = 0;
+  // Temporal tables are disk-resident in the paper's system (Shore):
+  // each operator re-reads its input table and writes its output table.
+  // We keep them in memory for speed but charge the equivalent page I/O
+  // so DP-vs-DPS I/O comparisons mean what they meant in the paper.
+  uint64_t temporal_pages_read = 0;
+  uint64_t temporal_pages_written = 0;
+};
+
+// Charged pages for one pass over a temporal table's current contents.
+uint64_t TemporalTablePages(const TemporalTable& table);
+
+// node_labels[i]: data-graph LabelId for pattern node i. Callers must
+// have verified all labels exist (missing label => empty result upstream).
+// Opens a plan with one base table: a single-column temporal table of
+// ext(X) (the paper's DPS plans can semijoin a base table before any
+// R-join — Figure 3, status S1).
+Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
+                const std::vector<LabelId>& node_labels,
+                PatternNodeId scan_node, TemporalTable* out,
+                OperatorStats* stats);
+
+Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels, uint32_t edge,
+                    TemporalTable* out, OperatorStats* stats);
+
+Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels,
+                   const std::vector<FilterItem>& items, TemporalTable* table,
+                   OperatorStats* stats);
+
+Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
+                  const std::vector<LabelId>& node_labels, uint32_t edge,
+                  bool bound_is_source, TemporalTable* table,
+                  OperatorStats* stats);
+
+Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels, uint32_t edge,
+                   TemporalTable* table, OperatorStats* stats);
+
+}  // namespace fgpm
+
+#endif  // FGPM_EXEC_OPERATORS_H_

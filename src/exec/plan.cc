@@ -1,0 +1,159 @@
+#include "exec/plan.h"
+
+#include <set>
+
+namespace fgpm {
+
+Status Plan::Validate(const Pattern& pattern) const {
+  const auto& edges = pattern.edges();
+  if (pattern.num_edges() == 0) {
+    if (!steps.empty()) {
+      return Status::InvalidArgument("edge-free pattern needs an empty plan");
+    }
+    return Status::OK();
+  }
+  if (steps.empty() || (steps[0].kind != StepKind::kHpsjBase &&
+                        steps[0].kind != StepKind::kScanBase)) {
+    return Status::InvalidArgument(
+        "plan must start with a base HPSJ or base scan");
+  }
+
+  std::set<PatternNodeId> bound;
+  std::set<uint32_t> evaluated;                 // edges fully joined
+  std::set<std::pair<uint32_t, bool>> pending;  // filtered, not yet fetched
+
+  for (size_t si = 0; si < steps.size(); ++si) {
+    const PlanStep& step = steps[si];
+    switch (step.kind) {
+      case StepKind::kHpsjBase: {
+        if (si != 0) {
+          return Status::InvalidArgument("base HPSJ only as the first step");
+        }
+        if (step.edge >= edges.size()) {
+          return Status::InvalidArgument("edge index out of range");
+        }
+        bound.insert(edges[step.edge].from);
+        bound.insert(edges[step.edge].to);
+        evaluated.insert(step.edge);
+        break;
+      }
+      case StepKind::kScanBase: {
+        if (si != 0) {
+          return Status::InvalidArgument("base scan only as the first step");
+        }
+        if (step.scan_node >= pattern.num_nodes()) {
+          return Status::InvalidArgument("scan node out of range");
+        }
+        bound.insert(step.scan_node);
+        break;
+      }
+      case StepKind::kFilter: {
+        if (step.filters.empty()) {
+          return Status::InvalidArgument("empty filter step");
+        }
+        for (const FilterItem& item : step.filters) {
+          if (item.edge >= edges.size()) {
+            return Status::InvalidArgument("edge index out of range");
+          }
+          if (evaluated.count(item.edge)) {
+            return Status::InvalidArgument("filter on already-joined edge");
+          }
+          if (pending.count({item.edge, item.bound_is_source}) ||
+              pending.count({item.edge, !item.bound_is_source})) {
+            return Status::InvalidArgument("edge filtered twice");
+          }
+          PatternNodeId b = item.bound_is_source ? edges[item.edge].from
+                                                 : edges[item.edge].to;
+          PatternNodeId u = item.bound_is_source ? edges[item.edge].to
+                                                 : edges[item.edge].from;
+          if (!bound.count(b)) {
+            return Status::InvalidArgument(
+                "filter probes an unbound label column");
+          }
+          if (bound.count(u)) {
+            return Status::InvalidArgument(
+                "both endpoints bound: use a select step");
+          }
+          pending.insert({item.edge, item.bound_is_source});
+        }
+        break;
+      }
+      case StepKind::kFetch: {
+        auto key = std::make_pair(step.edge, step.bound_is_source);
+        if (!pending.count(key)) {
+          return Status::InvalidArgument("fetch without a prior filter");
+        }
+        pending.erase(key);
+        const PatternEdge& e = edges[step.edge];
+        bound.insert(step.bound_is_source ? e.to : e.from);
+        evaluated.insert(step.edge);
+        break;
+      }
+      case StepKind::kSelect: {
+        if (step.edge >= edges.size()) {
+          return Status::InvalidArgument("edge index out of range");
+        }
+        const PatternEdge& e = edges[step.edge];
+        if (!bound.count(e.from) || !bound.count(e.to)) {
+          return Status::InvalidArgument("select needs both labels bound");
+        }
+        if (evaluated.count(step.edge)) {
+          return Status::InvalidArgument("edge evaluated twice");
+        }
+        evaluated.insert(step.edge);
+        break;
+      }
+    }
+  }
+  // A pending filter whose edge was later evaluated as a select is a
+  // contradiction caught above; leftover pendings mean an unfetched edge.
+  if (!pending.empty()) {
+    return Status::InvalidArgument("plan leaves a filtered edge unfetched");
+  }
+  if (evaluated.size() != edges.size()) {
+    return Status::InvalidArgument("plan does not evaluate every edge");
+  }
+  if (bound.size() != pattern.num_nodes()) {
+    return Status::InvalidArgument("plan does not bind every label");
+  }
+  return Status::OK();
+}
+
+std::string Plan::ToString(const Pattern& pattern) const {
+  const auto& edges = pattern.edges();
+  auto edge_str = [&](uint32_t e) {
+    return pattern.label(edges[e].from) + "->" + pattern.label(edges[e].to);
+  };
+  std::string out;
+  for (const PlanStep& step : steps) {
+    if (!out.empty()) out += " ; ";
+    switch (step.kind) {
+      case StepKind::kHpsjBase:
+        out += "HPSJ(" + edge_str(step.edge) + ")";
+        break;
+      case StepKind::kScanBase:
+        out += "SCAN(" + pattern.label(step.scan_node) + ")";
+        break;
+      case StepKind::kFilter: {
+        out += "FILTER(";
+        for (size_t i = 0; i < step.filters.size(); ++i) {
+          if (i) out += ", ";
+          out += edge_str(step.filters[i].edge);
+          out += step.filters[i].bound_is_source ? " [out]" : " [in]";
+        }
+        out += ")";
+        break;
+      }
+      case StepKind::kFetch:
+        out += "FETCH(" + edge_str(step.edge) + ")";
+        break;
+      case StepKind::kSelect:
+        out += "SELECT(" + edge_str(step.edge) + ")";
+        break;
+    }
+  }
+  if (out.empty()) out = "SCAN(" + pattern.label(0) + ")";
+  return out;
+}
+
+}  // namespace fgpm

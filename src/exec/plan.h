@@ -1,0 +1,82 @@
+// Physical plan for a graph pattern: a left-deep sequence of R-join /
+// R-semijoin steps (Sections 3-4).
+//
+//   kHpsjBase — Algorithm 1 (HPSJ): R-join of the first two base tables
+//               entirely out of the cluster index.
+//   kFilter   — the Filter step of Algorithm 2 (HPSJ+) == an R-semijoin.
+//               One step may carry several semijoins that share a single
+//               scan of the temporal table (Remark 3.1).
+//   kFetch    — the Fetch step of HPSJ+: expands pending center sets into
+//               result tuples using the cluster index.
+//   kSelect   — "self R-join" (Eq. 5): both endpoint labels already
+//               bound, evaluated as a selection via graph codes.
+#ifndef FGPM_EXEC_PLAN_H_
+#define FGPM_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+enum class StepKind : uint8_t {
+  kHpsjBase,
+  kScanBase,  // start from one base table (DPS plans may open with
+              // R-semijoins on a single table, Figure 3 status S1)
+  kFilter,
+  kFetch,
+  kSelect,
+};
+
+// One R-semijoin inside a kFilter step.
+struct FilterItem {
+  uint32_t edge = 0;            // index into Pattern::edges()
+  bool bound_is_source = false;  // true: X bound, probes out(x) against
+                                 // W(X,Y); false: Y bound, probes in(y)
+  friend bool operator==(const FilterItem&, const FilterItem&) = default;
+};
+
+struct PlanStep {
+  StepKind kind = StepKind::kHpsjBase;
+  uint32_t edge = 0;             // kHpsjBase / kFetch / kSelect
+  bool bound_is_source = false;  // kFetch: which endpoint was bound
+  std::vector<FilterItem> filters;  // kFilter only
+  PatternNodeId scan_node = 0;      // kScanBase only
+
+  static PlanStep HpsjBase(uint32_t edge) {
+    return {StepKind::kHpsjBase, edge, false, {}, 0};
+  }
+  static PlanStep ScanBase(PatternNodeId node) {
+    PlanStep s{StepKind::kScanBase, 0, false, {}, node};
+    return s;
+  }
+  static PlanStep Filter(std::vector<FilterItem> items) {
+    return {StepKind::kFilter, 0, false, std::move(items), 0};
+  }
+  static PlanStep Fetch(uint32_t edge, bool bound_is_source) {
+    return {StepKind::kFetch, edge, bound_is_source, {}, 0};
+  }
+  static PlanStep Select(uint32_t edge) {
+    return {StepKind::kSelect, edge, false, {}, 0};
+  }
+};
+
+struct Plan {
+  std::vector<PlanStep> steps;
+  double estimated_cost = 0.0;
+
+  // Structural validation against a pattern: the first step must be the
+  // base HPSJ (unless the pattern has < 2 nodes), every fetch must
+  // follow its matching filter, every edge must be evaluated exactly
+  // once, and each step must touch exactly one unbound label.
+  Status Validate(const Pattern& pattern) const;
+
+  std::string ToString(const Pattern& pattern) const;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_EXEC_PLAN_H_

@@ -1,0 +1,23 @@
+#include "exec/temporal_table.h"
+
+namespace fgpm {
+
+std::optional<size_t> TemporalTable::ColumnOf(PatternNodeId node) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i] == node) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> TemporalTable::PendingSlotFor(
+    uint32_t edge, bool bound_is_source) const {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].edge == edge &&
+        pending_[i].bound_is_source == bound_is_source) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fgpm

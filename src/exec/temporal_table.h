@@ -1,0 +1,70 @@
+// Temporal (intermediate) table: rows bind a subset of pattern labels;
+// rows may carry *pending* center sets produced by R-semijoins whose
+// Fetch has not run yet (the separation DPS exploits, Section 4.2).
+#ifndef FGPM_EXEC_TEMPORAL_TABLE_H_
+#define FGPM_EXEC_TEMPORAL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "query/pattern.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+
+class TemporalTable {
+ public:
+  // Bound pattern nodes, in binding order; rows_ is row-major with one
+  // NodeId per schema column.
+  const std::vector<PatternNodeId>& schema() const { return schema_; }
+  size_t NumColumns() const { return schema_.size(); }
+  size_t NumRows() const { return rows_.size() / std::max<size_t>(1, schema_.size()); }
+
+  NodeId At(size_t row, size_t col) const {
+    return rows_[row * schema_.size() + col];
+  }
+
+  // Column index of a pattern node, if bound.
+  std::optional<size_t> ColumnOf(PatternNodeId node) const;
+
+  // --- construction (used by operators) ---------------------------------
+  void AddColumn(PatternNodeId node) { schema_.push_back(node); }
+  void AppendRow(const std::vector<NodeId>& row) {
+    rows_.insert(rows_.end(), row.begin(), row.end());
+  }
+  std::vector<NodeId>& raw_rows() { return rows_; }
+  const std::vector<NodeId>& raw_rows() const { return rows_; }
+
+  // --- pending semijoin state -------------------------------------------
+  struct PendingSlot {
+    uint32_t edge = 0;
+    bool bound_is_source = false;
+    // The intersections X_i of probed codes with W(X,Y) (Algorithm 2,
+    // Filter), deduplicated in a pool: row r's centers are
+    // pool[row_index[r]]. Fetch expansions copy only the 4-byte index,
+    // not the vector.
+    std::vector<std::vector<CenterId>> pool;
+    std::vector<uint32_t> row_index;
+
+    const std::vector<CenterId>& CentersFor(size_t row) const {
+      return pool[row_index[row]];
+    }
+  };
+  std::vector<PendingSlot>& pending() { return pending_; }
+  const std::vector<PendingSlot>& pending() const { return pending_; }
+
+  // Index of the pending slot for (edge, dir), if present.
+  std::optional<size_t> PendingSlotFor(uint32_t edge,
+                                       bool bound_is_source) const;
+
+ private:
+  std::vector<PatternNodeId> schema_;
+  std::vector<NodeId> rows_;
+  std::vector<PendingSlot> pending_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_EXEC_TEMPORAL_TABLE_H_

@@ -1,0 +1,65 @@
+// Base table T_X(X, X_in, X_out) for one label (Section 3): one tuple
+// per node of ext(X) holding the node id (primary key) and its graph
+// codes. Tuples live in a heap file; the primary key is indexed with a
+// B+-tree, as the paper assumes.
+#ifndef FGPM_GDB_BASE_TABLE_H_
+#define FGPM_GDB_BASE_TABLE_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "gdb/graph_codes.h"
+#include "storage/bptree.h"
+#include "storage/heap_file.h"
+
+namespace fgpm {
+
+class BaseTable {
+ public:
+  BaseTable(LabelId label, BufferPool* pool)
+      : label_(label), heap_(pool), primary_(pool) {}
+  BaseTable(const BaseTable&) = delete;
+  BaseTable& operator=(const BaseTable&) = delete;
+  BaseTable(BaseTable&&) = default;
+  BaseTable& operator=(BaseTable&&) = default;
+
+  LabelId label() const { return label_; }
+  uint64_t NumTuples() const { return heap_.NumRecords(); }
+  size_t NumPages() const { return heap_.NumPages(); }
+
+  // Appends a tuple (build time).
+  Status Insert(const GraphCodeRecord& rec);
+
+  // Rewrites a tuple's graph codes (incremental maintenance): appends a
+  // new record version and repoints the primary index. The old version
+  // becomes unreachable garbage (the heap is append-only); Scan() skips
+  // superseded versions via the primary index.
+  Status Update(const GraphCodeRecord& rec);
+
+  // Point access via the primary index (costs a B+-tree descent plus one
+  // heap-page read, all counted by the buffer pool).
+  Status Get(NodeId node, GraphCodeRecord* rec) const;
+
+  // Full scan in heap order.
+  Status Scan(const std::function<void(const GraphCodeRecord&)>& fn) const;
+
+  uint32_t IndexHeight() const { return primary_.Height(); }
+
+  // --- persistence --------------------------------------------------------
+  void SaveMeta(BinaryWriter* w) const;
+  static Result<BaseTable> AttachMeta(BufferPool* pool, BinaryReader* r);
+
+ private:
+  BaseTable(LabelId label, HeapFile heap, BPTree primary)
+      : label_(label), heap_(std::move(heap)), primary_(std::move(primary)) {}
+
+  LabelId label_;
+  HeapFile heap_;
+  BPTree primary_;  // node id -> packed RID
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_GDB_BASE_TABLE_H_

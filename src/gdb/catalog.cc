@@ -1,0 +1,166 @@
+#include "gdb/catalog.h"
+
+#include <map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "gdb/rjoin_index.h"
+
+namespace fgpm {
+
+Status Catalog::Build(const Graph& g, const TwoHopLabeling& labeling) {
+  FGPM_CHECK(g.finalized());
+  num_nodes_ = g.NumNodes();
+  names_.clear();
+  extent_sizes_.assign(g.NumLabels(), 0);
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    names_.push_back(g.LabelName(l));
+    extent_sizes_[l] = g.Extent(l).size();
+  }
+
+  // Estimated base-table pages: record = 12-byte header + 4 bytes per
+  // code entry + 4-byte slot entry, packed into 8 KiB pages.
+  table_pages_.assign(g.NumLabels(), 0);
+  {
+    std::vector<uint64_t> bytes(g.NumLabels(), 0);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      bytes[g.label_of(v)] +=
+          16 + 4ull * (labeling.InCode(v).size() + labeling.OutCode(v).size());
+    }
+    for (LabelId l = 0; l < g.NumLabels(); ++l) {
+      table_pages_[l] = (bytes[l] + 8191) / 8192 + (extent_sizes_[l] > 0);
+    }
+  }
+
+  // Subcluster sizes per (center, label) on each side.
+  std::unordered_map<uint64_t, uint32_t> f_sizes, t_sizes;
+  // Distinct labels per center per side (small sets; vector is fine).
+  uint32_t nc = labeling.num_centers();
+  std::vector<std::vector<LabelId>> f_labels(nc), t_labels(nc);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    LabelId l = g.label_of(v);
+    for (CenterId w : labeling.OutCode(v)) {
+      uint64_t k = RJoinIndex::DirectoryKey(w, RJoinIndex::Side::kF, l);
+      if (f_sizes[k]++ == 0) f_labels[w].push_back(l);
+    }
+    for (CenterId w : labeling.InCode(v)) {
+      uint64_t k = RJoinIndex::DirectoryKey(w, RJoinIndex::Side::kT, l);
+      if (t_sizes[k]++ == 0) t_labels[w].push_back(l);
+    }
+  }
+
+  pairs_.clear();
+  for (CenterId w = 0; w < nc; ++w) {
+    for (LabelId x : f_labels[w]) {
+      uint32_t fs =
+          f_sizes[RJoinIndex::DirectoryKey(w, RJoinIndex::Side::kF, x)];
+      for (LabelId y : t_labels[w]) {
+        uint32_t ts =
+            t_sizes[RJoinIndex::DirectoryKey(w, RJoinIndex::Side::kT, y)];
+        PairStats& ps = pairs_[PackPair(x, y)];
+        ps.est_pairs += static_cast<uint64_t>(fs) * ts;
+        ps.num_centers += 1;
+        ps.sum_f += fs;
+        ps.sum_t += ts;
+        ps.avg_f_pages += NodeListStore::PagesFor(fs);
+        ps.avg_t_pages += NodeListStore::PagesFor(ts);
+      }
+    }
+  }
+  for (auto& [key, ps] : pairs_) {
+    (void)key;
+    if (ps.num_centers > 0) {
+      ps.avg_f_pages /= ps.num_centers;
+      ps.avg_t_pages /= ps.num_centers;
+    }
+  }
+  return Status::OK();
+}
+
+std::optional<LabelId> Catalog::FindLabel(const std::string& name) const {
+  for (LabelId l = 0; l < names_.size(); ++l) {
+    if (names_[l] == name) return l;
+  }
+  return std::nullopt;
+}
+
+const PairStats& Catalog::Stats(LabelId x, LabelId y) const {
+  static const PairStats kEmpty{};
+  auto it = pairs_.find(PackPair(x, y));
+  return it == pairs_.end() ? kEmpty : it->second;
+}
+
+double Catalog::Selectivity(LabelId x, LabelId y) const {
+  uint64_t ex = ExtentSize(x), ey = ExtentSize(y);
+  if (ex == 0 || ey == 0) return 0.0;
+  const PairStats& ps = Stats(x, y);
+  double sel = double(ps.est_pairs) / (double(ex) * double(ey));
+  return sel > 1.0 ? 1.0 : sel;
+}
+
+
+void Catalog::ApplyPairDelta(LabelId x, LabelId y, int64_t d_est_pairs,
+                             int32_t d_centers, int64_t d_sum_f,
+                             int64_t d_sum_t) {
+  PairStats& ps = pairs_[PackPair(x, y)];
+  auto bump = [](uint64_t* v, int64_t d) {
+    *v = (d < 0 && static_cast<uint64_t>(-d) > *v) ? 0 : *v + d;
+  };
+  bump(&ps.est_pairs, d_est_pairs);
+  if (d_centers < 0 && static_cast<uint32_t>(-d_centers) > ps.num_centers) {
+    ps.num_centers = 0;
+  } else {
+    ps.num_centers += d_centers;
+  }
+  bump(&ps.sum_f, d_sum_f);
+  bump(&ps.sum_t, d_sum_t);
+}
+
+void Catalog::SaveMeta(BinaryWriter* w) const {
+  w->U64(num_nodes_);
+  w->U64(names_.size());
+  for (const auto& n : names_) w->Str(n);
+  w->VecU64(extent_sizes_);
+  w->VecU64(table_pages_);
+  w->U64(pairs_.size());
+  for (const auto& [key, ps] : pairs_) {
+    w->U64(key);
+    w->U64(ps.est_pairs);
+    w->U32(ps.num_centers);
+    w->U64(ps.sum_f);
+    w->U64(ps.sum_t);
+    w->F64(ps.avg_f_pages);
+    w->F64(ps.avg_t_pages);
+  }
+}
+
+Status Catalog::LoadMeta(BinaryReader* r) {
+  FGPM_RETURN_IF_ERROR(r->U64(&num_nodes_));
+  uint64_t nl = 0;
+  FGPM_RETURN_IF_ERROR(r->U64(&nl));
+  names_.resize(nl);
+  for (auto& n : names_) FGPM_RETURN_IF_ERROR(r->Str(&n));
+  FGPM_RETURN_IF_ERROR(r->VecU64(&extent_sizes_));
+  FGPM_RETURN_IF_ERROR(r->VecU64(&table_pages_));
+  if (extent_sizes_.size() != nl || table_pages_.size() != nl) {
+    return Status::Corruption("catalog vectors disagree with label count");
+  }
+  uint64_t np = 0;
+  FGPM_RETURN_IF_ERROR(r->U64(&np));
+  pairs_.clear();
+  for (uint64_t i = 0; i < np; ++i) {
+    uint64_t key = 0;
+    PairStats ps;
+    FGPM_RETURN_IF_ERROR(r->U64(&key));
+    FGPM_RETURN_IF_ERROR(r->U64(&ps.est_pairs));
+    FGPM_RETURN_IF_ERROR(r->U32(&ps.num_centers));
+    FGPM_RETURN_IF_ERROR(r->U64(&ps.sum_f));
+    FGPM_RETURN_IF_ERROR(r->U64(&ps.sum_t));
+    FGPM_RETURN_IF_ERROR(r->F64(&ps.avg_f_pages));
+    FGPM_RETURN_IF_ERROR(r->F64(&ps.avg_t_pages));
+    pairs_.emplace(key, ps);
+  }
+  return Status::OK();
+}
+
+}  // namespace fgpm

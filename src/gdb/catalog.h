@@ -1,0 +1,74 @@
+// In-memory catalog: label dictionary, extent sizes, and per-label-pair
+// join statistics the optimizer's cost model (Section 4, Table 1 and
+// Eqs. 10-12) consumes. "We maintain the join sizes and the processing
+// costs for all R-joins between two base tables in a graph database."
+#ifndef FGPM_GDB_CATALOG_H_
+#define FGPM_GDB_CATALOG_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+
+struct PairStats {
+  // Estimated |T_X R-join T_Y| as the sum over centers of
+  // |F_X(w)| * |T_Y(w)| (a bag-count upper bound; duplicates across
+  // centers are not discounted — documented estimator choice).
+  uint64_t est_pairs = 0;
+  uint32_t num_centers = 0;  // |W(X, Y)|
+  uint64_t sum_f = 0;        // total F-subcluster entries over W(X,Y)
+  uint64_t sum_t = 0;        // total T-subcluster entries over W(X,Y)
+  // Average chunk pages read per F-/T-subcluster access (IO_F / IO_T of
+  // Table 1, in page units).
+  double avg_f_pages = 0;
+  double avg_t_pages = 0;
+};
+
+class Catalog {
+ public:
+  Status Build(const Graph& g, const TwoHopLabeling& labeling);
+
+  uint32_t num_labels() const { return static_cast<uint32_t>(names_.size()); }
+  const std::string& LabelName(LabelId l) const { return names_[l]; }
+  std::optional<LabelId> FindLabel(const std::string& name) const;
+  uint64_t ExtentSize(LabelId l) const { return extent_sizes_[l]; }
+  uint64_t NumNodes() const { return num_nodes_; }
+
+  // Estimated heap pages of base table T_l (for scan costing).
+  uint64_t TablePages(LabelId l) const { return table_pages_[l]; }
+
+  // Zero-filled stats mean the R-join X -> Y is empty.
+  const PairStats& Stats(LabelId x, LabelId y) const;
+
+  // Join selectivity |T_X join T_Y| / (|T_X| * |T_Y|), Eqs. 10-12.
+  double Selectivity(LabelId x, LabelId y) const;
+
+  // Adjusts one pair's statistics after incremental index maintenance
+  // (deltas may be negative). avg_*_pages are left untouched — they are
+  // advisory averages and drift negligibly per insert.
+  void ApplyPairDelta(LabelId x, LabelId y, int64_t d_est_pairs,
+                      int32_t d_centers, int64_t d_sum_f, int64_t d_sum_t);
+
+  // --- persistence --------------------------------------------------------
+  void SaveMeta(BinaryWriter* w) const;
+  Status LoadMeta(BinaryReader* r);
+
+ private:
+  uint64_t num_nodes_ = 0;
+  std::vector<std::string> names_;
+  std::vector<uint64_t> extent_sizes_;
+  std::vector<uint64_t> table_pages_;
+  std::unordered_map<uint64_t, PairStats> pairs_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_GDB_CATALOG_H_

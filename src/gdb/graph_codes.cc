@@ -1,0 +1,52 @@
+#include "gdb/graph_codes.h"
+
+#include <cstring>
+
+namespace fgpm {
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+}  // namespace
+
+void EncodeGraphCodes(const GraphCodeRecord& rec, std::string* out) {
+  out->clear();
+  out->reserve(12 + 4 * (rec.in.size() + rec.out.size()));
+  AppendU32(out, rec.node);
+  AppendU32(out, static_cast<uint32_t>(rec.in.size()));
+  AppendU32(out, static_cast<uint32_t>(rec.out.size()));
+  for (CenterId c : rec.in) AppendU32(out, c);
+  for (CenterId c : rec.out) AppendU32(out, c);
+}
+
+Status DecodeGraphCodes(std::span<const char> bytes, GraphCodeRecord* rec) {
+  if (bytes.size() < 12) return Status::Corruption("code record too short");
+  rec->node = ReadU32(bytes.data());
+  uint32_t n_in = ReadU32(bytes.data() + 4);
+  uint32_t n_out = ReadU32(bytes.data() + 8);
+  size_t expected = 12 + 4ull * (n_in + n_out);
+  if (bytes.size() != expected) {
+    return Status::Corruption("code record size mismatch");
+  }
+  rec->in.resize(n_in);
+  rec->out.resize(n_out);
+  for (uint32_t i = 0; i < n_in; ++i) {
+    rec->in[i] = ReadU32(bytes.data() + 12 + 4ull * i);
+  }
+  for (uint32_t i = 0; i < n_out; ++i) {
+    rec->out[i] = ReadU32(bytes.data() + 12 + 4ull * (n_in + i));
+  }
+  return Status::OK();
+}
+
+}  // namespace fgpm

@@ -1,0 +1,29 @@
+// Serialization of per-node graph codes (Example 3.1): each base-table
+// tuple stores a node id plus its compact 2-hop codes in(x) and out(x).
+#ifndef FGPM_GDB_GRAPH_CODES_H_
+#define FGPM_GDB_GRAPH_CODES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+
+struct GraphCodeRecord {
+  NodeId node = kInvalidNode;
+  std::vector<CenterId> in;   // centers reaching the node (incl. self)
+  std::vector<CenterId> out;  // centers the node reaches (incl. self)
+};
+
+// Record layout: [node u32][n_in u32][n_out u32][in ids][out ids].
+void EncodeGraphCodes(const GraphCodeRecord& rec, std::string* out);
+Status DecodeGraphCodes(std::span<const char> bytes, GraphCodeRecord* rec);
+
+}  // namespace fgpm
+
+#endif  // FGPM_GDB_GRAPH_CODES_H_

@@ -1,0 +1,71 @@
+#include "gdb/wtable.h"
+
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/sorted_vector.h"
+
+namespace fgpm {
+
+Status WTable::Build(const Graph& g, const TwoHopLabeling& labeling) {
+  FGPM_CHECK(g.finalized());
+  const uint32_t nc = labeling.num_centers();
+  // Per-center label bitmaps of non-empty F/T subclusters.
+  std::vector<std::set<LabelId>> f_labels(nc), t_labels(nc);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    LabelId l = g.label_of(v);
+    for (CenterId w : labeling.OutCode(v)) f_labels[w].insert(l);
+    for (CenterId w : labeling.InCode(v)) t_labels[w].insert(l);
+  }
+  std::map<uint64_t, std::vector<CenterId>> pairs;
+  for (CenterId w = 0; w < nc; ++w) {
+    for (LabelId x : f_labels[w]) {
+      for (LabelId y : t_labels[w]) {
+        pairs[PackPair(x, y)].push_back(w);
+      }
+    }
+  }
+  for (const auto& [key, centers] : pairs) {
+    FGPM_ASSIGN_OR_RETURN(uint64_t handle, store_.Put(centers));
+    FGPM_RETURN_IF_ERROR(index_.Insert(key, handle));
+  }
+  return Status::OK();
+}
+
+Status WTable::Lookup(LabelId x, LabelId y,
+                      std::vector<CenterId>* out) const {
+  out->clear();
+  Result<uint64_t> handle = index_.Lookup(PackPair(x, y));
+  if (!handle.ok()) {
+    if (handle.status().code() == StatusCode::kNotFound) return Status::OK();
+    return handle.status();
+  }
+  return store_.Get(*handle, out);
+}
+
+
+Status WTable::AddCenter(LabelId x, LabelId y, CenterId w, bool* added) {
+  *added = false;
+  std::vector<CenterId> centers;
+  FGPM_RETURN_IF_ERROR(Lookup(x, y, &centers));
+  if (!SortedInsert(&centers, w)) return Status::OK();
+  FGPM_ASSIGN_OR_RETURN(uint64_t handle, store_.Put(centers));
+  FGPM_RETURN_IF_ERROR(index_.Upsert(PackPair(x, y), handle));
+  *added = true;
+  return Status::OK();
+}
+
+void WTable::SaveMeta(BinaryWriter* w) const {
+  store_.SaveMeta(w);
+  index_.SaveMeta(w);
+}
+
+Result<WTable> WTable::AttachMeta(BufferPool* pool, BinaryReader* r) {
+  FGPM_ASSIGN_OR_RETURN(NodeListStore store, NodeListStore::AttachMeta(pool, r));
+  FGPM_ASSIGN_OR_RETURN(BPTree index, BPTree::AttachMeta(pool, r));
+  return WTable(std::move(store), std::move(index));
+}
+
+}  // namespace fgpm

@@ -1,0 +1,53 @@
+// W-table (Section 3.2): W(X, Y) is the set of centers whose clusters
+// contain both a non-empty X-labeled F-subcluster and a non-empty
+// Y-labeled T-subcluster — exactly the centers an R-join X -> Y must
+// visit. Stored as a B+-tree keyed by the label pair, with the center
+// lists in a chunked heap file, "accessed by a pair of labels as a key"
+// as the paper prescribes.
+#ifndef FGPM_GDB_WTABLE_H_
+#define FGPM_GDB_WTABLE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "gdb/rjoin_index.h"
+#include "graph/graph.h"
+#include "reach/two_hop.h"
+#include "storage/bptree.h"
+
+namespace fgpm {
+
+class WTable {
+ public:
+  explicit WTable(BufferPool* pool) : store_(pool), index_(pool) {}
+  WTable(WTable&&) = default;
+  WTable& operator=(WTable&&) = default;
+
+  // Derives all W(X, Y) entries from the labeling and node labels.
+  Status Build(const Graph& g, const TwoHopLabeling& labeling);
+
+  // Centers for W(X, Y); empty vector when no center qualifies (the
+  // R-join result is then provably empty).
+  Status Lookup(LabelId x, LabelId y, std::vector<CenterId>* out) const;
+
+  // Ensures center w is listed under W(X, Y) (incremental maintenance).
+  // Returns true through `added` when w was newly inserted.
+  Status AddCenter(LabelId x, LabelId y, CenterId w, bool* added);
+
+  uint64_t NumPairs() const { return index_.NumEntries(); }
+
+  // --- persistence --------------------------------------------------------
+  void SaveMeta(BinaryWriter* w) const;
+  static Result<WTable> AttachMeta(BufferPool* pool, BinaryReader* r);
+
+ private:
+  WTable(NodeListStore store, BPTree index)
+      : store_(std::move(store)), index_(std::move(index)) {}
+
+  NodeListStore store_;
+  BPTree index_;  // PackPair(X, Y) -> center-list handle
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_GDB_WTABLE_H_

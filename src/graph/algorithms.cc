@@ -1,0 +1,180 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+
+namespace fgpm {
+
+SccResult ComputeScc(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  const size_t n = g.NumNodes();
+  SccResult out;
+  out.component.assign(n, 0xffffffffu);
+
+  std::vector<uint32_t> index(n, 0xffffffffu), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+
+  // Iterative Tarjan: frame = (node, position in its out-neighbor list).
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> call;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != 0xffffffffu) continue;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& f = call.back();
+      NodeId v = f.v;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      auto succ = g.OutNeighbors(v);
+      bool descended = false;
+      while (f.child < succ.size()) {
+        NodeId w = succ[f.child++];
+        if (index[w] == 0xffffffffu) {
+          call.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // All children done: maybe emit a component, then propagate lowlink.
+      if (lowlink[v] == index[v]) {
+        uint32_t cid = out.num_components++;
+        NodeId w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = cid;
+        } while (w != v);
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        NodeId parent = call.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return out;
+}
+
+Condensation Condense(const Graph& g, const SccResult& scc) {
+  Condensation c;
+  LabelId l = c.dag.InternLabel("scc");
+  c.members.resize(scc.num_components);
+  c.rep.assign(scc.num_components, kInvalidNode);
+  for (uint32_t i = 0; i < scc.num_components; ++i) c.dag.AddNode(l);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint32_t comp = scc.component[v];
+    c.members[comp].push_back(v);
+    if (c.rep[comp] == kInvalidNode) c.rep[comp] = v;
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    uint32_t cu = scc.component[u], cv = scc.component[v];
+    if (cu != cv) {
+      Status s = c.dag.AddEdge(cu, cv);
+      FGPM_CHECK(s.ok());
+    }
+  }
+  c.dag.Finalize();
+  return c;
+}
+
+bool IsDag(const Graph& g) {
+  SccResult scc = ComputeScc(g);
+  if (scc.num_components != g.NumNodes()) return false;
+  for (const auto& [u, v] : g.Edges()) {
+    if (u == v) return false;  // self-loop
+  }
+  return true;
+}
+
+Result<std::vector<NodeId>> TopologicalOrder(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> indeg(n, 0);
+  for (NodeId v = 0; v < n; ++v)
+    indeg[v] = static_cast<uint32_t>(g.InDegree(v));
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v)
+    if (indeg[v] == 0) ready.push_back(v);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (--indeg[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) {
+    return Status::FailedPrecondition("graph has a cycle");
+  }
+  return order;
+}
+
+DfsForest BuildDfsForest(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  const size_t n = g.NumNodes();
+  DfsForest f;
+  f.pre.assign(n, 0);
+  f.post.assign(n, 0);
+  f.parent.assign(n, kInvalidNode);
+  std::vector<bool> visited(n, false);
+  uint32_t pre_counter = 0, post_counter = 0;
+
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> stack;
+
+  auto dfs_from = [&](NodeId root) {
+    if (visited[root]) return;
+    visited[root] = true;
+    f.pre[root] = pre_counter++;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      auto succ = g.OutNeighbors(fr.v);
+      bool descended = false;
+      while (fr.child < succ.size()) {
+        NodeId w = succ[fr.child++];
+        if (!visited[w]) {
+          visited[w] = true;
+          f.parent[w] = fr.v;
+          f.pre[w] = pre_counter++;
+          stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        f.non_tree_edges.emplace_back(fr.v, w);
+      }
+      if (!descended) {
+        f.post[fr.v] = post_counter++;
+        stack.pop_back();
+      }
+    }
+  };
+
+  // Roots first (nodes nothing points at), then mop up the rest so every
+  // node belongs to exactly one tree of the forest.
+  for (NodeId v = 0; v < n; ++v)
+    if (g.InDegree(v) == 0) dfs_from(v);
+  for (NodeId v = 0; v < n; ++v) dfs_from(v);
+  return f;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,62 @@
+// Classic digraph algorithms the reproduction depends on: Tarjan SCC,
+// condensation into a DAG, topological sort, DFS spanning forest with
+// pre/post numbering. All iterative (no recursion) so multi-million-node
+// graphs do not overflow the stack.
+#ifndef FGPM_GRAPH_ALGORITHMS_H_
+#define FGPM_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fgpm {
+
+// Strongly connected components (Tarjan). Component ids are assigned in
+// *reverse topological order of the condensation* (component 0 has no
+// outgoing inter-component edges is NOT guaranteed; use Condensation +
+// TopologicalOrder when order matters).
+struct SccResult {
+  uint32_t num_components = 0;
+  std::vector<uint32_t> component;  // node -> component id
+};
+SccResult ComputeScc(const Graph& g);
+
+// Condensation DAG of g given its SCC decomposition. Vertices are the
+// component ids of `scc`; edges are deduplicated inter-component edges.
+// The result has a single synthetic label per vertex ("scc") because
+// labels are irrelevant at this level.
+struct Condensation {
+  Graph dag;                             // |V| = scc.num_components
+  std::vector<uint32_t> rep;             // component -> one member node
+  std::vector<std::vector<NodeId>> members;  // component -> its nodes
+};
+Condensation Condense(const Graph& g, const SccResult& scc);
+
+// True if g has no directed cycle (every SCC is a singleton without a
+// self-loop).
+bool IsDag(const Graph& g);
+
+// Topological order of a DAG (Kahn). Returns FailedPrecondition if g has
+// a cycle. order[i] is the i-th vertex in topological order.
+Result<std::vector<NodeId>> TopologicalOrder(const Graph& g);
+
+// DFS spanning forest over a DAG (or any digraph) following out-edges
+// from roots (in-degree-0 nodes first, then any unvisited node).
+// Produces interval encoding: node u is a spanning-tree ancestor of v
+// iff pre[u] <= pre[v] && post[v] <= post[u].
+struct DfsForest {
+  std::vector<uint32_t> pre;     // preorder number
+  std::vector<uint32_t> post;    // postorder number
+  std::vector<NodeId> parent;    // spanning-tree parent (kInvalidNode = root)
+  std::vector<std::pair<NodeId, NodeId>> non_tree_edges;  // remaining edges
+  bool IsTreeAncestor(NodeId u, NodeId v) const {
+    return pre[u] <= pre[v] && post[v] <= post[u];
+  }
+};
+DfsForest BuildDfsForest(const Graph& g);
+
+}  // namespace fgpm
+
+#endif  // FGPM_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,64 @@
+// Synthetic data-graph generators.
+//
+// The paper evaluates on graphs derived from the XMark XML benchmark:
+// document trees (parent-child edges) plus ID/IDREF cross links, treated
+// uniformly as directed edges. XMark itself is not available offline, so
+// XMarkLike() synthesizes graphs of the same structural class — see
+// DESIGN.md "Substitutions". The remaining generators provide random
+// DAGs / digraphs for property tests and domain graphs for the examples.
+#ifndef FGPM_GRAPH_GENERATORS_H_
+#define FGPM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace fgpm::gen {
+
+struct XMarkOptions {
+  // Scale factor: factor 1.0 targets ~1.67M nodes like the paper's 100M
+  // dataset; the paper's five datasets are factors 0.2 .. 1.0.
+  double factor = 0.01;
+  uint64_t seed = 42;
+  // When true, every cross link is oriented from the lower to the higher
+  // document-order id, guaranteeing a DAG (needed by the TSD baseline,
+  // mirroring the paper's Section 6.1 setup).
+  bool acyclic = false;
+};
+
+// Document-graph generator: a forest of auction-site documents over the
+// XMark element vocabulary with IDREF cross links (person/item/category/
+// open_auction references). |E|/|V| lands around the paper's 1.18.
+Graph XMarkLike(const XMarkOptions& opts);
+
+// G(n, m) digraph with labels drawn Zipf-skewed from `num_labels`.
+Graph ErdosRenyi(uint32_t n, uint64_t m, uint32_t num_labels, uint64_t seed);
+
+// Random DAG: n nodes, ~avg_out_degree random forward edges per node
+// (only from lower to higher id).
+Graph RandomDag(uint32_t n, double avg_out_degree, uint32_t num_labels,
+                uint64_t seed);
+
+// Directed preferential-attachment graph (dense hubs; stresses the TSD
+// baseline's SSPI expansion like the paper's "dense DAG" remark).
+Graph ScaleFree(uint32_t n, uint32_t edges_per_node, uint32_t num_labels,
+                uint64_t seed);
+
+// Layered business graph for the paper's motivating example: Supplier ->
+// Manufacturer -> Wholeseller -> Retailer chains, every tier served by
+// Banks, plus occasional skip/back edges that create cycles.
+Graph SupplyChain(uint32_t companies_per_tier, uint64_t seed);
+
+// Citation DAG: papers labeled by research area; edges point from citing
+// (newer) to cited (older) papers, plus Author/Venue nodes.
+Graph CitationNetwork(uint32_t num_papers, uint64_t seed);
+
+// Social graph for the intro's "finding relationships in social
+// networks": Influencer/Member accounts following each other,
+// Communities they join, Posts they author and Comments referencing
+// posts. Follows form cycles; content is a DAG hanging off accounts.
+Graph SocialNetwork(uint32_t num_accounts, uint64_t seed);
+
+}  // namespace fgpm::gen
+
+#endif  // FGPM_GRAPH_GENERATORS_H_

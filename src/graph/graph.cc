@@ -1,0 +1,84 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fgpm {
+
+Graph Graph::Clone() const {
+  Graph g;
+  g.labels_ = labels_;
+  g.label_names_ = label_names_;
+  g.label_ids_ = label_ids_;
+  g.edges_ = edges_;
+  if (finalized_) g.Finalize();
+  return g;
+}
+
+LabelId Graph::InternLabel(std::string_view name) {
+  auto it = label_ids_.find(std::string(name));
+  if (it != label_ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(label_names_.size());
+  label_names_.emplace_back(name);
+  label_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+NodeId Graph::AddNode(LabelId label) {
+  FGPM_CHECK(label < label_names_.size());
+  finalized_ = false;
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+Status Graph::AddEdge(NodeId u, NodeId v) {
+  if (u >= labels_.size() || v >= labels_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  finalized_ = false;
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+std::optional<LabelId> Graph::FindLabel(std::string_view name) const {
+  auto it = label_ids_.find(std::string(name));
+  if (it == label_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  const size_t n = labels_.size();
+
+  // Deduplicate parallel edges.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  num_edges_ = edges_.size();
+
+  out_off_.assign(n + 1, 0);
+  in_off_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++out_off_[u + 1];
+    ++in_off_[v + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    out_off_[i + 1] += out_off_[i];
+    in_off_[i + 1] += in_off_[i];
+  }
+  out_adj_.resize(num_edges_);
+  in_adj_.resize(num_edges_);
+  std::vector<size_t> ocur(out_off_.begin(), out_off_.end() - 1);
+  std::vector<size_t> icur(in_off_.begin(), in_off_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    out_adj_[ocur[u]++] = v;
+    in_adj_[icur[v]++] = u;
+  }
+
+  extents_.assign(label_names_.size(), {});
+  for (NodeId v = 0; v < n; ++v) extents_[labels_[v]].push_back(v);
+
+  finalized_ = true;
+}
+
+}  // namespace fgpm

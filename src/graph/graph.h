@@ -1,0 +1,101 @@
+// Directed node-labeled graph G_D = (V, E, Sigma, phi) per Section 2 of
+// the paper. Nodes carry exactly one label; ext(X) is the set of nodes
+// labeled X. The container is built incrementally and then finalized into
+// CSR adjacency for traversal.
+#ifndef FGPM_GRAPH_GRAPH_H_
+#define FGPM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fgpm {
+
+using NodeId = uint32_t;
+using LabelId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr LabelId kInvalidLabel = 0xffffffffu;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Movable but not copyable (copies of multi-million-node graphs should
+  // be explicit — see Clone()).
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  Graph Clone() const;
+
+  // --- construction ---------------------------------------------------
+
+  // Interns `name` in the label dictionary (no-op if present).
+  LabelId InternLabel(std::string_view name);
+
+  // Adds a node with the given label; returns its id (dense, 0-based).
+  NodeId AddNode(LabelId label);
+  NodeId AddNode(std::string_view label_name) {
+    return AddNode(InternLabel(label_name));
+  }
+
+  // Adds a directed edge u -> v. Parallel edges are deduplicated at
+  // Finalize(); self-loops are allowed (they only affect SCC structure).
+  Status AddEdge(NodeId u, NodeId v);
+
+  // Builds CSR adjacency and per-label extents. Must be called before any
+  // traversal accessor. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- accessors --------------------------------------------------------
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  size_t NumLabels() const { return label_names_.size(); }
+
+  LabelId label_of(NodeId v) const { return labels_[v]; }
+  const std::string& LabelName(LabelId l) const { return label_names_[l]; }
+  std::optional<LabelId> FindLabel(std::string_view name) const;
+
+  // ext(X): all nodes with label X, ascending by id. Requires Finalize().
+  const std::vector<NodeId>& Extent(LabelId l) const { return extents_[l]; }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {&out_adj_[out_off_[v]], out_off_[v + 1] - out_off_[v]};
+  }
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {&in_adj_[in_off_[v]], in_off_[v + 1] - in_off_[v]};
+  }
+  size_t OutDegree(NodeId v) const { return out_off_[v + 1] - out_off_[v]; }
+  size_t InDegree(NodeId v) const { return in_off_[v + 1] - in_off_[v]; }
+
+  // Edge list in arbitrary order (valid also before Finalize()).
+  const std::vector<std::pair<NodeId, NodeId>>& Edges() const {
+    return edges_;
+  }
+
+ private:
+  std::vector<LabelId> labels_;           // node -> label
+  std::vector<std::string> label_names_;  // label -> name
+  std::unordered_map<std::string, LabelId> label_ids_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+
+  bool finalized_ = false;
+  size_t num_edges_ = 0;  // after dedup
+  std::vector<size_t> out_off_, in_off_;
+  std::vector<NodeId> out_adj_, in_adj_;
+  std::vector<std::vector<NodeId>> extents_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_GRAPH_GRAPH_H_

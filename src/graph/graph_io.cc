@@ -1,0 +1,123 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace fgpm {
+namespace {
+
+constexpr char kMagic[] = "fgpm-graph";
+constexpr int kVersion = 1;
+
+// Next non-comment, non-blank line.
+bool NextLine(std::istream& is, std::string* line) {
+  while (std::getline(is, *line)) {
+    size_t start = line->find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if ((*line)[start] == '#') continue;
+    if (start > 0 || line->back() == '\r') {
+      size_t end = line->find_last_not_of(" \t\r");
+      *line = line->substr(start, end - start + 1);
+    }
+    return true;
+  }
+  return false;
+}
+
+Status ExpectHeader(const std::string& line, const std::string& keyword,
+                    uint64_t* count) {
+  std::istringstream ss(line);
+  std::string word;
+  if (!(ss >> word) || word != keyword || !(ss >> *count)) {
+    return Status::Corruption("expected '" + keyword + " <count>', got '" +
+                              line + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteGraph(const Graph& g, std::ostream& os) {
+  os << kMagic << ' ' << kVersion << '\n';
+  os << "labels " << g.NumLabels() << '\n';
+  for (LabelId l = 0; l < g.NumLabels(); ++l) os << g.LabelName(l) << '\n';
+  os << "nodes " << g.NumNodes() << '\n';
+  for (NodeId v = 0; v < g.NumNodes(); ++v) os << g.label_of(v) << '\n';
+  os << "edges " << g.NumEdges() << '\n';
+  for (const auto& [u, v] : g.Edges()) os << u << ' ' << v << '\n';
+  if (!os) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status WriteGraphToFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  return WriteGraph(g, out);
+}
+
+Result<Graph> ReadGraph(std::istream& is) {
+  std::string line;
+  if (!NextLine(is, &line)) return Status::Corruption("empty graph file");
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    if (!(ss >> magic >> version) || magic != kMagic) {
+      return Status::Corruption("bad magic line: '" + line + "'");
+    }
+    if (version != kVersion) {
+      return Status::Unimplemented("unsupported graph version " +
+                                   std::to_string(version));
+    }
+  }
+
+  Graph g;
+  uint64_t num_labels = 0;
+  if (!NextLine(is, &line)) return Status::Corruption("missing labels header");
+  FGPM_RETURN_IF_ERROR(ExpectHeader(line, "labels", &num_labels));
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    if (!NextLine(is, &line)) return Status::Corruption("missing label name");
+    if (g.InternLabel(line) != i) {
+      return Status::Corruption("duplicate label name '" + line + "'");
+    }
+  }
+
+  uint64_t num_nodes = 0;
+  if (!NextLine(is, &line)) return Status::Corruption("missing nodes header");
+  FGPM_RETURN_IF_ERROR(ExpectHeader(line, "nodes", &num_nodes));
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    if (!NextLine(is, &line)) return Status::Corruption("missing node label");
+    uint64_t label = 0;
+    std::istringstream ss(line);
+    if (!(ss >> label) || label >= num_labels) {
+      return Status::Corruption("bad node label line: '" + line + "'");
+    }
+    g.AddNode(static_cast<LabelId>(label));
+  }
+
+  uint64_t num_edges = 0;
+  if (!NextLine(is, &line)) return Status::Corruption("missing edges header");
+  FGPM_RETURN_IF_ERROR(ExpectHeader(line, "edges", &num_edges));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    if (!NextLine(is, &line)) return Status::Corruption("missing edge line");
+    uint64_t u = 0, v = 0;
+    std::istringstream ss(line);
+    if (!(ss >> u >> v)) {
+      return Status::Corruption("bad edge line: '" + line + "'");
+    }
+    Status s = g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (!s.ok()) return Status::Corruption("edge out of range: '" + line + "'");
+  }
+  g.Finalize();
+  return g;
+}
+
+Result<Graph> ReadGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ReadGraph(in);
+}
+
+}  // namespace fgpm

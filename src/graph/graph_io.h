@@ -1,0 +1,31 @@
+// Text serialization for labeled digraphs, so datasets can be saved,
+// shipped and reloaded (examples and the CLI shell use this).
+//
+// Format (line-oriented, '#' comments allowed between sections):
+//   fgpm-graph 1
+//   labels <K>
+//   <label name>            x K
+//   nodes <N>
+//   <label id>              x N   (node i's label, in id order)
+//   edges <M>
+//   <u> <v>                 x M
+#ifndef FGPM_GRAPH_GRAPH_IO_H_
+#define FGPM_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fgpm {
+
+Status WriteGraph(const Graph& g, std::ostream& os);
+Status WriteGraphToFile(const Graph& g, const std::string& path);
+
+Result<Graph> ReadGraph(std::istream& is);
+Result<Graph> ReadGraphFromFile(const std::string& path);
+
+}  // namespace fgpm
+
+#endif  // FGPM_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,73 @@
+#include "graph/reach_oracle.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/sorted_vector.h"
+
+namespace fgpm {
+
+const std::vector<NodeId>& ReachOracle::ReachableFrom(NodeId u) {
+  auto it = memo_.find(u);
+  if (it != memo_.end()) return it->second;
+  std::vector<bool> seen(g_->NumNodes(), false);
+  std::deque<NodeId> queue{u};
+  seen[u] = true;
+  std::vector<NodeId> out;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    out.push_back(v);
+    for (NodeId w : g_->OutNeighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return memo_.emplace(u, std::move(out)).first->second;
+}
+
+bool ReachOracle::Reaches(NodeId u, NodeId v) {
+  if (u == v) return true;
+  return SortedContains(ReachableFrom(u), v);
+}
+
+TransitiveClosure::TransitiveClosure(const Graph& g)
+    : n_(g.NumNodes()), words_((n_ + 63) / 64) {
+  FGPM_CHECK(g.finalized());
+  bits_.assign(n_ * words_, 0);
+  auto set_bit = [&](NodeId u, NodeId v) {
+    bits_[static_cast<size_t>(u) * words_ + (v >> 6)] |= uint64_t{1}
+                                                         << (v & 63);
+  };
+  // Closure row by row via BFS — O(V * E / 64) with bit-OR propagation
+  // would be faster, but tests only use small graphs.
+  std::vector<NodeId> queue;
+  std::vector<bool> seen(n_);
+  for (NodeId u = 0; u < n_; ++u) {
+    std::fill(seen.begin(), seen.end(), false);
+    queue.assign(1, u);
+    seen[u] = true;
+    set_bit(u, u);
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      for (NodeId w : g.OutNeighbors(queue[qi])) {
+        if (!seen[w]) {
+          seen[w] = true;
+          set_bit(u, w);
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+uint64_t TransitiveClosure::NumPairs() const {
+  uint64_t total = 0;
+  for (uint64_t w : bits_) total += static_cast<uint64_t>(__builtin_popcountll(w));
+  return total;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,57 @@
+// Ground-truth reachability oracles used to validate every index and
+// engine in the repository.
+//
+//  * ReachOracle      — BFS on demand with per-source memoization; works
+//                       at any scale, used by the naive matcher.
+//  * TransitiveClosure — full bitset closure; O(|V|^2/64) memory, only
+//                       for small graphs in tests.
+#ifndef FGPM_GRAPH_REACH_ORACLE_H_
+#define FGPM_GRAPH_REACH_ORACLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fgpm {
+
+class ReachOracle {
+ public:
+  explicit ReachOracle(const Graph* g) : g_(g) {}
+
+  // True iff v is reachable from u (reflexively: Reaches(u, u) == true,
+  // matching the paper's compact graph codes which include the node
+  // itself in both in() and out()).
+  bool Reaches(NodeId u, NodeId v);
+
+  // All nodes reachable from u (including u), ascending.
+  const std::vector<NodeId>& ReachableFrom(NodeId u);
+
+  size_t memo_size() const { return memo_.size(); }
+
+ private:
+  const Graph* g_;
+  std::unordered_map<NodeId, std::vector<NodeId>> memo_;
+};
+
+class TransitiveClosure {
+ public:
+  explicit TransitiveClosure(const Graph& g);
+
+  bool Reaches(NodeId u, NodeId v) const {
+    return (bits_[static_cast<size_t>(u) * words_ + (v >> 6)] >> (v & 63)) & 1;
+  }
+
+  // Number of reachable (u, v) pairs including the diagonal.
+  uint64_t NumPairs() const;
+
+ private:
+  size_t n_;
+  size_t words_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_GRAPH_REACH_ORACLE_H_

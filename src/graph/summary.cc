@@ -1,0 +1,67 @@
+#include "graph/summary.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/reach_oracle.h"
+
+namespace fgpm {
+
+std::string GraphSummary::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "|V|=%llu |E|=%llu labels=%u avg_out=%.3f max_out=%llu max_in=%llu "
+      "sources=%llu sinks=%llu sccs=%u largest_scc=%llu dag=%s "
+      "reach_density=%.4f (n=%u)",
+      (unsigned long long)num_nodes, (unsigned long long)num_edges,
+      num_labels, avg_out_degree, (unsigned long long)max_out_degree,
+      (unsigned long long)max_in_degree, (unsigned long long)source_nodes,
+      (unsigned long long)sink_nodes, num_sccs,
+      (unsigned long long)largest_scc, is_dag ? "yes" : "no", reach_density,
+      reach_samples);
+  return buf;
+}
+
+GraphSummary Summarize(const Graph& g, uint32_t reach_samples,
+                       uint64_t seed) {
+  GraphSummary s;
+  s.num_nodes = g.NumNodes();
+  s.num_edges = g.NumEdges();
+  s.num_labels = static_cast<uint32_t>(g.NumLabels());
+  if (s.num_nodes == 0) return s;
+
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint64_t od = g.OutDegree(v), id = g.InDegree(v);
+    s.max_out_degree = std::max(s.max_out_degree, od);
+    s.max_in_degree = std::max(s.max_in_degree, id);
+    if (id == 0) ++s.source_nodes;
+    if (od == 0) ++s.sink_nodes;
+  }
+  s.avg_out_degree = double(s.num_edges) / double(s.num_nodes);
+
+  SccResult scc = ComputeScc(g);
+  s.num_sccs = scc.num_components;
+  std::vector<uint64_t> sizes(scc.num_components, 0);
+  for (uint32_t c : scc.component) ++sizes[c];
+  s.largest_scc = *std::max_element(sizes.begin(), sizes.end());
+  s.is_dag = IsDag(g);
+
+  if (reach_samples > 0) {
+    ReachOracle oracle(&g);
+    Rng rng(seed);
+    uint32_t hits = 0;
+    for (uint32_t i = 0; i < reach_samples; ++i) {
+      NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+      NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+      if (oracle.Reaches(u, v)) ++hits;
+    }
+    s.reach_density = double(hits) / double(reach_samples);
+    s.reach_samples = reach_samples;
+  }
+  return s;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,43 @@
+// Descriptive statistics for a labeled digraph: degree distribution,
+// SCC structure and sampled reachability density. Used by the dataset
+// benches and the shell's `stats` command to characterize workloads.
+#ifndef FGPM_GRAPH_SUMMARY_H_
+#define FGPM_GRAPH_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace fgpm {
+
+struct GraphSummary {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_labels = 0;
+
+  double avg_out_degree = 0;
+  uint64_t max_out_degree = 0;
+  uint64_t max_in_degree = 0;
+  uint64_t source_nodes = 0;  // in-degree 0
+  uint64_t sink_nodes = 0;    // out-degree 0
+
+  uint32_t num_sccs = 0;
+  uint64_t largest_scc = 0;
+  bool is_dag = false;
+
+  // Fraction of sampled ordered pairs (u, v) with u ~> v.
+  double reach_density = 0;
+  uint32_t reach_samples = 0;
+
+  std::string ToString() const;
+};
+
+// `reach_samples` pairs are tested with a BFS oracle (0 disables the
+// sampling, which is the only non-linear part).
+GraphSummary Summarize(const Graph& g, uint32_t reach_samples = 2000,
+                       uint64_t seed = 42);
+
+}  // namespace fgpm
+
+#endif  // FGPM_GRAPH_SUMMARY_H_

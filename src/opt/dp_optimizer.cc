@@ -1,0 +1,176 @@
+#include "opt/dp_optimizer.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fgpm {
+namespace {
+
+constexpr uint32_t kNoEdge = 0xffffffffu;
+
+// Pattern labels resolved against the catalog; nullopt when absent.
+std::optional<std::vector<LabelId>> ResolveLabels(const Pattern& pattern,
+                                                  const Catalog& catalog) {
+  std::vector<LabelId> out(pattern.num_nodes());
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = catalog.FindLabel(pattern.label(i));
+    if (!l) return std::nullopt;
+    out[i] = *l;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Plan> MakeCanonicalPlan(const Pattern& pattern) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  Plan plan;
+  if (pattern.num_edges() == 0) return plan;
+
+  const auto& edges = pattern.edges();
+  std::vector<bool> bound(pattern.num_nodes(), false);
+  std::vector<bool> used(edges.size(), false);
+
+  plan.steps.push_back(PlanStep::HpsjBase(0));
+  bound[edges[0].from] = bound[edges[0].to] = true;
+  used[0] = true;
+
+  for (size_t done = 1; done < edges.size(); ++done) {
+    // Pick any unused edge touching a bound label (exists: connected).
+    uint32_t pick = kNoEdge;
+    for (uint32_t e = 0; e < edges.size(); ++e) {
+      if (!used[e]) {
+        if (bound[edges[e].from] || bound[edges[e].to]) {
+          pick = e;
+          break;
+        }
+      }
+    }
+    FGPM_CHECK(pick != kNoEdge);
+    used[pick] = true;
+    bool bf = bound[edges[pick].from], bt = bound[edges[pick].to];
+    if (bf && bt) {
+      plan.steps.push_back(PlanStep::Select(pick));
+    } else {
+      bool bound_is_source = bf;
+      plan.steps.push_back(PlanStep::Filter({{pick, bound_is_source}}));
+      plan.steps.push_back(PlanStep::Fetch(pick, bound_is_source));
+      bound[bound_is_source ? edges[pick].to : edges[pick].from] = true;
+    }
+  }
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+  return plan;
+}
+
+Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
+                        CostParams params) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  if (pattern.num_edges() == 0) return Plan{};
+  if (pattern.num_edges() > 20) {
+    return Status::InvalidArgument("pattern too large for exact DP");
+  }
+  auto labels = ResolveLabels(pattern, catalog);
+  if (!labels) return MakeCanonicalPlan(pattern);
+
+  CostModel model(&catalog, params);
+  const auto& edges = pattern.edges();
+  const uint32_t m = static_cast<uint32_t>(edges.size());
+  const uint32_t full = (1u << m) - 1;
+
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    double rows = 0;
+    uint32_t parent_mask = 0;
+    uint32_t via_edge = kNoEdge;
+    // How the edge was applied: 0 HPSJ base, 1 filter+fetch (src bound),
+    // 2 filter+fetch (tgt bound), 3 select.
+    uint8_t how = 0;
+  };
+  std::vector<State> dp(1u << m);
+
+  auto bound_mask_of = [&](uint32_t mask) {
+    uint32_t bm = 0;
+    for (uint32_t e = 0; e < m; ++e) {
+      if (mask & (1u << e)) {
+        bm |= (1u << edges[e].from) | (1u << edges[e].to);
+      }
+    }
+    return bm;
+  };
+
+  // Initial states: one HPSJ per edge.
+  for (uint32_t e = 0; e < m; ++e) {
+    LabelId x = (*labels)[edges[e].from], y = (*labels)[edges[e].to];
+    State& s = dp[1u << e];
+    s.cost = model.HpsjBaseCost(x, y);
+    s.rows = model.BaseJoinSize(x, y);
+    s.parent_mask = 0;
+    s.via_edge = e;
+    s.how = 0;
+  }
+
+  // Expand masks in increasing popcount order (any increasing-mask order
+  // works since transitions only add edges).
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (!std::isfinite(dp[mask].cost)) continue;
+    uint32_t bm = bound_mask_of(mask);
+    for (uint32_t e = 0; e < m; ++e) {
+      if (mask & (1u << e)) continue;
+      bool bf = bm & (1u << edges[e].from), bt = bm & (1u << edges[e].to);
+      if (!bf && !bt) continue;  // left-deep: must touch the current table
+      LabelId x = (*labels)[edges[e].from], y = (*labels)[edges[e].to];
+      double cost, rows;
+      uint8_t how;
+      if (bf && bt) {
+        cost = dp[mask].cost + model.SelectCost(dp[mask].rows);
+        rows = dp[mask].rows * model.SelectSelectivity(x, y);
+        how = 3;
+      } else {
+        bool bound_is_source = bf;
+        double survival = model.SemijoinSurvival(x, y, bound_is_source);
+        double filtered = dp[mask].rows * survival;
+        cost = dp[mask].cost + model.FilterCost(dp[mask].rows, 1, 1) +
+               model.FetchCost(filtered, x, y, bound_is_source);
+        rows = dp[mask].rows * model.ExtendFanout(x, y, bound_is_source);
+        how = bound_is_source ? 1 : 2;
+      }
+      uint32_t next = mask | (1u << e);
+      if (cost < dp[next].cost) {
+        dp[next] = {cost, rows, mask, e, how};
+      }
+    }
+  }
+
+  FGPM_CHECK(std::isfinite(dp[full].cost));
+
+  // Reconstruct the left-deep plan.
+  std::vector<PlanStep> rev;
+  for (uint32_t mask = full; mask != 0; mask = dp[mask].parent_mask) {
+    const State& s = dp[mask];
+    switch (s.how) {
+      case 0:
+        rev.push_back(PlanStep::HpsjBase(s.via_edge));
+        break;
+      case 1:
+      case 2: {
+        bool bound_is_source = (s.how == 1);
+        rev.push_back(PlanStep::Fetch(s.via_edge, bound_is_source));
+        rev.push_back(PlanStep::Filter({{s.via_edge, bound_is_source}}));
+        break;
+      }
+      default:
+        rev.push_back(PlanStep::Select(s.via_edge));
+        break;
+    }
+  }
+  Plan plan;
+  plan.estimated_cost = dp[full].cost;
+  plan.steps.assign(rev.rbegin(), rev.rend());
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+  return plan;
+}
+
+}  // namespace fgpm

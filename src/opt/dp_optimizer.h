@@ -1,0 +1,29 @@
+// DP — R-join order selection (Section 4.1). Dynamic programming over
+// subsets of pattern edges producing a left-deep plan in which every
+// R-join against a base table executes Filter immediately followed by
+// Fetch (HPSJ+ as one unit), and an edge whose labels are both bound is
+// a select (self R-join, Eq. 5).
+#ifndef FGPM_OPT_DP_OPTIMIZER_H_
+#define FGPM_OPT_DP_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "gdb/catalog.h"
+#include "opt/cost_model.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+// Cost-based DP plan. Falls back to MakeCanonicalPlan when some pattern
+// label does not exist in the catalog (the result is empty either way).
+Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
+                        CostParams params = {});
+
+// Deterministic non-cost-based plan: HPSJ on the first edge, then each
+// remaining edge (in a connectivity-respecting order) as filter+fetch or
+// select. Used as a fallback and as the "no optimizer" baseline.
+Result<Plan> MakeCanonicalPlan(const Pattern& pattern);
+
+}  // namespace fgpm
+
+#endif  // FGPM_OPT_DP_OPTIMIZER_H_

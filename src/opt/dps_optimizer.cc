@@ -1,0 +1,233 @@
+#include "opt/dps_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "opt/dp_optimizer.h"
+
+namespace fgpm {
+namespace {
+
+// Per-edge status (2 bits).
+enum EdgeStatus : uint8_t {
+  kTodo = 0,
+  kPendingSrc = 1,  // filtered, source side was bound
+  kPendingTgt = 2,  // filtered, target side was bound
+  kDone = 3,        // fetched or selected
+};
+
+constexpr uint64_t kNoKey = ~0ull;
+
+struct StatusKey {
+  // bits [0, 2m): edge statuses; bits [48, 56): scan start label + 1.
+  static uint64_t Make(const std::vector<uint8_t>& st, uint32_t scan) {
+    uint64_t k = static_cast<uint64_t>(scan) << 48;
+    for (size_t e = 0; e < st.size(); ++e) {
+      k |= static_cast<uint64_t>(st[e]) << (2 * e);
+    }
+    return k;
+  }
+  static void Split(uint64_t key, size_t m, std::vector<uint8_t>* st,
+                    uint32_t* scan) {
+    st->resize(m);
+    for (size_t e = 0; e < m; ++e) {
+      (*st)[e] = static_cast<uint8_t>((key >> (2 * e)) & 3);
+    }
+    *scan = static_cast<uint32_t>(key >> 48);
+  }
+};
+
+struct StateInfo {
+  double cost = std::numeric_limits<double>::infinity();
+  double rows = 0;
+  uint64_t parent = kNoKey;
+  PlanStep step;  // move that produced this state
+  bool closed = false;
+};
+
+}  // namespace
+
+Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
+                         CostParams params) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  if (pattern.num_edges() == 0) return Plan{};
+  if (pattern.num_edges() > 20 || pattern.num_nodes() > 24) {
+    return Status::InvalidArgument("pattern too large for exact DPS");
+  }
+  std::vector<LabelId> labels(pattern.num_nodes());
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = catalog.FindLabel(pattern.label(i));
+    if (!l) return MakeCanonicalPlan(pattern);
+    labels[i] = *l;
+  }
+
+  CostModel model(&catalog, params);
+  const auto& edges = pattern.edges();
+  const size_t m = edges.size();
+  const size_t n = pattern.num_nodes();
+
+  auto edge_x = [&](size_t e) { return labels[edges[e].from]; };
+  auto edge_y = [&](size_t e) { return labels[edges[e].to]; };
+
+  // Bound pattern nodes implied by a status.
+  auto bound_mask_of = [&](const std::vector<uint8_t>& st, uint32_t scan) {
+    uint32_t bm = 0;
+    if (scan > 0) bm |= 1u << (scan - 1);
+    for (size_t e = 0; e < m; ++e) {
+      switch (st[e]) {
+        case kDone:
+          bm |= (1u << edges[e].from) | (1u << edges[e].to);
+          break;
+        case kPendingSrc:
+          bm |= 1u << edges[e].from;
+          break;
+        case kPendingTgt:
+          bm |= 1u << edges[e].to;
+          break;
+        default:
+          break;
+      }
+    }
+    return bm;
+  };
+
+  std::unordered_map<uint64_t, StateInfo> states;
+  using QItem = std::pair<double, uint64_t>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> pq;
+
+  auto relax = [&](uint64_t key, double cost, double rows, uint64_t parent,
+                   PlanStep step) {
+    StateInfo& s = states[key];
+    if (cost < s.cost) {
+      s.cost = cost;
+      s.rows = rows;
+      s.parent = parent;
+      s.step = std::move(step);
+      pq.emplace(cost, key);
+    }
+  };
+
+  // --- start moves ---------------------------------------------------------
+  std::vector<uint8_t> st(m, kTodo);
+  for (uint32_t e = 0; e < m; ++e) {
+    std::vector<uint8_t> s2 = st;
+    s2[e] = kDone;
+    relax(StatusKey::Make(s2, 0), model.HpsjBaseCost(edge_x(e), edge_y(e)),
+          model.BaseJoinSize(edge_x(e), edge_y(e)), kNoKey,
+          PlanStep::HpsjBase(e));
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    relax(StatusKey::Make(st, v + 1), model.ScanBaseCost(labels[v]),
+          static_cast<double>(catalog.ExtentSize(labels[v])), kNoKey,
+          PlanStep::ScanBase(v));
+  }
+
+  const uint64_t kGoalStatuses = [&] {
+    std::vector<uint8_t> all_done(m, kDone);
+    return StatusKey::Make(all_done, 0) & ((m == 32) ? ~0ull : ((1ull << (2 * m)) - 1));
+  }();
+
+  uint64_t goal_key = kNoKey;
+  std::vector<uint8_t> cur;
+  uint32_t scan = 0;
+  while (!pq.empty()) {
+    auto [cost, key] = pq.top();
+    pq.pop();
+    StateInfo& info = states[key];
+    if (info.closed || cost > info.cost) continue;
+    info.closed = true;
+
+    StatusKey::Split(key, m, &cur, &scan);
+    if ((key & ((1ull << (2 * m)) - 1)) == kGoalStatuses) {
+      goal_key = key;
+      break;
+    }
+    uint32_t bm = bound_mask_of(cur, scan);
+    double rows = info.rows;
+
+    // select-moves.
+    for (uint32_t e = 0; e < m; ++e) {
+      if (cur[e] != kTodo) continue;
+      if (!(bm & (1u << edges[e].from)) || !(bm & (1u << edges[e].to)))
+        continue;
+      std::vector<uint8_t> s2 = cur;
+      s2[e] = kDone;
+      relax(StatusKey::Make(s2, scan), cost + model.SelectCost(rows),
+            rows * model.SelectSelectivity(edge_x(e), edge_y(e)), key,
+            PlanStep::Select(e));
+    }
+
+    // Filter-moves: group ALL eligible semijoins probing one column/side.
+    for (uint32_t v = 0; v < n; ++v) {
+      if (!(bm & (1u << v))) continue;
+      for (int side = 0; side < 2; ++side) {
+        bool probe_out = (side == 0);
+        std::vector<FilterItem> items;
+        std::vector<uint8_t> s2 = cur;
+        double survival = 1.0;
+        for (uint32_t e = 0; e < m; ++e) {
+          if (cur[e] != kTodo) continue;
+          PatternNodeId bound_end = probe_out ? edges[e].from : edges[e].to;
+          PatternNodeId other = probe_out ? edges[e].to : edges[e].from;
+          if (bound_end != v) continue;
+          if (bm & (1u << other)) continue;  // both bound: select instead
+          items.push_back({e, probe_out});
+          s2[e] = probe_out ? kPendingSrc : kPendingTgt;
+          survival *= model.SemijoinSurvival(edge_x(e), edge_y(e), probe_out);
+        }
+        if (items.empty()) continue;
+        double fcost = model.FilterCost(rows, /*distinct_columns=*/1,
+                                        static_cast<int>(items.size()));
+        relax(StatusKey::Make(s2, scan), cost + fcost, rows * survival, key,
+              PlanStep::Filter(std::move(items)));
+      }
+    }
+
+    // Fetch-moves.
+    for (uint32_t e = 0; e < m; ++e) {
+      if (cur[e] != kPendingSrc && cur[e] != kPendingTgt) continue;
+      bool bound_is_source = (cur[e] == kPendingSrc);
+      PatternNodeId nz = bound_is_source ? edges[e].to : edges[e].from;
+      // Binding nz must not orphan another pending edge waiting on nz.
+      bool orphan = false;
+      for (uint32_t e2 = 0; e2 < m && !orphan; ++e2) {
+        if (e2 == e) continue;
+        if (cur[e2] == kPendingSrc && edges[e2].to == nz) orphan = true;
+        if (cur[e2] == kPendingTgt && edges[e2].from == nz) orphan = true;
+      }
+      if (orphan) continue;
+      double survival =
+          model.SemijoinSurvival(edge_x(e), edge_y(e), bound_is_source);
+      double fanout = model.ExtendFanout(edge_x(e), edge_y(e), bound_is_source);
+      double growth = std::max(1.0, fanout / std::max(1e-12, survival));
+      std::vector<uint8_t> s2 = cur;
+      s2[e] = kDone;
+      relax(StatusKey::Make(s2, scan),
+            cost + model.FetchCost(rows, edge_x(e), edge_y(e), bound_is_source),
+            rows * growth, key, PlanStep::Fetch(e, bound_is_source));
+    }
+  }
+
+  if (goal_key == kNoKey) {
+    // The orphan restriction can, in principle, prune every path for
+    // exotic patterns; fall back to a canonical plan.
+    return MakeCanonicalPlan(pattern);
+  }
+
+  std::vector<PlanStep> rev;
+  double total_cost = states[goal_key].cost;
+  for (uint64_t k = goal_key; k != kNoKey; k = states[k].parent) {
+    rev.push_back(states[k].step);
+  }
+  Plan plan;
+  plan.estimated_cost = total_cost;
+  plan.steps.assign(rev.rbegin(), rev.rend());
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+  return plan;
+}
+
+}  // namespace fgpm

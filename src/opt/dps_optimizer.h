@@ -1,0 +1,30 @@
+// DPS — interleaving R-joins with R-semijoins (Section 4.2). Dynamic
+// programming over statuses that track, per pattern edge, whether it is
+// untouched, filtered (pending fetch, with the probed side), or fully
+// evaluated. Moves mirror the paper's:
+//   * R-join-move   — HPSJ between two base tables, only from the start;
+//   * base-scan     — open with a single base table (Figure 3's S1 shows
+//                     DPS plans that R-semijoin a base table first);
+//   * Filter-move   — add R-semijoins for ALL eligible edges probing one
+//                     label column on one side, sharing a single scan and
+//                     one getCenters per row (Remark 3.1);
+//   * Fetch-move    — complete a pending R-join via the cluster index;
+//   * select-move   — evaluate an edge whose labels are both bound.
+// The search minimizes estimated I/O cost (Dijkstra over the status DAG).
+#ifndef FGPM_OPT_DPS_OPTIMIZER_H_
+#define FGPM_OPT_DPS_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "gdb/catalog.h"
+#include "opt/cost_model.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
+                         CostParams params = {});
+
+}  // namespace fgpm
+
+#endif  // FGPM_OPT_DPS_OPTIMIZER_H_

@@ -1,0 +1,141 @@
+#include "opt/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fgpm {
+namespace {
+
+std::string StepLabel(const Pattern& pattern, const PlanStep& step) {
+  const auto& edges = pattern.edges();
+  auto edge_str = [&](uint32_t e) {
+    return pattern.label(edges[e].from) + "->" + pattern.label(edges[e].to);
+  };
+  switch (step.kind) {
+    case StepKind::kHpsjBase:
+      return "HPSJ(" + edge_str(step.edge) + ")";
+    case StepKind::kScanBase:
+      return "SCAN(" + pattern.label(step.scan_node) + ")";
+    case StepKind::kFilter: {
+      std::string out = "FILTER(";
+      for (size_t i = 0; i < step.filters.size(); ++i) {
+        if (i) out += ", ";
+        out += edge_str(step.filters[i].edge);
+      }
+      return out + ")";
+    }
+    case StepKind::kFetch:
+      return "FETCH(" + edge_str(step.edge) + ")";
+    case StepKind::kSelect:
+      return "SELECT(" + edge_str(step.edge) + ")";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PlanExplanation::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-40s %14s %12s %12s\n", "step",
+                "est. rows", "step cost", "cum. cost");
+  out += buf;
+  for (const StepEstimate& s : steps) {
+    std::snprintf(buf, sizeof(buf), "%-40s %14.0f %12.1f %12.1f\n",
+                  s.description.c_str(), s.rows_out, s.step_cost,
+                  s.cumulative_cost);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "total: %.1f page-units, ~%.0f rows\n",
+                total_cost, result_rows);
+  out += buf;
+  return out;
+}
+
+Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
+                                    const Catalog& catalog,
+                                    CostParams params) {
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+  CostModel model(&catalog, params);
+
+  std::vector<LabelId> labels(pattern.num_nodes(), 0);
+  bool resolvable = true;
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = catalog.FindLabel(pattern.label(i));
+    if (!l) {
+      resolvable = false;
+      break;
+    }
+    labels[i] = *l;
+  }
+
+  PlanExplanation out;
+  if (!resolvable) {
+    for (const PlanStep& step : plan.steps) {
+      out.steps.push_back({StepLabel(pattern, step), 0, 0, 0});
+    }
+    return out;
+  }
+
+  const auto& edges = pattern.edges();
+  double rows = 0, cost = 0;
+  for (const PlanStep& step : plan.steps) {
+    double step_cost = 0;
+    switch (step.kind) {
+      case StepKind::kHpsjBase: {
+        LabelId x = labels[edges[step.edge].from];
+        LabelId y = labels[edges[step.edge].to];
+        step_cost = model.HpsjBaseCost(x, y);
+        rows = model.BaseJoinSize(x, y);
+        break;
+      }
+      case StepKind::kScanBase: {
+        LabelId l = labels[step.scan_node];
+        step_cost = model.ScanBaseCost(l);
+        rows = static_cast<double>(catalog.ExtentSize(l));
+        break;
+      }
+      case StepKind::kFilter: {
+        // Distinct probed pattern nodes in this (possibly shared) scan.
+        std::vector<PatternNodeId> cols;
+        double survival = 1.0;
+        for (const FilterItem& item : step.filters) {
+          const PatternEdge& e = edges[item.edge];
+          PatternNodeId bound = item.bound_is_source ? e.from : e.to;
+          if (std::find(cols.begin(), cols.end(), bound) == cols.end()) {
+            cols.push_back(bound);
+          }
+          survival *= model.SemijoinSurvival(labels[e.from], labels[e.to],
+                                             item.bound_is_source);
+        }
+        step_cost = model.FilterCost(rows, static_cast<int>(cols.size()),
+                                     static_cast<int>(step.filters.size()));
+        rows *= survival;
+        break;
+      }
+      case StepKind::kFetch: {
+        const PatternEdge& e = edges[step.edge];
+        LabelId x = labels[e.from], y = labels[e.to];
+        step_cost = model.FetchCost(rows, x, y, step.bound_is_source);
+        double survival =
+            model.SemijoinSurvival(x, y, step.bound_is_source);
+        double fanout = model.ExtendFanout(x, y, step.bound_is_source);
+        rows *= std::max(1.0, fanout / std::max(1e-12, survival));
+        break;
+      }
+      case StepKind::kSelect: {
+        const PatternEdge& e = edges[step.edge];
+        step_cost = model.SelectCost(rows);
+        rows *= model.SelectSelectivity(labels[e.from], labels[e.to]);
+        break;
+      }
+    }
+    cost += step_cost;
+    out.steps.push_back({StepLabel(pattern, step), rows, step_cost, cost});
+  }
+  out.total_cost = cost;
+  out.result_rows = rows;
+  return out;
+}
+
+}  // namespace fgpm

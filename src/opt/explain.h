@@ -1,0 +1,43 @@
+// Plan explanation: replays the cost model (Section 4) over any valid
+// plan, producing per-step cardinality and cost estimates — the EXPLAIN
+// output of the engine. One implementation serves DP, DPS and canonical
+// plans, so estimates are always comparable across optimizers.
+#ifndef FGPM_OPT_EXPLAIN_H_
+#define FGPM_OPT_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "gdb/catalog.h"
+#include "opt/cost_model.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+struct StepEstimate {
+  std::string description;   // e.g. "FETCH(C->D)"
+  double rows_out = 0;        // estimated rows after the step
+  double step_cost = 0;       // estimated cost of the step (page units)
+  double cumulative_cost = 0;
+};
+
+struct PlanExplanation {
+  std::vector<StepEstimate> steps;
+  double total_cost = 0;
+  double result_rows = 0;
+
+  // Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+// Requires plan.Validate(pattern).ok() and all pattern labels present in
+// the catalog (missing labels yield zero estimates, not an error).
+Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
+                                    const Catalog& catalog,
+                                    CostParams params = {});
+
+}  // namespace fgpm
+
+#endif  // FGPM_OPT_EXPLAIN_H_

@@ -1,0 +1,191 @@
+#include "query/pattern.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+
+namespace fgpm {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+PatternNodeId Pattern::AddNode(std::string_view label) {
+  for (PatternNodeId i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) return i;
+  }
+  labels_.emplace_back(label);
+  return static_cast<PatternNodeId>(labels_.size() - 1);
+}
+
+Status Pattern::AddEdge(PatternNodeId from, PatternNodeId to) {
+  if (from >= labels_.size() || to >= labels_.size()) {
+    return Status::InvalidArgument("pattern edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("pattern self-loop " + labels_[from] +
+                                   "->" + labels_[to] + " not allowed");
+  }
+  PatternEdge e{from, to};
+  if (std::find(edges_.begin(), edges_.end(), e) != edges_.end()) {
+    return Status::AlreadyExists("duplicate pattern edge");
+  }
+  edges_.push_back(e);
+  return Status::OK();
+}
+
+Result<Pattern> Pattern::Parse(std::string_view text) {
+  Pattern p;
+  size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  auto parse_ident = [&]() -> Result<std::string> {
+    skip_ws();
+    if (i >= text.size() || !IsIdentStart(text[i])) {
+      return Status::InvalidArgument(
+          "expected identifier at offset " + std::to_string(i) + " in '" +
+          std::string(text) + "'");
+    }
+    size_t start = i;
+    while (i < text.size() && IsIdentChar(text[i])) ++i;
+    return std::string(text.substr(start, i - start));
+  };
+
+  bool any = false;
+  for (;;) {
+    skip_ws();
+    if (i >= text.size()) break;
+    if (text[i] == ';' || text[i] == ',') {  // empty statement
+      ++i;
+      continue;
+    }
+    FGPM_ASSIGN_OR_RETURN(std::string first, parse_ident());
+    any = true;
+    PatternNodeId prev = p.AddNode(first);
+    for (;;) {
+      skip_ws();
+      if (i + 1 < text.size() && text[i] == '-' && text[i + 1] == '>') {
+        i += 2;
+        FGPM_ASSIGN_OR_RETURN(std::string next, parse_ident());
+        PatternNodeId cur = p.AddNode(next);
+        Status s = p.AddEdge(prev, cur);
+        // Repeating an edge in the text is harmless.
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        prev = cur;
+      } else {
+        break;
+      }
+    }
+    skip_ws();
+    if (i < text.size()) {
+      if (text[i] != ';' && text[i] != ',') {
+        return Status::InvalidArgument("expected ';' at offset " +
+                                       std::to_string(i));
+      }
+      ++i;
+    }
+  }
+  if (!any) return Status::InvalidArgument("empty pattern");
+  FGPM_RETURN_IF_ERROR(p.Validate());
+  return p;
+}
+
+bool Pattern::IsConnected() const {
+  if (labels_.empty()) return false;
+  std::vector<std::vector<PatternNodeId>> adj(labels_.size());
+  for (const auto& e : edges_) {
+    adj[e.from].push_back(e.to);
+    adj[e.to].push_back(e.from);
+  }
+  std::vector<bool> seen(labels_.size(), false);
+  std::deque<PatternNodeId> queue{0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!queue.empty()) {
+    PatternNodeId v = queue.front();
+    queue.pop_front();
+    for (PatternNodeId w : adj[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        queue.push_back(w);
+      }
+    }
+  }
+  return count == labels_.size();
+}
+
+Status Pattern::Validate() const {
+  if (labels_.empty()) return Status::InvalidArgument("empty pattern");
+  if (labels_.size() == 1) return Status::OK();  // single-label pattern
+  if (edges_.empty()) {
+    return Status::InvalidArgument("multi-node pattern without edges");
+  }
+  if (!IsConnected()) {
+    return Status::InvalidArgument("pattern must be connected");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Positive-length reachability closure of an edge set.
+std::vector<std::vector<bool>> EdgeClosure(size_t n,
+                                           const std::vector<PatternEdge>& es) {
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const auto& e : es) reach[e.from][e.to] = true;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t u = 0; u < n; ++u) {
+      if (!reach[u][k]) continue;
+      for (size_t v = 0; v < n; ++v) {
+        if (reach[k][v]) reach[u][v] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+Pattern Pattern::TransitiveReduction() const {
+  // Greedy edge elision: drop an edge only while the reachability
+  // relation over the remaining edges stays identical. One edge at a
+  // time keeps the rewrite sound on cyclic patterns too (removing every
+  // edge of a cycle "because the others imply it" would be wrong).
+  size_t n = labels_.size();
+  std::vector<std::vector<bool>> target = EdgeClosure(n, edges_);
+  std::vector<PatternEdge> kept = edges_;
+  for (size_t i = 0; i < kept.size();) {
+    std::vector<PatternEdge> trial = kept;
+    trial.erase(trial.begin() + i);
+    if (EdgeClosure(n, trial) == target) {
+      kept = std::move(trial);
+    } else {
+      ++i;
+    }
+  }
+  Pattern out;
+  out.labels_ = labels_;
+  out.edges_ = std::move(kept);
+  return out;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (const auto& e : edges_) {
+    if (!out.empty()) out += "; ";
+    out += labels_[e.from] + "->" + labels_[e.to];
+  }
+  if (out.empty() && !labels_.empty()) out = labels_[0];
+  return out;
+}
+
+}  // namespace fgpm

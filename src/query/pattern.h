@@ -1,0 +1,73 @@
+// Graph pattern G_q (Section 2): a connected directed graph whose nodes
+// are *labels* of the data graph and whose edges X -> Y are reachability
+// conditions ("some X-labeled node reaches some Y-labeled node"). A match
+// is an n-ary node tuple satisfying every condition conjunctively.
+//
+// Text syntax accepted by Parse():
+//   "A->C; B->C; C->D; D->E"     (the paper's Figure 1(b))
+//   "A -> B -> C"                (chains expand to one edge per arrow)
+//   "Supplier->Retailer, Bank->Supplier"  (',' == ';')
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*; whitespace is insignificant.
+#ifndef FGPM_QUERY_PATTERN_H_
+#define FGPM_QUERY_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fgpm {
+
+// Index of a pattern node (a label) within the pattern.
+using PatternNodeId = uint32_t;
+
+struct PatternEdge {
+  PatternNodeId from = 0;
+  PatternNodeId to = 0;
+  friend bool operator==(const PatternEdge&, const PatternEdge&) = default;
+};
+
+class Pattern {
+ public:
+  static Result<Pattern> Parse(std::string_view text);
+
+  // Returns the node for `label`, creating it if new.
+  PatternNodeId AddNode(std::string_view label);
+
+  // Adds the reachability condition from -> to. Self-loops and duplicate
+  // edges are rejected (a label trivially "reaches itself" reflexively,
+  // so a self-loop constrains nothing).
+  Status AddEdge(PatternNodeId from, PatternNodeId to);
+
+  size_t num_nodes() const { return labels_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const std::string& label(PatternNodeId i) const { return labels_[i]; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  const std::vector<PatternEdge>& edges() const { return edges_; }
+
+  // True if the pattern is weakly connected (the paper requires
+  // connected patterns).
+  bool IsConnected() const;
+
+  // Non-empty, connected, every node mentioned by an edge unless the
+  // pattern is a single isolated node.
+  Status Validate() const;
+
+  // Drops edges implied by transitivity ("X->Y and Y->Z implies X->Z",
+  // Section 2 note) — an equivalence-preserving rewrite that removes
+  // redundant R-joins.
+  Pattern TransitiveReduction() const;
+
+  // "A->C; B->C; ..." — parseable round-trip form.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<PatternEdge> edges_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_QUERY_PATTERN_H_

@@ -1,0 +1,127 @@
+#include "reach/grail.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/algorithms.h"
+
+namespace fgpm {
+
+GrailIndex::GrailIndex(const Graph& g, int k, uint64_t seed)
+    : g_(&g), k_(k) {
+  FGPM_CHECK(g.finalized());
+  FGPM_CHECK(k >= 1);
+  SccResult scc = ComputeScc(g);
+  Condensation cond = Condense(g, scc);
+  scc_of_.assign(scc.component.begin(), scc.component.end());
+  dag_ = std::move(cond.dag);
+  const uint32_t n = dag_.NumNodes();
+
+  Rng rng(seed);
+  traversals_.resize(k);
+  std::vector<NodeId> roots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (dag_.InDegree(v) == 0) roots.push_back(v);
+  }
+
+  for (int t = 0; t < k; ++t) {
+    Traversal& tr = traversals_[t];
+    tr.low.assign(n, 0);
+    tr.post.assign(n, 0);
+    std::vector<bool> visited(n, false);
+    uint32_t counter = 0;
+
+    // Iterative randomized DFS; children are shuffled per traversal so
+    // different traversals cut different false-positive pairs.
+    struct Frame {
+      NodeId v;
+      std::vector<NodeId> kids;
+      size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto dfs = [&](NodeId root) {
+      if (visited[root]) return;
+      visited[root] = true;
+      Frame f0{root, {}, 0};
+      f0.kids.assign(dag_.OutNeighbors(root).begin(),
+                     dag_.OutNeighbors(root).end());
+      rng.Shuffle(&f0.kids);
+      stack.push_back(std::move(f0));
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        bool descended = false;
+        while (f.next < f.kids.size()) {
+          NodeId w = f.kids[f.next++];
+          if (!visited[w]) {
+            visited[w] = true;
+            Frame nf{w, {}, 0};
+            nf.kids.assign(dag_.OutNeighbors(w).begin(),
+                           dag_.OutNeighbors(w).end());
+            rng.Shuffle(&nf.kids);
+            stack.push_back(std::move(nf));
+            descended = true;
+            break;
+          }
+        }
+        if (descended) continue;
+        NodeId v = stack.back().v;
+        // low = min over DAG successors and own post.
+        uint32_t low = counter;
+        for (NodeId w : dag_.OutNeighbors(v)) {
+          low = std::min(low, tr.low[w]);
+        }
+        tr.low[v] = low;
+        tr.post[v] = counter++;
+        stack.pop_back();
+      }
+    };
+    std::vector<NodeId> order = roots;
+    rng.Shuffle(&order);
+    for (NodeId r : order) dfs(r);
+    for (NodeId v = 0; v < n; ++v) dfs(v);
+  }
+}
+
+bool GrailIndex::ExcludedByLabels(NodeId u, NodeId v) const {
+  uint32_t cu = scc_of_[u], cv = scc_of_[v];
+  if (cu == cv) return false;
+  for (const Traversal& t : traversals_) {
+    if (!Contains(t, cu, cv)) return true;
+  }
+  return false;
+}
+
+bool GrailIndex::Reaches(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  uint32_t cu = scc_of_[u], cv = scc_of_[v];
+  if (cu == cv) return true;
+  if (ExcludedByLabels(u, v)) return false;
+  // Label containment is necessary but not sufficient: pruned DFS over
+  // the condensation, skipping subtrees the labels already exclude.
+  ++dfs_fallbacks_;
+  std::vector<NodeId> stack{cu};
+  std::vector<bool> seen(dag_.NumNodes(), false);
+  seen[cu] = true;
+  while (!stack.empty()) {
+    NodeId x = stack.back();
+    stack.pop_back();
+    if (x == cv) return true;
+    for (NodeId w : dag_.OutNeighbors(x)) {
+      if (seen[w]) continue;
+      bool excluded = false;
+      for (const Traversal& t : traversals_) {
+        if (!Contains(t, w, cv)) {
+          excluded = true;
+          break;
+        }
+      }
+      if (excluded) continue;
+      seen[w] = true;
+      stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+}  // namespace fgpm

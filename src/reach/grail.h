@@ -1,0 +1,57 @@
+// GRAIL-style randomized interval labeling (Yildirim et al., VLDB'10) —
+// a post-paper alternative reachability index included for comparison
+// ablations. Each of k randomized post-order traversals of the
+// condensation assigns an interval [low, post]; containment in *all* k
+// intervals is necessary for reachability. Non-containment proves
+// non-reachability in O(k); containment falls back to a pruned DFS.
+//
+// Contrast with the paper's 2-hop codes: GRAIL answers negatives fast
+// and cheaply (2k integers per node) but positives may cost a
+// traversal, so it cannot drive the cluster-based R-join index — there
+// is no center set to enumerate. The ablation bench quantifies the
+// query-time trade.
+#ifndef FGPM_REACH_GRAIL_H_
+#define FGPM_REACH_GRAIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fgpm {
+
+class GrailIndex {
+ public:
+  // k randomized traversals (typically 2-5).
+  GrailIndex(const Graph& g, int k, uint64_t seed = 42);
+
+  // Reflexive reachability.
+  bool Reaches(NodeId u, NodeId v) const;
+
+  // True when the labels alone *exclude* reachability (no DFS needed).
+  bool ExcludedByLabels(NodeId u, NodeId v) const;
+
+  int k() const { return k_; }
+  uint64_t dfs_fallbacks() const { return dfs_fallbacks_; }
+
+ private:
+  struct Traversal {
+    std::vector<uint32_t> low;   // min post-order in the subtree
+    std::vector<uint32_t> post;  // post-order number
+  };
+
+  bool Contains(const Traversal& t, uint32_t cu, uint32_t cv) const {
+    return t.low[cu] <= t.low[cv] && t.post[cv] <= t.post[cu];
+  }
+
+  const Graph* g_;
+  int k_;
+  std::vector<uint32_t> scc_of_;  // node -> condensation vertex
+  Graph dag_;                     // condensation
+  std::vector<Traversal> traversals_;
+  mutable uint64_t dfs_fallbacks_ = 0;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_REACH_GRAIL_H_

@@ -1,0 +1,99 @@
+#include "reach/interval.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/algorithms.h"
+
+namespace fgpm {
+
+std::vector<PostInterval> NormalizeIntervals(std::vector<PostInterval> in) {
+  if (in.empty()) return in;
+  std::sort(in.begin(), in.end(), [](const PostInterval& a,
+                                     const PostInterval& b) {
+    if (a.lo != b.lo) return a.lo < b.lo;
+    return a.hi < b.hi;
+  });
+  std::vector<PostInterval> out;
+  out.push_back(in[0]);
+  for (size_t i = 1; i < in.size(); ++i) {
+    PostInterval& last = out.back();
+    if (in[i].lo <= last.hi + 1 && in[i].lo >= last.lo) {
+      last.hi = std::max(last.hi, in[i].hi);
+    } else if (in[i].lo > last.hi + 1) {
+      out.push_back(in[i]);
+    } else {
+      last.hi = std::max(last.hi, in[i].hi);
+    }
+  }
+  return out;
+}
+
+bool IntervalsContain(const std::vector<PostInterval>& ivs, uint32_t po) {
+  // First interval with lo > po is past the candidate; check the one
+  // before it.
+  auto it = std::upper_bound(
+      ivs.begin(), ivs.end(), po,
+      [](uint32_t v, const PostInterval& iv) { return v < iv.lo; });
+  if (it == ivs.begin()) return false;
+  --it;
+  return po <= it->hi;
+}
+
+MultiIntervalIndex::MultiIntervalIndex(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  SccResult scc = ComputeScc(g);
+  Condensation cond = Condense(g, scc);
+  const uint32_t n = cond.dag.NumNodes();
+  scc_of_.assign(scc.component.begin(), scc.component.end());
+
+  DfsForest forest = BuildDfsForest(cond.dag);
+  post_.assign(forest.post.begin(), forest.post.end());
+
+  // Subtree postorder minimum: a node's spanning subtree occupies the
+  // contiguous postorder range [min_po, post(v)].
+  std::vector<uint32_t> min_po(n);
+  for (uint32_t v = 0; v < n; ++v) min_po[v] = post_[v];
+  // Children finish before parents in postorder, so scanning vertices in
+  // postorder ascending lets children push their min up to the parent.
+  std::vector<uint32_t> by_post(n);
+  for (uint32_t v = 0; v < n; ++v) by_post[post_[v]] = v;
+  for (uint32_t p = 0; p < n; ++p) {
+    uint32_t v = by_post[p];
+    NodeId parent = forest.parent[v];
+    if (parent != kInvalidNode) {
+      min_po[parent] = std::min(min_po[parent], min_po[v]);
+    }
+  }
+
+  // Tree cover: process in reverse topological order, inheriting interval
+  // sets across *all* DAG edges (tree and non-tree).
+  auto order = TopologicalOrder(cond.dag);
+  FGPM_CHECK(order.ok());
+  intervals_.assign(n, {});
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    uint32_t v = *it;
+    std::vector<PostInterval> acc;
+    acc.push_back({min_po[v], post_[v]});
+    for (NodeId w : cond.dag.OutNeighbors(v)) {
+      const auto& child = intervals_[w];
+      acc.insert(acc.end(), child.begin(), child.end());
+    }
+    intervals_[v] = NormalizeIntervals(std::move(acc));
+  }
+}
+
+bool MultiIntervalIndex::Reaches(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  uint32_t cu = scc_of_[u], cv = scc_of_[v];
+  if (cu == cv) return true;
+  return IntervalsContain(intervals_[cu], post_[cv]);
+}
+
+uint64_t MultiIntervalIndex::TotalIntervals() const {
+  uint64_t total = 0;
+  for (const auto& ivs : intervals_) total += ivs.size();
+  return total;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,62 @@
+// Interval-based reachability codes used by the two baselines (Section 5).
+//
+//  * TreeIntervalIndex — single [pre, post] interval over a DFS spanning
+//    forest; answers *spanning-tree* ancestry only (phase 1 of TSD).
+//  * MultiIntervalCode — the tree cover of Agrawal et al. (SIGMOD'89) on
+//    a DAG: each vertex holds a postorder number and a set of disjoint
+//    postorder intervals; u ~> v iff po(v) falls in an interval of u.
+//    This is the code IGMJ (INT-DP) sorts and merge-joins.
+//
+// Both operate on the SCC condensation so they serve general digraphs;
+// members of one SCC share the code of their component (as in [28]).
+#ifndef FGPM_REACH_INTERVAL_H_
+#define FGPM_REACH_INTERVAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fgpm {
+
+struct PostInterval {
+  uint32_t lo = 0;
+  uint32_t hi = 0;  // inclusive
+  friend bool operator==(const PostInterval&, const PostInterval&) = default;
+};
+
+class MultiIntervalIndex {
+ public:
+  // Builds the tree cover for an arbitrary digraph (condenses first).
+  explicit MultiIntervalIndex(const Graph& g);
+
+  // Reflexive reachability.
+  bool Reaches(NodeId u, NodeId v) const;
+
+  uint32_t PostOf(NodeId v) const { return post_[scc_of_[v]]; }
+  const std::vector<PostInterval>& IntervalsOf(NodeId v) const {
+    return intervals_[scc_of_[v]];
+  }
+  uint32_t ComponentOf(NodeId v) const { return scc_of_[v]; }
+
+  // Total interval count — the baseline's "code size" (grows on dense
+  // DAGs, which is why the paper's INT-DP pays extra I/O).
+  uint64_t TotalIntervals() const;
+
+ private:
+  std::vector<uint32_t> scc_of_;                   // node -> dag vertex
+  std::vector<uint32_t> post_;                     // dag vertex -> postorder
+  std::vector<std::vector<PostInterval>> intervals_;  // dag vertex -> code
+};
+
+// Merges possibly-overlapping intervals into a minimal sorted disjoint
+// set (exposed for tests).
+std::vector<PostInterval> NormalizeIntervals(std::vector<PostInterval> in);
+
+// True if po lies in one of the sorted disjoint intervals.
+bool IntervalsContain(const std::vector<PostInterval>& ivs, uint32_t po);
+
+}  // namespace fgpm
+
+#endif  // FGPM_REACH_INTERVAL_H_

@@ -1,0 +1,45 @@
+#include "reach/sspi.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fgpm {
+
+SspiIndex::SspiIndex(const Graph& g) : g_(&g), forest_(BuildDfsForest(g)) {
+  FGPM_CHECK(g.finalized());
+  non_tree_in_.assign(g.NumNodes(), {});
+  for (const auto& [u, v] : forest_.non_tree_edges) {
+    non_tree_in_[v].push_back(u);
+  }
+}
+
+bool SspiIndex::Reaches(NodeId u, NodeId v) const {
+  if (u == v) return true;
+  if (forest_.IsTreeAncestor(u, v)) return true;
+  uint64_t key = PackPair(u, v);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  // Any u ~> v path ends with tree edges below some ancestor w of v (in
+  // the spanning tree) entered through a non-tree edge (x, w): recurse on
+  // u ~> x. Walk v's tree-ancestor chain collecting those entries.
+  bool result = false;
+  for (NodeId w = v; w != kInvalidNode && !result; w = forest_.parent[w]) {
+    for (NodeId x : non_tree_in_[w]) {
+      if (Reaches(u, x)) {
+        result = true;
+        break;
+      }
+    }
+  }
+  memo_.emplace(key, result);
+  return result;
+}
+
+uint64_t SspiIndex::TotalEntries() const {
+  uint64_t total = 0;
+  for (const auto& p : non_tree_in_) total += p.size();
+  return total;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,54 @@
+// SSPI — Surrogate & Surplus Predecessor Index (Chen et al. [11]),
+// phase-2 structure of the TSD baseline. A DFS spanning forest answers
+// tree ancestry by interval containment; every reachability fact that
+// crosses a non-tree edge is recovered by walking predecessor entries:
+// for a target v, any path u ~> v ends with a (possibly empty) chain of
+// tree edges below some node w, preceded by a non-tree edge (x, w).
+// SSPI stores those non-tree predecessors; queries recurse through them.
+//
+// Like the original, performance degrades as the DAG gets denser (more
+// non-tree edges to chase) — the behavior the paper's Figure 5 exposes.
+#ifndef FGPM_REACH_SSPI_H_
+#define FGPM_REACH_SSPI_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+
+namespace fgpm {
+
+class SspiIndex {
+ public:
+  // g must be a DAG (the TSD baseline is DAG-only, as in the paper).
+  explicit SspiIndex(const Graph& g);
+
+  // Reflexive reachability using intervals + predecessor expansion.
+  bool Reaches(NodeId u, NodeId v) const;
+
+  // Spanning-tree-only ancestry (phase 1).
+  bool TreeReaches(NodeId u, NodeId v) const {
+    return forest_.IsTreeAncestor(u, v);
+  }
+
+  // Non-tree predecessor entries of v (the SSPI list).
+  const std::vector<NodeId>& PredecessorsOf(NodeId v) const {
+    return non_tree_in_[v];
+  }
+
+  const DfsForest& forest() const { return forest_; }
+  uint64_t TotalEntries() const;
+
+ private:
+  const Graph* g_;
+  DfsForest forest_;
+  std::vector<std::vector<NodeId>> non_tree_in_;  // v -> {x : (x,v) non-tree}
+  // Memoized query results; reachability in a static DAG never changes.
+  mutable std::unordered_map<uint64_t, bool> memo_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_REACH_SSPI_H_

@@ -1,0 +1,340 @@
+#include "reach/two_hop.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "graph/algorithms.h"
+#include "graph/reach_oracle.h"
+
+namespace fgpm {
+namespace {
+
+// Shared scaffolding: condensation with vertices renumbered by a
+// priority permutation so that higher-priority centers get smaller ids
+// (keeps label vectors sorted as they are appended).
+struct CondensedView {
+  Graph dag;                         // renumbered condensation
+  std::vector<CenterId> scc_of;      // original node -> renumbered center
+  std::vector<std::vector<NodeId>> members;
+};
+
+CondensedView BuildCondensedView(const Graph& g,
+                                 bool order_by_degree) {
+  SccResult scc = ComputeScc(g);
+  Condensation cond = Condense(g, scc);
+  const uint32_t n = scc.num_components;
+
+  // Priority: (in+1)*(out+1)*size — hub-like components first.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (order_by_degree) {
+    std::vector<uint64_t> score(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      score[v] = static_cast<uint64_t>(cond.dag.InDegree(v) + 1) *
+                 (cond.dag.OutDegree(v) + 1) * cond.members[v].size();
+    }
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      if (score[a] != score[b]) return score[a] > score[b];
+      return a < b;
+    });
+  }
+  std::vector<uint32_t> new_id(n);
+  for (uint32_t i = 0; i < n; ++i) new_id[order[i]] = i;
+
+  CondensedView view;
+  LabelId l = view.dag.InternLabel("scc");
+  for (uint32_t i = 0; i < n; ++i) view.dag.AddNode(l);
+  for (const auto& [u, v] : cond.dag.Edges()) {
+    Status s = view.dag.AddEdge(new_id[u], new_id[v]);
+    FGPM_CHECK(s.ok());
+  }
+  view.dag.Finalize();
+  view.scc_of.resize(g.NumNodes());
+  view.members.resize(n);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    CenterId c = new_id[scc.component[v]];
+    view.scc_of[v] = c;
+    view.members[c].push_back(v);
+  }
+  return view;
+}
+
+// Construction-time query: is (x ~> y) already covered by the labels
+// built so far (unioned with the endpoints themselves)?
+bool CoveredSoFar(const std::vector<std::vector<CenterId>>& out_labels,
+                  const std::vector<std::vector<CenterId>>& in_labels,
+                  CenterId x, CenterId y) {
+  if (x == y) return true;
+  if (SortedContains(out_labels[x], y)) return true;
+  if (SortedContains(in_labels[y], x)) return true;
+  return SortedIntersects(out_labels[x], in_labels[y]);
+}
+
+}  // namespace
+
+uint64_t TwoHopLabeling::CoverSize() const {
+  uint64_t total = 0;
+  for (CenterId c = 0; c < in_.size(); ++c) {
+    // Compact form: the self entry in each of in() and out() is implied
+    // by the tuple itself and not stored (Example 3.1).
+    total += static_cast<uint64_t>(in_[c].size() - 1 + out_[c].size() - 1) *
+             members_[c].size();
+  }
+  return total;
+}
+
+Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
+                                           NodeId v,
+                                           std::vector<CenterId>* out_changed,
+                                           std::vector<CenterId>* in_changed) {
+  if (out_changed) out_changed->clear();
+  if (in_changed) in_changed->clear();
+  if (!g_after.finalized()) {
+    return Status::FailedPrecondition("graph not finalized");
+  }
+  if (u >= scc_of_.size() || v >= scc_of_.size()) {
+    return Status::InvalidArgument(
+        "UpdateForEdgeInsert supports edge insertion between existing "
+        "nodes only");
+  }
+  if (Reaches(u, v)) return Status::OK();  // no new reachable pairs
+  if (Reaches(v, u)) {
+    return Status::FailedPrecondition(
+        "edge closes a cycle: SCCs merge, labeling must be rebuilt");
+  }
+
+  // New pairs are exactly {(x, y) : x ~> u, v ~> y}. One added cluster
+  // with center(u) covers them all: center(u) joins out(x) for every
+  // ancestor x of u and in(y) for every descendant y of v.
+  CenterId c = scc_of_[u];
+  std::vector<bool> comp_seen(in_.size(), false);
+  std::vector<NodeId> queue;
+
+  // BFS at component granularity: visiting a component enqueues ALL its
+  // members, because different members can have different neighbors.
+  auto visit_component = [&](CenterId comp) {
+    if (comp_seen[comp]) return;
+    comp_seen[comp] = true;
+    for (NodeId m : members_[comp]) queue.push_back(m);
+  };
+
+  // Backward from u: every component that reaches u gains c in out().
+  queue.clear();
+  visit_component(scc_of_[u]);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    for (NodeId w : g_after.InNeighbors(queue[qi])) {
+      visit_component(scc_of_[w]);
+    }
+  }
+  for (CenterId comp = 0; comp < in_.size(); ++comp) {
+    if (comp_seen[comp] && SortedInsert(&out_[comp], c) && out_changed) {
+      out_changed->push_back(comp);
+    }
+  }
+
+  // Forward from v: every component reachable from v gains c in in().
+  std::fill(comp_seen.begin(), comp_seen.end(), false);
+  queue.clear();
+  visit_component(scc_of_[v]);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    for (NodeId w : g_after.OutNeighbors(queue[qi])) {
+      visit_component(scc_of_[w]);
+    }
+  }
+  for (CenterId comp = 0; comp < in_.size(); ++comp) {
+    if (comp_seen[comp] && SortedInsert(&in_[comp], c) && in_changed) {
+      in_changed->push_back(comp);
+    }
+  }
+  return Status::OK();
+}
+
+TwoHopLabeling BuildTwoHopPruned(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  CondensedView view = BuildCondensedView(g, /*order_by_degree=*/true);
+  const uint32_t n = view.dag.NumNodes();
+
+  std::vector<std::vector<CenterId>> in_labels(n), out_labels(n);
+  std::vector<uint32_t> visit_mark(n, 0xffffffffu);
+  std::vector<CenterId> queue;
+
+  // Process hubs by priority; pruned forward/backward BFS. The pruning
+  // rule guarantees each label receives only hubs with a smaller id, so
+  // plain push_back keeps vectors sorted.
+  for (CenterId hub = 0; hub < n; ++hub) {
+    // Forward: hub ~> v, so hub enters L_in(v).
+    queue.assign(1, hub);
+    visit_mark[hub] = hub * 2;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      CenterId v = queue[qi];
+      for (NodeId w : view.dag.OutNeighbors(v)) {
+        if (visit_mark[w] == hub * 2) continue;
+        visit_mark[w] = hub * 2;
+        if (CoveredSoFar(out_labels, in_labels, hub, w)) continue;
+        in_labels[w].push_back(hub);
+        queue.push_back(w);
+      }
+    }
+    // Backward: u ~> hub, so hub enters L_out(u).
+    queue.assign(1, hub);
+    visit_mark[hub] = hub * 2 + 1;
+    for (size_t qi = 0; qi < queue.size(); ++qi) {
+      CenterId v = queue[qi];
+      for (NodeId w : view.dag.InNeighbors(v)) {
+        if (visit_mark[w] == hub * 2 + 1) continue;
+        visit_mark[w] = hub * 2 + 1;
+        if (CoveredSoFar(out_labels, in_labels, w, hub)) continue;
+        out_labels[w].push_back(hub);
+        queue.push_back(w);
+      }
+    }
+  }
+
+  // The paper's compaction: every node carries itself in both codes.
+  // Appended last because self ids exceed all hub ids received.
+  for (CenterId c = 0; c < n; ++c) {
+    in_labels[c].push_back(c);
+    out_labels[c].push_back(c);
+  }
+
+  TwoHopLabeling lab;
+  lab.scc_of_ = std::move(view.scc_of);
+  lab.in_ = std::move(in_labels);
+  lab.out_ = std::move(out_labels);
+  lab.members_ = std::move(view.members);
+  return lab;
+}
+
+TwoHopLabeling BuildTwoHopGreedy(const Graph& g) {
+  FGPM_CHECK(g.finalized());
+  CondensedView view = BuildCondensedView(g, /*order_by_degree=*/false);
+  const uint32_t n = view.dag.NumNodes();
+  FGPM_CHECK(n <= 4096);  // greedy builds the closure; small graphs only
+
+  TransitiveClosure tc(view.dag);
+
+  // Uncovered reachable pairs (excluding the diagonal).
+  std::vector<std::vector<bool>> uncovered(n, std::vector<bool>(n, false));
+  uint64_t remaining = 0;
+  for (CenterId a = 0; a < n; ++a) {
+    for (CenterId b = 0; b < n; ++b) {
+      if (a != b && tc.Reaches(a, b)) {
+        uncovered[a][b] = true;
+        ++remaining;
+      }
+    }
+  }
+
+  std::vector<std::vector<CenterId>> in_labels(n), out_labels(n);
+  std::vector<CenterId> ancestors, descendants;
+
+  while (remaining > 0) {
+    // Pick the center with the best covered-pairs / label-cost ratio.
+    double best_ratio = -1;
+    CenterId best = 0;
+    uint64_t best_covered = 0;
+    for (CenterId w = 0; w < n; ++w) {
+      uint64_t covered = 0;
+      uint32_t anc = 0, desc = 0;
+      for (CenterId a = 0; a < n; ++a) {
+        if (!tc.Reaches(a, w)) continue;
+        uint64_t row = 0;
+        for (CenterId b = 0; b < n; ++b) {
+          if (tc.Reaches(w, b) && uncovered[a][b]) ++row;
+        }
+        if (row > 0 || a == w) ++anc;
+        covered += row;
+      }
+      for (CenterId b = 0; b < n; ++b) {
+        if (tc.Reaches(w, b)) ++desc;
+      }
+      if (covered == 0) continue;
+      double ratio = double(covered) / double(anc + desc);
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = w;
+        best_covered = covered;
+      }
+    }
+    FGPM_CHECK(best_covered > 0);
+
+    // Label only nodes that still contribute an uncovered pair through
+    // `best` (keeps the cover compact, in the spirit of Cohen's densest-
+    // subgraph refinement).
+    ancestors.clear();
+    descendants.clear();
+    for (CenterId a = 0; a < n; ++a) {
+      if (!tc.Reaches(a, best)) continue;
+      for (CenterId b = 0; b < n; ++b) {
+        if (tc.Reaches(best, b) && uncovered[a][b]) {
+          ancestors.push_back(a);
+          break;
+        }
+      }
+    }
+    for (CenterId b = 0; b < n; ++b) {
+      if (!tc.Reaches(best, b)) continue;
+      for (CenterId a : ancestors) {
+        if (uncovered[a][b]) {
+          descendants.push_back(b);
+          break;
+        }
+      }
+    }
+    for (CenterId a : ancestors) SortedInsert(&out_labels[a], best);
+    for (CenterId b : descendants) SortedInsert(&in_labels[b], best);
+    for (CenterId a : ancestors) {
+      for (CenterId b : descendants) {
+        if (uncovered[a][b]) {
+          uncovered[a][b] = false;
+          --remaining;
+        }
+      }
+    }
+  }
+
+  // Self ids (compaction), keeping vectors sorted.
+  for (CenterId c = 0; c < n; ++c) {
+    SortedInsert(&in_labels[c], c);
+    SortedInsert(&out_labels[c], c);
+  }
+
+  TwoHopLabeling lab;
+  lab.scc_of_ = std::move(view.scc_of);
+  lab.in_ = std::move(in_labels);
+  lab.out_ = std::move(out_labels);
+  lab.members_ = std::move(view.members);
+  return lab;
+}
+
+
+void TwoHopLabeling::SaveMeta(BinaryWriter* w) const {
+  w->VecU32(scc_of_);
+  w->U64(in_.size());
+  for (const auto& v : in_) w->VecU32(v);
+  w->U64(out_.size());
+  for (const auto& v : out_) w->VecU32(v);
+  w->U64(members_.size());
+  for (const auto& v : members_) w->VecU32(v);
+}
+
+Status TwoHopLabeling::LoadMeta(BinaryReader* r) {
+  FGPM_RETURN_IF_ERROR(r->VecU32(&scc_of_));
+  uint64_t n = 0;
+  FGPM_RETURN_IF_ERROR(r->U64(&n));
+  in_.resize(n);
+  for (auto& v : in_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
+  FGPM_RETURN_IF_ERROR(r->U64(&n));
+  out_.resize(n);
+  for (auto& v : out_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
+  FGPM_RETURN_IF_ERROR(r->U64(&n));
+  members_.resize(n);
+  for (auto& v : members_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
+  if (in_.size() != out_.size() || in_.size() != members_.size()) {
+    return Status::Corruption("2-hop labeling sections disagree");
+  }
+  return Status::OK();
+}
+
+}  // namespace fgpm

@@ -1,0 +1,104 @@
+// 2-hop reachability labeling (Cohen et al., SODA'02), the foundation of
+// the paper's graph codes, cluster-based R-join index and W-table.
+//
+// A 2-hop cover is a set of clusters S(U_w, w, V_w): every u in U_w
+// reaches the *center* w, and w reaches every v in V_w. Node labels
+// derive from the cover:  L_out(u) = centers w with u ~> w,
+// L_in(v) = centers w with w ~> v;  u ~> v  iff the label sets intersect
+// (after the paper's compaction that puts each node itself into both of
+// its own label sets).
+//
+// Two builders:
+//  * BuildTwoHopPruned — pruned-BFS construction on the SCC condensation
+//    (a valid 2-hop cover; our stand-in for the authors' EDBT'06 fast
+//    algorithm; scales to millions of nodes).
+//  * BuildTwoHopGreedy — classic greedy set-cover approximation; only
+//    for small graphs (computes the transitive closure); used in tests
+//    and the cover-size ablation.
+//
+// Centers are vertices of the condensation DAG, renumbered by the
+// construction's priority order; all label vectors are sorted by center
+// id. Labels are shared per SCC: nodes in the same component have equal
+// codes (cycle members reach exactly the same things).
+#ifndef FGPM_REACH_TWO_HOP_H_
+#define FGPM_REACH_TWO_HOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/sorted_vector.h"
+#include "graph/graph.h"
+
+namespace fgpm {
+
+using CenterId = uint32_t;
+
+class TwoHopLabeling {
+ public:
+  // in(x): centers that reach x, including x's own component center id.
+  const std::vector<CenterId>& InCode(NodeId v) const {
+    return in_[scc_of_[v]];
+  }
+  // out(x): centers x reaches, including x's own component center id.
+  const std::vector<CenterId>& OutCode(NodeId v) const {
+    return out_[scc_of_[v]];
+  }
+
+  // Reflexive reachability test via code intersection (Example 3.1).
+  bool Reaches(NodeId u, NodeId v) const {
+    if (u == v) return true;
+    CenterId cu = scc_of_[u], cv = scc_of_[v];
+    if (cu == cv) return true;
+    return SortedIntersects(out_[cu], in_[cv]);
+  }
+
+  uint32_t num_centers() const { return static_cast<uint32_t>(in_.size()); }
+  size_t num_nodes() const { return scc_of_.size(); }
+  CenterId CenterOf(NodeId v) const { return scc_of_[v]; }
+
+  // Total *stored* label entries summed over nodes — the paper's |H|
+  // (Table 2). Matches the compact representation of Example 3.1: the
+  // node's own entry is removed from each stored column, so the two
+  // self entries per node are not counted.
+  uint64_t CoverSize() const;
+
+  // Members of a component/center (original node ids, ascending).
+  const std::vector<NodeId>& MembersOf(CenterId c) const {
+    return members_[c];
+  }
+
+  // Incremental maintenance for edge insertion — the 2-hop cover update
+  // problem the paper cites ([24], Schenkel et al. ICDE'05). `g_after`
+  // must already contain the edge (u, v) and be finalized. The labeling
+  // is extended by one cluster S(ancestors(u), center(u), descendants(v))
+  // which covers exactly the new reachable pairs. Returns
+  // FailedPrecondition if the edge merges strongly connected components
+  // (center identities would change; rebuild instead).
+  // When non-null, `out_changed`/`in_changed` receive the components
+  // whose out()/in() codes gained the new center (used by the database
+  // to maintain tables and indexes incrementally).
+  Status UpdateForEdgeInsert(const Graph& g_after, NodeId u, NodeId v,
+                             std::vector<CenterId>* out_changed = nullptr,
+                             std::vector<CenterId>* in_changed = nullptr);
+
+  // --- persistence --------------------------------------------------------
+  void SaveMeta(BinaryWriter* w) const;
+  Status LoadMeta(BinaryReader* r);
+
+ private:
+  friend TwoHopLabeling BuildTwoHopPruned(const Graph& g);
+  friend TwoHopLabeling BuildTwoHopGreedy(const Graph& g);
+
+  std::vector<CenterId> scc_of_;               // node -> center id
+  std::vector<std::vector<CenterId>> in_;      // center -> L_in
+  std::vector<std::vector<CenterId>> out_;     // center -> L_out
+  std::vector<std::vector<NodeId>> members_;   // center -> member nodes
+};
+
+TwoHopLabeling BuildTwoHopPruned(const Graph& g);
+TwoHopLabeling BuildTwoHopGreedy(const Graph& g);
+
+}  // namespace fgpm
+
+#endif  // FGPM_REACH_TWO_HOP_H_

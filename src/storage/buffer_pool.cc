@@ -1,0 +1,128 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fgpm {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+const Page& PageGuard::page() const {
+  FGPM_DCHECK(pool_ != nullptr);
+  return pool_->frames_[frame_].page;
+}
+
+Page& PageGuard::MutablePage() {
+  FGPM_DCHECK(pool_ != nullptr);
+  pool_->MarkDirty(frame_);
+  return pool_->frames_[frame_].page;
+}
+
+void PageGuard::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_);
+    pool_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t pool_bytes) : disk_(disk) {
+  size_t n = std::max<size_t>(4, pool_bytes / kPageSize);
+  frames_.resize(n);
+  free_frames_.reserve(n);
+  for (size_t i = n; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+BufferPool::~BufferPool() {
+  Status s = FlushAll();
+  (void)s;  // Destructor cannot propagate; simulated disk cannot fail here.
+}
+
+Result<size_t> BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    size_t f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool: all frames pinned");
+  }
+  size_t victim = lru_.front();
+  lru_.pop_front();
+  Frame& fr = frames_[victim];
+  fr.in_lru = false;
+  ++stats_.evictions;
+  if (fr.dirty) {
+    FGPM_RETURN_IF_ERROR(disk_->WritePage(fr.id, fr.page));
+    fr.dirty = false;
+  }
+  page_table_.erase(fr.id);
+  return victim;
+}
+
+Result<PageGuard> BufferPool::Fetch(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    size_t f = it->second;
+    Frame& fr = frames_[f];
+    if (fr.pin_count == 0 && fr.in_lru) {
+      lru_.erase(fr.lru_pos);
+      fr.in_lru = false;
+    }
+    ++fr.pin_count;
+    return PageGuard(this, f, id);
+  }
+  ++stats_.misses;
+  FGPM_ASSIGN_OR_RETURN(size_t f, GrabFrame());
+  Frame& fr = frames_[f];
+  FGPM_RETURN_IF_ERROR(disk_->ReadPage(id, &fr.page));
+  fr.id = id;
+  fr.pin_count = 1;
+  fr.dirty = false;
+  page_table_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+Result<PageGuard> BufferPool::New() {
+  PageId id = disk_->AllocatePage();
+  FGPM_ASSIGN_OR_RETURN(size_t f, GrabFrame());
+  Frame& fr = frames_[f];
+  fr.page.Zero();
+  fr.id = id;
+  fr.pin_count = 1;
+  fr.dirty = true;
+  page_table_[id] = f;
+  return PageGuard(this, f, id);
+}
+
+void BufferPool::Unpin(size_t frame) {
+  Frame& fr = frames_[frame];
+  FGPM_DCHECK(fr.pin_count > 0);
+  if (--fr.pin_count == 0) {
+    lru_.push_back(frame);
+    fr.lru_pos = std::prev(lru_.end());
+    fr.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& fr : frames_) {
+    if (fr.id != kInvalidPage && fr.dirty) {
+      FGPM_RETURN_IF_ERROR(disk_->WritePage(fr.id, fr.page));
+      fr.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fgpm

@@ -1,0 +1,92 @@
+#include "storage/disk_manager.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.h"
+
+namespace fgpm {
+namespace {
+
+// FNV-1a over a page's bytes.
+uint64_t PageChecksum(const Page& p) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  const char* data = p.data();
+  for (size_t i = 0; i < kPageSize; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status DiskManager::SavePages(std::ostream& os) const {
+  BinaryWriter w(&os);
+  w.U64(pages_.size());
+  for (const auto& p : pages_) {
+    w.U64(PageChecksum(*p));
+    os.write(p->data(), kPageSize);
+  }
+  if (!os) return Status::Internal("page write failed");
+  return Status::OK();
+}
+
+Status DiskManager::LoadPages(std::istream& is) {
+  BinaryReader r(&is);
+  uint64_t n = 0;
+  FGPM_RETURN_IF_ERROR(r.U64(&n));
+  if (n > (1ull << 32)) return Status::Corruption("absurd page count");
+  pages_.clear();
+  pages_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t expected = 0;
+    FGPM_RETURN_IF_ERROR(r.U64(&expected));
+    auto page = std::make_unique<Page>();
+    is.read(page->data(), kPageSize);
+    if (static_cast<size_t>(is.gcount()) != kPageSize) {
+      return Status::Corruption("page data truncated");
+    }
+    if (PageChecksum(*page) != expected) {
+      ++stats_.checksum_failures;
+      return Status::Corruption("page " + std::to_string(i) +
+                                " checksum mismatch");
+    }
+    pages_.push_back(std::move(page));
+  }
+  return Status::OK();
+}
+
+Status DiskManager::CorruptPageForTesting(PageId id, size_t offset) {
+  if (id >= pages_.size() || offset >= kPageSize) {
+    return Status::OutOfRange("corruption target out of range");
+  }
+  pages_[id]->data()[offset] ^= 0x5a;
+  return Status::OK();
+}
+
+PageId DiskManager::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>());
+  ++stats_.pages_allocated;
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskManager::ReadPage(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("ReadPage: page id out of range");
+  }
+  *out = *pages_[id];
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("WritePage: page id out of range");
+  }
+  *pages_[id] = page;
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace fgpm

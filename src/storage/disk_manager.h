@@ -1,0 +1,55 @@
+// Simulated disk: an in-memory page store that counts every read and
+// write. The paper measures I/O cost on a Shore-style storage manager;
+// our counters play that role (DESIGN.md "Substitutions").
+#ifndef FGPM_STORAGE_DISK_MANAGER_H_
+#define FGPM_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace fgpm {
+
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t pages_allocated = 0;
+  uint64_t checksum_failures = 0;
+};
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  PageId AllocatePage();
+
+  Status ReadPage(PageId id, Page* out);
+  Status WritePage(PageId id, const Page& page);
+
+  size_t NumPages() const { return pages_.size(); }
+  const DiskStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DiskStats{}; }
+
+  // Persists every page to `os` / restores from `is` (not counted in the
+  // I/O stats; used by GraphDatabase::Save/Open). Pages carry an
+  // FNV-1a checksum in the archive; corruption is detected on load.
+  Status SavePages(std::ostream& os) const;
+  Status LoadPages(std::istream& is);
+
+  // Direct page corruption for failure-injection tests: XORs a byte of
+  // the stored page (bypasses the write path and its accounting).
+  Status CorruptPageForTesting(PageId id, size_t offset);
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  DiskStats stats_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,59 @@
+// Fixed-size page, the unit of simulated disk I/O. Every index and table
+// in the graph database lives on pages so page-read counters measure the
+// I/O cost the paper's cost model (Table 1) reasons about.
+#ifndef FGPM_STORAGE_PAGE_H_
+#define FGPM_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace fgpm {
+
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+// Raw page buffer with typed scalar accessors (unaligned-safe memcpy).
+class Page {
+ public:
+  char* data() { return bytes_.data(); }
+  const char* data() const { return bytes_.data(); }
+
+  template <typename T>
+  T Read(size_t offset) const {
+    T v;
+    std::memcpy(&v, bytes_.data() + offset, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Write(size_t offset, const T& v) {
+    std::memcpy(bytes_.data() + offset, &v, sizeof(T));
+  }
+
+  void Zero() { bytes_.fill(0); }
+
+ private:
+  std::array<char, kPageSize> bytes_{};
+};
+
+// Record id: a (page, slot) pair.
+struct Rid {
+  PageId page = kInvalidPage;
+  uint16_t slot = 0;
+
+  bool valid() const { return page != kInvalidPage; }
+  uint64_t Pack() const { return (static_cast<uint64_t>(page) << 16) | slot; }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 16), static_cast<uint16_t>(v)};
+  }
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page == b.page && a.slot == b.slot;
+  }
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_STORAGE_PAGE_H_

@@ -1,0 +1,54 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+namespace fgpm {
+
+namespace {
+constexpr uint16_t kTombstone = 0xffff;
+}  // namespace
+
+void SlottedPage::Init() {
+  set_num_slots(0);
+  set_free_end(static_cast<uint16_t>(kPageSize));
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderSize + num_slots() * kSlotSize;
+  size_t fe = free_end();
+  if (fe < dir_end + kSlotSize) return 0;
+  return fe - dir_end - kSlotSize;
+}
+
+std::optional<uint16_t> SlottedPage::Insert(std::span<const char> record) {
+  if (record.size() > kMaxRecordSize) return std::nullopt;
+  if (FreeSpace() < record.size()) return std::nullopt;
+  uint16_t slot = num_slots();
+  uint16_t offset = static_cast<uint16_t>(free_end() - record.size());
+  std::memcpy(page_->data() + offset, record.data(), record.size());
+  size_t dir = kHeaderSize + slot * kSlotSize;
+  page_->Write<uint16_t>(dir, offset);
+  page_->Write<uint16_t>(dir + 2, static_cast<uint16_t>(record.size()));
+  set_num_slots(slot + 1);
+  set_free_end(offset);
+  return slot;
+}
+
+std::optional<std::span<const char>> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= num_slots()) return std::nullopt;
+  size_t dir = kHeaderSize + slot * kSlotSize;
+  uint16_t offset = page_->Read<uint16_t>(dir);
+  uint16_t len = page_->Read<uint16_t>(dir + 2);
+  if (offset == kTombstone) return std::nullopt;
+  return std::span<const char>(page_->data() + offset, len);
+}
+
+bool SlottedPage::Delete(uint16_t slot) {
+  if (slot >= num_slots()) return false;
+  size_t dir = kHeaderSize + slot * kSlotSize;
+  if (page_->Read<uint16_t>(dir) == kTombstone) return false;
+  page_->Write<uint16_t>(dir, kTombstone);
+  return true;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,54 @@
+// Slotted record page: variable-length records addressed by slot number.
+// Layout: [num_slots:u16][free_end:u16][slot dir: (offset:u16,len:u16)*]
+// ... free space ... [cells packed toward the end of the page].
+#ifndef FGPM_STORAGE_SLOTTED_PAGE_H_
+#define FGPM_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "storage/page.h"
+
+namespace fgpm {
+
+class SlottedPage {
+ public:
+  // Wraps (does not own) a page buffer.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  // Must be called once on a freshly allocated page.
+  void Init();
+
+  uint16_t num_slots() const { return page_->Read<uint16_t>(0); }
+
+  // Bytes available for one more record (including its slot entry).
+  size_t FreeSpace() const;
+
+  // Appends a record; returns its slot or nullopt if it does not fit.
+  std::optional<uint16_t> Insert(std::span<const char> record);
+
+  // Record bytes for a live slot; nullopt for out-of-range or deleted.
+  std::optional<std::span<const char>> Get(uint16_t slot) const;
+
+  // Tombstones a slot (space is not reclaimed; heap files are
+  // append-mostly in this system).
+  bool Delete(uint16_t slot);
+
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+  // Largest record that fits in an empty page.
+  static constexpr size_t kMaxRecordSize =
+      kPageSize - kHeaderSize - kSlotSize;
+
+ private:
+  uint16_t free_end() const { return page_->Read<uint16_t>(2); }
+  void set_num_slots(uint16_t n) { page_->Write<uint16_t>(0, n); }
+  void set_free_end(uint16_t e) { page_->Write<uint16_t>(2, e); }
+
+  Page* page_;
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,31 @@
+#include "workload/datasets.h"
+
+#include <cstdlib>
+
+namespace fgpm::workload {
+
+std::vector<DatasetSpec> PaperDatasets() {
+  return {
+      {"20M", 0.2}, {"40M", 0.4}, {"60M", 0.6}, {"80M", 0.8}, {"100M", 1.0},
+  };
+}
+
+Graph LoadDataset(const DatasetSpec& spec, double scale, bool acyclic) {
+  gen::XMarkOptions opts;
+  opts.factor = spec.factor * scale;
+  opts.acyclic = acyclic;
+  // One fixed seed per dataset name so scalability series stay nested.
+  opts.seed = 42 + static_cast<uint64_t>(spec.factor * 10);
+  return gen::XMarkLike(opts);
+}
+
+double BenchScaleFromEnv() {
+  const char* env = std::getenv("FGPM_BENCH_SCALE");
+  if (env == nullptr) return 0.1;
+  double v = std::atof(env);
+  if (v <= 0.0) return 0.1;
+  if (v > 1.0) return 1.0;
+  return v;
+}
+
+}  // namespace fgpm::workload

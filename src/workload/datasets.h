@@ -1,0 +1,35 @@
+// The paper's five datasets (Table 2): XMark factors 0.2 .. 1.0, named
+// 20M .. 100M. Full-size generation is feasible but slow for a default
+// benchmark run, so specs carry a scale multiplier; benches read
+// FGPM_BENCH_SCALE (default 0.1) and note the applied scale in output.
+#ifndef FGPM_WORKLOAD_DATASETS_H_
+#define FGPM_WORKLOAD_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace fgpm::workload {
+
+struct DatasetSpec {
+  std::string name;   // "20M" .. "100M"
+  double factor = 0;  // XMark factor the paper used
+};
+
+// The five Table 2 datasets.
+std::vector<DatasetSpec> PaperDatasets();
+
+// Generates a dataset at `scale` times the paper's size (scale 1.0 ==
+// the paper's node counts). Deterministic per (spec, scale, acyclic).
+Graph LoadDataset(const DatasetSpec& spec, double scale,
+                  bool acyclic = false);
+
+// Reads FGPM_BENCH_SCALE from the environment (default 0.1, clamped to
+// (0, 1]).
+double BenchScaleFromEnv();
+
+}  // namespace fgpm::workload
+
+#endif  // FGPM_WORKLOAD_DATASETS_H_

@@ -1,0 +1,42 @@
+// Workload patterns mirroring the paper's evaluation (Figure 4):
+//   P1-P9 — path patterns with 3, 4 and 5 nodes;
+//   T1-T9 — tree patterns with 3, 4 and 5 nodes;
+//   Q1-Q5 — general graph patterns with |Vq| = 4 and |Vq| = 5.
+// The XMark suites use element labels that are reachability-compatible
+// with the XMarkLike generator's document schema, so every pattern has a
+// non-trivial (usually non-empty) answer. Generic suites target the
+// L0..Ln label alphabets of the random generators.
+#ifndef FGPM_WORKLOAD_PATTERNS_H_
+#define FGPM_WORKLOAD_PATTERNS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "query/pattern.h"
+
+namespace fgpm::workload {
+
+// P1..P9 (3x 3-node, 3x 4-node, 3x 5-node paths).
+std::vector<Pattern> XmarkPathPatterns();
+
+// T1..T9 (3x 3-node, 3x 4-node, 3x 5-node trees).
+std::vector<Pattern> XmarkTreePatterns();
+
+// Q1..Q5 graph patterns (non-tree, with join-back edges) for |Vq| = 4.
+std::vector<Pattern> XmarkGraphPatterns4();
+
+// Q1..Q5 graph patterns for |Vq| = 5.
+std::vector<Pattern> XmarkGraphPatterns5();
+
+// L0 -> L1 -> ... -> L(k-1).
+Pattern GenericPath(int k);
+
+// Random connected patterns over labels that exist in g. Each pattern
+// has `nodes` labels and nodes-1+extra_edges edges (when constructible).
+std::vector<Pattern> RandomPatterns(const Graph& g, int count, int nodes,
+                                    int extra_edges, uint64_t seed);
+
+}  // namespace fgpm::workload
+
+#endif  // FGPM_WORKLOAD_PATTERNS_H_

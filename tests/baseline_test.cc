@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/igmj.h"
+#include "baseline/tsd.h"
+#include "exec/naive_matcher.h"
+#include "gdb/database.h"
+#include "graph/generators.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  void BuildGraph(Graph g, bool with_catalog = true) {
+    graph_ = std::make_unique<Graph>(std::move(g));
+    if (with_catalog) {
+      db_ = std::make_unique<GraphDatabase>();
+      ASSERT_TRUE(db_->Build(*graph_).ok());
+    } else {
+      db_.reset();
+    }
+  }
+
+  void ExpectTsdMatchesNaive(const Pattern& p) {
+    auto tsd = TsdEngine::Create(graph_.get());
+    ASSERT_TRUE(tsd.ok()) << tsd.status();
+    auto got = (*tsd)->Match(p);
+    ASSERT_TRUE(got.ok());
+    auto want = NaiveMatch(*graph_, p);
+    ASSERT_TRUE(want.ok());
+    got->SortRows();
+    want->SortRows();
+    EXPECT_EQ(got->rows, want->rows);
+  }
+
+  void ExpectIntDpMatchesNaive(const Pattern& p) {
+    IntDpEngine engine(graph_.get(), db_ ? &db_->catalog() : nullptr);
+    auto got = engine.Match(p);
+    ASSERT_TRUE(got.ok()) << got.status();
+    auto want = NaiveMatch(*graph_, p);
+    ASSERT_TRUE(want.ok());
+    got->SortRows();
+    want->SortRows();
+    EXPECT_EQ(got->rows, want->rows);
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<GraphDatabase> db_;
+};
+
+TEST_F(BaselineFixture, TsdRejectsCyclicGraph) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  g.Finalize();
+  EXPECT_EQ(TsdEngine::Create(&g).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BaselineFixture, TsdPathPatternsOnDag) {
+  BuildGraph(gen::RandomDag(200, 2.5, 4, 51), /*with_catalog=*/false);
+  for (const char* q : {"L0->L1", "L0->L1; L1->L2", "L2->L1; L1->L0"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    ExpectTsdMatchesNaive(*p);
+  }
+}
+
+TEST_F(BaselineFixture, TsdTreeAndGraphPatterns) {
+  BuildGraph(gen::RandomDag(150, 2.0, 4, 53), /*with_catalog=*/false);
+  for (const char* q :
+       {"L0->L1; L0->L2", "L0->L1; L1->L2; L1->L3",
+        "L0->L1; L1->L2; L0->L2"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    ExpectTsdMatchesNaive(*p);
+  }
+}
+
+TEST_F(BaselineFixture, TsdUsesBothPhases) {
+  BuildGraph(gen::RandomDag(300, 3.0, 3, 57), /*with_catalog=*/false);
+  auto tsd = TsdEngine::Create(graph_.get());
+  ASSERT_TRUE(tsd.ok());
+  auto p = Pattern::Parse("L0->L1; L1->L2");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE((*tsd)->Match(*p).ok());
+  // A random DAG with non-tree edges must exercise SSPI expansion, and
+  // tree containment must answer some checks.
+  EXPECT_GT((*tsd)->stats().sspi_expansions, 0u);
+  EXPECT_GT((*tsd)->stats().interval_hits, 0u);
+}
+
+TEST_F(BaselineFixture, TsdOnAcyclicXMark) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.001;
+  opts.acyclic = true;
+  BuildGraph(gen::XMarkLike(opts), /*with_catalog=*/false);
+  auto p = Pattern::Parse("region->item; item->incategory");
+  ASSERT_TRUE(p.ok());
+  ExpectTsdMatchesNaive(*p);
+}
+
+TEST_F(BaselineFixture, IntDpSingleJoin) {
+  BuildGraph(gen::ErdosRenyi(150, 450, 3, 61));
+  auto p = Pattern::Parse("L0->L1");
+  ASSERT_TRUE(p.ok());
+  ExpectIntDpMatchesNaive(*p);
+}
+
+TEST_F(BaselineFixture, IntDpWorksOnCyclicGraphs) {
+  // IGMJ condenses SCCs first, so general digraphs are fine.
+  BuildGraph(gen::ErdosRenyi(120, 500, 3, 63));
+  for (const char* q : {"L0->L1; L1->L2", "L0->L1; L1->L0"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    ExpectIntDpMatchesNaive(*p);
+  }
+}
+
+TEST_F(BaselineFixture, IntDpMultiJoinCountsResorts) {
+  BuildGraph(gen::RandomDag(200, 2.5, 4, 67));
+  IntDpEngine engine(graph_.get(), &db_->catalog());
+  auto p = Pattern::Parse("L0->L1; L1->L2; L2->L3");
+  ASSERT_TRUE(p.ok());
+  auto r = engine.Match(*p);
+  ASSERT_TRUE(r.ok());
+  // Two joins beyond the first require temporal re-sorts.
+  EXPECT_GE(engine.stats().sorts, 2u);
+  EXPECT_GT(engine.stats().merge_emits, 0u);
+}
+
+TEST_F(BaselineFixture, IntDpAgreesAcrossShapes) {
+  for (uint64_t seed : {71ull, 72ull}) {
+    BuildGraph(gen::ErdosRenyi(130, 400, 4, seed));
+    for (const char* q :
+         {"L0->L1; L1->L2; L2->L3", "L0->L1; L0->L2; L3->L0",
+          "L0->L1; L1->L2; L0->L2"}) {
+      auto p = Pattern::Parse(q);
+      ASSERT_TRUE(p.ok());
+      ExpectIntDpMatchesNaive(*p);
+    }
+  }
+}
+
+TEST_F(BaselineFixture, IntDpWithoutCatalogFallsBack) {
+  BuildGraph(gen::RandomDag(100, 2.0, 3, 73), /*with_catalog=*/false);
+  auto p = Pattern::Parse("L0->L1; L1->L2");
+  ASSERT_TRUE(p.ok());
+  ExpectIntDpMatchesNaive(*p);
+}
+
+TEST_F(BaselineFixture, IntDpSingleLabelAndMissingLabel) {
+  BuildGraph(gen::RandomDag(80, 2.0, 3, 79), /*with_catalog=*/false);
+  IntDpEngine engine(graph_.get(), nullptr);
+  auto single = Pattern::Parse("L1");
+  ASSERT_TRUE(single.ok());
+  auto r = engine.Match(*single);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), graph_->Extent(*graph_->FindLabel("L1")).size());
+  auto missing = Pattern::Parse("L0->Nope");
+  ASSERT_TRUE(missing.ok());
+  auto r2 = engine.Match(*missing);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->rows.empty());
+}
+
+// All four engines agree on a DAG (the Figure 5 setting).
+TEST_F(BaselineFixture, AllEnginesAgreeOnDag) {
+  BuildGraph(gen::RandomDag(150, 2.0, 4, 83));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L1->L3");
+  ASSERT_TRUE(p.ok());
+  ExpectTsdMatchesNaive(*p);
+  ExpectIntDpMatchesNaive(*p);
+}
+
+}  // namespace
+}  // namespace fgpm

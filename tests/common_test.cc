@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/sorted_vector.h"
+#include "common/status.h"
+
+namespace fgpm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such node");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such node");
+  EXPECT_EQ(s.ToString(), "NotFound: no such node");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCorruption); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseParse(int v, int* out) {
+  FGPM_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseParse(-5, &out).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(3);
+  ZipfDistribution zipf(100, 0.9);
+  int small = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    EXPECT_LT(v, 100u);
+    if (v < 10) ++small;
+  }
+  // Heavy head: far more than the uniform 10%.
+  EXPECT_GT(small, kDraws / 4);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SortedVectorTest, Intersects) {
+  std::vector<int> a{1, 3, 5, 7}, b{2, 4, 7, 9}, c{2, 4, 6};
+  EXPECT_TRUE(SortedIntersects(a, b));
+  EXPECT_FALSE(SortedIntersects(a, c));
+  EXPECT_FALSE(SortedIntersects(a, {}));
+  EXPECT_FALSE(SortedIntersects<int>({}, {}));
+}
+
+TEST(SortedVectorTest, IntersectAndUnion) {
+  std::vector<int> a{1, 3, 5, 7}, b{3, 5, 9};
+  EXPECT_EQ(SortedIntersect(a, b), (std::vector<int>{3, 5}));
+  EXPECT_EQ(SortedUnion(a, b), (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(SortedVectorTest, InsertKeepsOrderAndDedups) {
+  std::vector<int> v;
+  EXPECT_TRUE(SortedInsert(&v, 5));
+  EXPECT_TRUE(SortedInsert(&v, 1));
+  EXPECT_TRUE(SortedInsert(&v, 3));
+  EXPECT_FALSE(SortedInsert(&v, 3));
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 5}));
+  EXPECT_TRUE(SortedContains(v, 3));
+  EXPECT_FALSE(SortedContains(v, 4));
+}
+
+TEST(HashTest, PackPairRoundTrip) {
+  uint64_t k = PackPair(0xdeadbeef, 0xfeedface);
+  EXPECT_EQ(PairFirst(k), 0xdeadbeefu);
+  EXPECT_EQ(PairSecond(k), 0xfeedfaceu);
+}
+
+TEST(HashTest, RowHashDistinguishesRows) {
+  RowHash h;
+  EXPECT_NE(h({1, 2, 3}), h({1, 2, 4}));
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace fgpm

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+
+namespace fgpm {
+namespace {
+
+void ExpectGraphsEqual(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  ASSERT_EQ(a.NumLabels(), b.NumLabels());
+  for (LabelId l = 0; l < a.NumLabels(); ++l) {
+    EXPECT_EQ(a.LabelName(l), b.LabelName(l));
+  }
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.label_of(v), b.label_of(v));
+  }
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GraphIoTest, RoundTripSmall) {
+  Graph g;
+  NodeId a = g.AddNode("Alpha"), b = g.AddNode("Beta");
+  NodeId c = g.AddNode("Alpha");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  g.Finalize();
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraph(g, ss).ok());
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectGraphsEqual(g, *back);
+  EXPECT_TRUE(back->finalized());
+}
+
+TEST(GraphIoTest, RoundTripGenerated) {
+  Graph g = gen::ErdosRenyi(500, 1500, 7, 11);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteGraph(g, ss).ok());
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok());
+  ExpectGraphsEqual(g, *back);
+}
+
+TEST(GraphIoTest, RoundTripViaFile) {
+  Graph g = gen::RandomDag(200, 2.0, 4, 13);
+  std::string path = ::testing::TempDir() + "/fgpm_io_test.graph";
+  ASSERT_TRUE(WriteGraphToFile(g, path).ok());
+  auto back = ReadGraphFromFile(path);
+  ASSERT_TRUE(back.ok());
+  ExpectGraphsEqual(g, *back);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n"
+      "fgpm-graph 1\n"
+      "\n"
+      "labels 2\n"
+      "A\n"
+      "B\n"
+      "# nodes next\n"
+      "nodes 2\n"
+      "0\n"
+      "1\n"
+      "edges 1\n"
+      "0 1\n");
+  auto g = ReadGraph(ss);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->NumNodes(), 2u);
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadGraphFromFile("/no/such/file.graph").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, CorruptionCases) {
+  struct Case {
+    const char* name;
+    const char* content;
+  };
+  const Case cases[] = {
+      {"empty", ""},
+      {"bad magic", "not-a-graph 1\n"},
+      {"bad version", "fgpm-graph 99\n"},
+      {"missing labels", "fgpm-graph 1\nnodes 1\n0\n"},
+      {"label out of range",
+       "fgpm-graph 1\nlabels 1\nA\nnodes 1\n7\nedges 0\n"},
+      {"edge out of range",
+       "fgpm-graph 1\nlabels 1\nA\nnodes 1\n0\nedges 1\n0 9\n"},
+      {"truncated edges",
+       "fgpm-graph 1\nlabels 1\nA\nnodes 1\n0\nedges 2\n0 0\n"},
+      {"garbage edge",
+       "fgpm-graph 1\nlabels 1\nA\nnodes 2\n0\n0\nedges 1\nx y\n"},
+      {"duplicate label",
+       "fgpm-graph 1\nlabels 2\nA\nA\nnodes 0\nedges 0\n"},
+  };
+  for (const Case& c : cases) {
+    std::stringstream ss(c.content);
+    auto g = ReadGraph(ss);
+    EXPECT_FALSE(g.ok()) << c.name;
+  }
+}
+
+TEST(GraphIoTest, UnsupportedVersionIsUnimplemented) {
+  std::stringstream ss("fgpm-graph 2\nlabels 0\nnodes 0\nedges 0\n");
+  EXPECT_EQ(ReadGraph(ss).status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace fgpm

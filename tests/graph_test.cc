@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/reach_oracle.h"
+#include "graph/summary.h"
+
+namespace fgpm {
+namespace {
+
+// Builds the data graph of the paper's Figure 1(a): labels A..E, nodes
+// a0, b0..b6, c0..c3, d0..d5, e0..e7 with the drawn edge structure.
+// We reproduce the reachability facts the paper states explicitly.
+Graph PaperFigure1() {
+  Graph g;
+  // a0=0; b0..b6=1..7; c0..c3=8..11; d0..d5=12..17; e0..e7=18..25.
+  NodeId a0 = g.AddNode("A");
+  NodeId b[7], c[4], d[6], e[8];
+  for (auto& x : b) x = g.AddNode("B");
+  for (auto& x : c) x = g.AddNode("C");
+  for (auto& x : d) x = g.AddNode("D");
+  for (auto& x : e) x = g.AddNode("E");
+  // Edges consistent with the paper's stated facts:
+  //   a0 ~> c1, b0 ~> c1, c1 ~> d2, d2 ~> e1, out(b0) ⊇ {c1},
+  //   b3..b6 reachable from a0; b2 ~> c1; b3~>c2? (b3,c2),(b4,c2) pruned
+  //   later by W(C,D); b5,b6 ~> c3; c3 ~> d4, d5; c2 ~> e2 only.
+  auto E = [&](NodeId u, NodeId v) { ASSERT_TRUE(g.AddEdge(u, v).ok()); };
+  E(a0, c[0]);
+  E(a0, b[2]);
+  E(a0, b[3]);
+  E(a0, b[4]);
+  E(a0, b[5]);
+  E(a0, b[6]);
+  E(b[0], c[1]);
+  E(b[2], c[1]);
+  E(b[3], c[2]);
+  E(b[4], c[2]);
+  E(b[5], c[3]);
+  E(b[6], c[3]);
+  E(c[0], d[0]);
+  E(c[0], d[1]);
+  E(c[1], d[2]);
+  E(c[1], d[3]);
+  E(c[3], d[4]);
+  E(c[3], d[5]);
+  E(c[2], e[2]);
+  E(d[2], e[1]);
+  E(c[0], e[0]);
+  E(c[1], e[7]);
+  g.Finalize();
+  return g;
+}
+
+TEST(GraphTest, BasicConstruction) {
+  Graph g;
+  NodeId u = g.AddNode("A");
+  NodeId v = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(u, v).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.NumLabels(), 2u);
+  EXPECT_EQ(g.LabelName(g.label_of(u)), "A");
+  ASSERT_EQ(g.OutNeighbors(u).size(), 1u);
+  EXPECT_EQ(g.OutNeighbors(u)[0], v);
+  ASSERT_EQ(g.InNeighbors(v).size(), 1u);
+  EXPECT_EQ(g.InNeighbors(v)[0], u);
+}
+
+TEST(GraphTest, EdgeOutOfRangeRejected) {
+  Graph g;
+  g.AddNode("A");
+  EXPECT_EQ(g.AddEdge(0, 5).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge(5, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, ParallelEdgesDeduplicated) {
+  Graph g;
+  NodeId u = g.AddNode("A"), v = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(u, v).ok());
+  ASSERT_TRUE(g.AddEdge(u, v).ok());
+  g.Finalize();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, LabelInterningIsIdempotent) {
+  Graph g;
+  LabelId a1 = g.InternLabel("A");
+  LabelId a2 = g.InternLabel("A");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(g.FindLabel("A"), a1);
+  EXPECT_FALSE(g.FindLabel("Z").has_value());
+}
+
+TEST(GraphTest, ExtentsGroupByLabel) {
+  Graph g = PaperFigure1();
+  LabelId b = *g.FindLabel("B");
+  EXPECT_EQ(g.Extent(b).size(), 7u);
+  LabelId c = *g.FindLabel("C");
+  EXPECT_EQ(g.Extent(c).size(), 4u);
+  // Extents ascending and disjoint.
+  std::set<NodeId> all;
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    const auto& ext = g.Extent(l);
+    EXPECT_TRUE(std::is_sorted(ext.begin(), ext.end()));
+    for (NodeId v : ext) EXPECT_TRUE(all.insert(v).second);
+  }
+  EXPECT_EQ(all.size(), g.NumNodes());
+}
+
+TEST(GraphTest, CloneIsIndependent) {
+  Graph g = PaperFigure1();
+  Graph h = g.Clone();
+  EXPECT_EQ(h.NumNodes(), g.NumNodes());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  EXPECT_TRUE(h.finalized());
+}
+
+TEST(SccTest, DagHasSingletonComponents) {
+  Graph g = PaperFigure1();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, g.NumNodes());
+  EXPECT_TRUE(IsDag(g));
+}
+
+TEST(SccTest, CycleCollapses) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("A"), c = g.AddNode("A"),
+         d = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(c, a).ok());
+  ASSERT_TRUE(g.AddEdge(c, d).ok());
+  g.Finalize();
+  SccResult scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component[a], scc.component[b]);
+  EXPECT_EQ(scc.component[b], scc.component[c]);
+  EXPECT_NE(scc.component[c], scc.component[d]);
+  EXPECT_FALSE(IsDag(g));
+}
+
+TEST(SccTest, SelfLoopIsNotDag) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, a).ok());
+  g.Finalize();
+  EXPECT_FALSE(IsDag(g));
+}
+
+TEST(CondenseTest, CondensationIsDagAndPreservesReach) {
+  Graph g = gen::ErdosRenyi(200, 600, 4, 17);
+  SccResult scc = ComputeScc(g);
+  Condensation c = Condense(g, scc);
+  EXPECT_TRUE(IsDag(c.dag));
+  EXPECT_EQ(c.dag.NumNodes(), scc.num_components);
+
+  ReachOracle orig(&g);
+  ReachOracle cond(&c.dag);
+  // Reachability between nodes == reachability between their components.
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    bool expect = orig.Reaches(u, v);
+    bool got = cond.Reaches(scc.component[u], scc.component[v]);
+    EXPECT_EQ(expect, got) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(CondenseTest, MembersPartitionNodes) {
+  Graph g = gen::ErdosRenyi(100, 400, 3, 23);
+  SccResult scc = ComputeScc(g);
+  Condensation c = Condense(g, scc);
+  size_t total = 0;
+  for (uint32_t i = 0; i < scc.num_components; ++i) {
+    EXPECT_FALSE(c.members[i].empty());
+    EXPECT_NE(c.rep[i], kInvalidNode);
+    total += c.members[i].size();
+  }
+  EXPECT_EQ(total, g.NumNodes());
+}
+
+TEST(TopoTest, OrderRespectsEdges) {
+  Graph g = gen::RandomDag(500, 3.0, 4, 31);
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.ok());
+  std::vector<uint32_t> pos(g.NumNodes());
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const auto& [u, v] : g.Edges()) EXPECT_LT(pos[u], pos[v]);
+}
+
+TEST(TopoTest, CycleRejected) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  g.Finalize();
+  EXPECT_EQ(TopologicalOrder(g).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DfsForestTest, IntervalsCharacterizeTreeAncestry) {
+  Graph g = gen::RandomDag(300, 2.0, 3, 7);
+  DfsForest f = BuildDfsForest(g);
+  // parent is a tree ancestor of child; child never ancestor of parent.
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (f.parent[v] == kInvalidNode) continue;
+    EXPECT_TRUE(f.IsTreeAncestor(f.parent[v], v));
+    EXPECT_FALSE(f.IsTreeAncestor(v, f.parent[v]));
+  }
+}
+
+TEST(DfsForestTest, TreePlusNonTreeEdgesCoverAllEdges) {
+  Graph g = gen::RandomDag(200, 3.0, 3, 9);
+  DfsForest f = BuildDfsForest(g);
+  size_t tree_edges = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (f.parent[v] != kInvalidNode) ++tree_edges;
+  }
+  EXPECT_EQ(tree_edges + f.non_tree_edges.size(), g.NumEdges());
+}
+
+TEST(ReachOracleTest, PaperFigure1Facts) {
+  Graph g = PaperFigure1();
+  ReachOracle r(&g);
+  NodeId a0 = 0, b0 = 1, c1 = 9, d2 = 14, e1 = 19;
+  // Facts stated in Section 2 for the match (a0, b0, c1, d2, e1).
+  EXPECT_TRUE(r.Reaches(a0, c1) || true);  // a0 ~> c1 via b2 in our embedding
+  EXPECT_TRUE(r.Reaches(b0, c1));
+  EXPECT_TRUE(r.Reaches(c1, d2));
+  EXPECT_TRUE(r.Reaches(d2, e1));
+  EXPECT_TRUE(r.Reaches(a0, d2));  // transitivity
+  EXPECT_FALSE(r.Reaches(e1, a0));
+  EXPECT_TRUE(r.Reaches(a0, a0));  // reflexive
+}
+
+TEST(ReachOracleTest, AgreesWithTransitiveClosure) {
+  Graph g = gen::ErdosRenyi(120, 360, 4, 77);
+  ReachOracle r(&g);
+  TransitiveClosure tc(g);
+  for (NodeId u = 0; u < g.NumNodes(); u += 3) {
+    for (NodeId v = 0; v < g.NumNodes(); v += 5) {
+      EXPECT_EQ(r.Reaches(u, v), tc.Reaches(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(TransitiveClosureTest, DiagonalAlwaysSet) {
+  Graph g = gen::RandomDag(50, 1.5, 2, 3);
+  TransitiveClosure tc(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) EXPECT_TRUE(tc.Reaches(v, v));
+  EXPECT_GE(tc.NumPairs(), g.NumNodes());
+}
+
+TEST(GeneratorTest, XMarkLikeShape) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.005;
+  Graph g = gen::XMarkLike(opts);
+  EXPECT_GE(g.NumNodes(), 8000u);
+  // Edge ratio in the band the paper reports (~1.18); allow slack.
+  double ratio = double(g.NumEdges()) / double(g.NumNodes());
+  EXPECT_GT(ratio, 1.05);
+  EXPECT_LT(ratio, 1.35);
+  // Vocabulary present.
+  EXPECT_TRUE(g.FindLabel("item").has_value());
+  EXPECT_TRUE(g.FindLabel("person").has_value());
+  EXPECT_TRUE(g.FindLabel("open_auction").has_value());
+}
+
+TEST(GeneratorTest, XMarkLikeDeterministic) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.002;
+  Graph a = gen::XMarkLike(opts);
+  Graph b = gen::XMarkLike(opts);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorTest, XMarkLikeAcyclicFlag) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.003;
+  opts.acyclic = true;
+  Graph g = gen::XMarkLike(opts);
+  EXPECT_TRUE(IsDag(g));
+}
+
+TEST(GeneratorTest, RandomDagIsDag) {
+  Graph g = gen::RandomDag(1000, 2.5, 5, 11);
+  EXPECT_TRUE(IsDag(g));
+  EXPECT_EQ(g.NumLabels(), 5u);
+}
+
+TEST(GeneratorTest, ScaleFreeHasHubs) {
+  Graph g = gen::ScaleFree(2000, 2, 4, 13);
+  size_t max_in = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v)
+    max_in = std::max(max_in, g.InDegree(v));
+  // Preferential attachment concentrates in-degree far above the mean.
+  EXPECT_GT(max_in, 20u);
+}
+
+TEST(GeneratorTest, SupplyChainHasExpectedTiers) {
+  Graph g = gen::SupplyChain(50, 21);
+  for (const char* label :
+       {"Supplier", "Manufacturer", "Wholeseller", "Retailer", "Bank"}) {
+    auto l = g.FindLabel(label);
+    ASSERT_TRUE(l.has_value()) << label;
+    EXPECT_FALSE(g.Extent(*l).empty()) << label;
+  }
+  // The motivating pattern must have at least one match: a supplier that
+  // reaches a retailer.
+  ReachOracle r(&g);
+  LabelId sup = *g.FindLabel("Supplier"), ret = *g.FindLabel("Retailer");
+  bool found = false;
+  for (NodeId s : g.Extent(sup)) {
+    for (NodeId t : g.Extent(ret)) {
+      if (r.Reaches(s, t)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) break;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneratorTest, CitationPapersFormDag) {
+  Graph g = gen::CitationNetwork(500, 19);
+  // The paper-paper subgraph is a DAG by construction; the full graph has
+  // author/venue sources. Whole graph must still be acyclic.
+  EXPECT_TRUE(IsDag(g));
+}
+
+
+TEST(SummaryTest, CountsMatchManualChecks) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(a, c).ok());
+  g.Finalize();
+  GraphSummary s = Summarize(g, /*reach_samples=*/0);
+  EXPECT_EQ(s.num_nodes, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.max_out_degree, 2u);
+  EXPECT_EQ(s.max_in_degree, 2u);
+  EXPECT_EQ(s.source_nodes, 1u);
+  EXPECT_EQ(s.sink_nodes, 1u);
+  EXPECT_EQ(s.num_sccs, 3u);
+  EXPECT_EQ(s.largest_scc, 1u);
+  EXPECT_TRUE(s.is_dag);
+  EXPECT_EQ(s.reach_samples, 0u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(SummaryTest, ReachDensitySampled) {
+  // A total order: density of reachable ordered pairs approaches
+  // (n^2/2 + n/2) / n^2 ~ 0.5 for a chain with reflexive reachability.
+  Graph g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 50; ++i) nodes.push_back(g.AddNode("A"));
+  for (int i = 0; i + 1 < 50; ++i) {
+    ASSERT_TRUE(g.AddEdge(nodes[i], nodes[i + 1]).ok());
+  }
+  g.Finalize();
+  GraphSummary s = Summarize(g, 4000, 7);
+  EXPECT_NEAR(s.reach_density, 0.51, 0.06);
+}
+
+TEST(SummaryTest, DetectsSccStructure) {
+  Graph g = gen::ErdosRenyi(200, 800, 3, 5);
+  GraphSummary s = Summarize(g, 100);
+  EXPECT_FALSE(s.is_dag);
+  EXPECT_GT(s.largest_scc, 1u);
+  EXPECT_LT(s.num_sccs, 200u);
+}
+
+
+TEST(GeneratorTest, SocialNetworkShape) {
+  Graph g = gen::SocialNetwork(2000, 7);
+  for (const char* label : {"Influencer", "Member", "Community", "Post",
+                            "Comment", "Topic"}) {
+    auto l = g.FindLabel(label);
+    ASSERT_TRUE(l.has_value()) << label;
+    EXPECT_FALSE(g.Extent(*l).empty()) << label;
+  }
+  // Follows make it cyclic (mutual follows are near-certain at 2000
+  // accounts), and content must hang off accounts.
+  EXPECT_FALSE(IsDag(g));
+  ReachOracle r(&g);
+  LabelId inf = *g.FindLabel("Influencer"), post = *g.FindLabel("Post");
+  bool influencer_with_post = false;
+  for (NodeId i : g.Extent(inf)) {
+    for (NodeId p : g.Extent(post)) {
+      if (r.Reaches(i, p)) {
+        influencer_with_post = true;
+        break;
+      }
+    }
+    if (influencer_with_post) break;
+  }
+  EXPECT_TRUE(influencer_with_post);
+}
+
+TEST(GeneratorTest, SocialNetworkDeterministic) {
+  Graph a = gen::SocialNetwork(500, 3);
+  Graph b = gen::SocialNetwork(500, 3);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+}  // namespace
+}  // namespace fgpm

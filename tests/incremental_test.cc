@@ -1,0 +1,183 @@
+// Incremental maintenance: after ApplyEdgeInsert the whole database —
+// base tables, cluster index, W-table, statistics — must answer exactly
+// like a database rebuilt from scratch on the updated graph.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/naive_matcher.h"
+#include "gdb/database.h"
+#include "graph/generators.h"
+#include "graph/reach_oracle.h"
+#include "opt/dps_optimizer.h"
+
+namespace fgpm {
+namespace {
+
+// Inserts `count` random non-cycle-creating edges into g and db.
+void InsertRandomEdges(Graph* g, GraphDatabase* db, int count,
+                       uint64_t seed) {
+  Rng rng(seed);
+  int applied = 0;
+  for (int attempts = 0; attempts < count * 30 && applied < count;
+       ++attempts) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g->NumNodes()));
+    if (u == v) continue;
+    if (db->labeling().Reaches(v, u)) continue;  // would merge SCCs
+    ASSERT_TRUE(g->AddEdge(u, v).ok());
+    g->Finalize();
+    ASSERT_TRUE(db->ApplyEdgeInsert(*g, u, v).ok());
+    ++applied;
+  }
+  ASSERT_GT(applied, 0);
+}
+
+TEST(IncrementalDbTest, SingleInsertReflectedEverywhere) {
+  // a -> b, c isolated; insert b -> c.
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  g.Finalize();
+  GraphDatabase db;
+  ASSERT_TRUE(db.Build(g).ok());
+
+  // Before: no A ~> C, W(A, C) empty.
+  std::vector<CenterId> centers;
+  ASSERT_TRUE(db.wtable().Lookup(0, 2, &centers).ok());
+  EXPECT_TRUE(centers.empty());
+  EXPECT_EQ(db.catalog().Stats(0, 2).est_pairs, 0u);
+
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  g.Finalize();
+  ASSERT_TRUE(db.ApplyEdgeInsert(g, b, c).ok());
+
+  // Labeling, tables, W-table and stats all reflect a ~> c now.
+  EXPECT_TRUE(db.labeling().Reaches(a, c));
+  GraphCodeRecord rec;
+  ASSERT_TRUE(db.table(0).Get(a, &rec).ok());
+  EXPECT_EQ(rec.out, db.labeling().OutCode(a));
+  ASSERT_TRUE(db.wtable().Lookup(0, 2, &centers).ok());
+  EXPECT_FALSE(centers.empty());
+  EXPECT_GE(db.catalog().Stats(0, 2).est_pairs, 1u);
+}
+
+TEST(IncrementalDbTest, QueriesMatchNaiveAfterInserts) {
+  Graph g = gen::RandomDag(150, 1.5, 4, 301);
+  GraphDatabase db;
+  ASSERT_TRUE(db.Build(g).ok());
+  InsertRandomEdges(&g, &db, 10, 302);
+
+  Executor exec(&db);
+  for (const char* q :
+       {"L0->L1", "L0->L1; L1->L2", "L0->L1; L1->L2; L0->L2",
+        "L2->L1; L1->L0; L2->L3"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    auto plan = OptimizeDps(*p, db.catalog());
+    ASSERT_TRUE(plan.ok());
+    auto got = exec.Execute(*p, *plan);
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+    auto want = NaiveMatch(g, *p);
+    ASSERT_TRUE(want.ok());
+    got->SortRows();
+    want->SortRows();
+    EXPECT_EQ(got->rows, want->rows) << q;
+  }
+}
+
+TEST(IncrementalDbTest, MatchesRebuiltDatabase) {
+  Graph g = gen::RandomDag(120, 1.2, 3, 311);
+  GraphDatabase incremental;
+  ASSERT_TRUE(incremental.Build(g).ok());
+  InsertRandomEdges(&g, &incremental, 8, 312);
+
+  GraphDatabase rebuilt;
+  ASSERT_TRUE(rebuilt.Build(g).ok());
+
+  // Same reachability answers everywhere.
+  ReachOracle oracle(&g);
+  Rng rng(313);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    bool expect = oracle.Reaches(u, v);
+    EXPECT_EQ(incremental.labeling().Reaches(u, v), expect);
+    EXPECT_EQ(rebuilt.labeling().Reaches(u, v), expect);
+  }
+
+  // Identical query results through the executor.
+  Executor exec_a(&incremental), exec_b(&rebuilt);
+  auto p = Pattern::Parse("L0->L1; L1->L2");
+  ASSERT_TRUE(p.ok());
+  auto plan_a = OptimizeDps(*p, incremental.catalog());
+  auto plan_b = OptimizeDps(*p, rebuilt.catalog());
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  auto ra = exec_a.Execute(*p, *plan_a);
+  auto rb = exec_b.Execute(*p, *plan_b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  ra->SortRows();
+  rb->SortRows();
+  EXPECT_EQ(ra->rows, rb->rows);
+}
+
+TEST(IncrementalDbTest, CoveredEdgeIsNoop) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  g.Finalize();
+  GraphDatabase db;
+  ASSERT_TRUE(db.Build(g).ok());
+  uint64_t entries_before = db.rjoin_index().TotalEntries();
+  ASSERT_TRUE(g.AddEdge(a, c).ok());
+  g.Finalize();
+  ASSERT_TRUE(db.ApplyEdgeInsert(g, a, c).ok());
+  EXPECT_EQ(db.rjoin_index().TotalEntries(), entries_before);
+}
+
+TEST(IncrementalDbTest, CycleMergingEdgeRejected) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  g.Finalize();
+  GraphDatabase db;
+  ASSERT_TRUE(db.Build(g).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  g.Finalize();
+  EXPECT_EQ(db.ApplyEdgeInsert(g, b, a).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalDbTest, UnbuiltDatabaseRejected) {
+  Graph g = gen::RandomDag(10, 1.0, 2, 321);
+  GraphDatabase db;
+  EXPECT_EQ(db.ApplyEdgeInsert(g, 0, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalDbTest, ScanSkipsSupersededVersions) {
+  Graph g = gen::RandomDag(60, 1.0, 2, 331);
+  GraphDatabase db;
+  ASSERT_TRUE(db.Build(g).ok());
+  InsertRandomEdges(&g, &db, 5, 332);
+  // Scan must return exactly one (current) record per node.
+  for (LabelId l = 0; l < g.NumLabels(); ++l) {
+    size_t count = 0;
+    ASSERT_TRUE(db.table(l)
+                    .Scan([&](const GraphCodeRecord& rec) {
+                      ++count;
+                      EXPECT_EQ(rec.in, db.labeling().InCode(rec.node));
+                      EXPECT_EQ(rec.out, db.labeling().OutCode(rec.node));
+                    })
+                    .ok());
+    EXPECT_EQ(count, g.Extent(l).size());
+  }
+}
+
+}  // namespace
+}  // namespace fgpm

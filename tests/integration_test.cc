@@ -1,0 +1,157 @@
+// End-to-end scenarios across the whole stack: generators -> database ->
+// optimizers -> engines -> results.
+#include <gtest/gtest.h>
+
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "workload/datasets.h"
+#include "workload/patterns.h"
+
+namespace fgpm {
+namespace {
+
+TEST(IntegrationTest, XmarkSuitesDpEqualsDps) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.004;
+  Graph g = gen::XMarkLike(opts);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+
+  auto all = workload::XmarkPathPatterns();
+  auto trees = workload::XmarkTreePatterns();
+  all.insert(all.end(), trees.begin(), trees.end());
+  auto q4 = workload::XmarkGraphPatterns4();
+  all.insert(all.end(), q4.begin(), q4.end());
+
+  for (const auto& p : all) {
+    auto dp = (*matcher)->Match(p, {.engine = Engine::kDp});
+    auto dps = (*matcher)->Match(p, {.engine = Engine::kDps});
+    ASSERT_TRUE(dp.ok()) << p.ToString();
+    ASSERT_TRUE(dps.ok()) << p.ToString();
+    dp->SortRows();
+    dps->SortRows();
+    EXPECT_EQ(dp->rows, dps->rows) << p.ToString();
+  }
+}
+
+TEST(IntegrationTest, AcyclicXmarkAllEnginesOnPathSuite) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.0015;
+  opts.acyclic = true;
+  Graph g = gen::XMarkLike(opts);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+  // First three path patterns on every engine including TSD.
+  auto paths = workload::XmarkPathPatterns();
+  for (int i = 0; i < 3; ++i) {
+    Result<MatchResult> expect =
+        (*matcher)->Match(paths[i], {.engine = Engine::kNaive});
+    ASSERT_TRUE(expect.ok());
+    expect->SortRows();
+    for (Engine e : {Engine::kDps, Engine::kDp, Engine::kIntDp, Engine::kTsd}) {
+      auto r = (*matcher)->Match(paths[i], {.engine = e});
+      ASSERT_TRUE(r.ok()) << EngineName(e);
+      r->SortRows();
+      EXPECT_EQ(r->rows, expect->rows)
+          << EngineName(e) << " on " << paths[i].ToString();
+    }
+  }
+}
+
+TEST(IntegrationTest, SupplyChainMotivatingExample) {
+  Graph g = gen::SupplyChain(60, 11);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+  // Section 1: Supplier supplies Retailer and Wholeseller directly or
+  // indirectly; all three are served by the same Bank.
+  auto r = (*matcher)->Match(
+      "Supplier->Retailer; Supplier->Wholeseller; Bank->Supplier; "
+      "Bank->Retailer; Bank->Wholeseller");
+  ASSERT_TRUE(r.ok());
+  auto naive = (*matcher)->Match(
+      "Supplier->Retailer; Supplier->Wholeseller; Bank->Supplier; "
+      "Bank->Retailer; Bank->Wholeseller",
+      {.engine = Engine::kNaive});
+  ASSERT_TRUE(naive.ok());
+  r->SortRows();
+  naive->SortRows();
+  EXPECT_EQ(r->rows, naive->rows);
+}
+
+TEST(IntegrationTest, CitationNetworkScenario) {
+  Graph g = gen::CitationNetwork(400, 13);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+  // An author whose Database paper (transitively) cites a Theory paper.
+  auto r = (*matcher)->Match("Author->Database; Database->Theory");
+  ASSERT_TRUE(r.ok());
+  auto naive = (*matcher)->Match("Author->Database; Database->Theory",
+                                 {.engine = Engine::kNaive});
+  ASSERT_TRUE(naive.ok());
+  r->SortRows();
+  naive->SortRows();
+  EXPECT_EQ(r->rows, naive->rows);
+  EXPECT_GT(r->rows.size(), 0u);
+}
+
+TEST(IntegrationTest, DatasetSeriesBuildsAndAnswers) {
+  // Tiny rendition of the Table 2 series: build the five datasets at a
+  // small scale and run one query on each.
+  auto specs = workload::PaperDatasets();
+  auto p = Pattern::Parse("region->item; item->incategory");
+  ASSERT_TRUE(p.ok());
+  size_t prev_nodes = 0;
+  for (const auto& spec : specs) {
+    Graph g = workload::LoadDataset(spec, 0.005);
+    EXPECT_GT(g.NumNodes(), prev_nodes) << spec.name;
+    prev_nodes = g.NumNodes();
+    auto matcher = GraphMatcher::Create(&g);
+    ASSERT_TRUE(matcher.ok()) << spec.name;
+    auto r = (*matcher)->Match(*p);
+    ASSERT_TRUE(r.ok()) << spec.name;
+    EXPECT_GT(r->rows.size(), 0u) << spec.name;
+  }
+}
+
+TEST(IntegrationTest, CoverSizePerNodeInPaperBand) {
+  // Table 2 reports |H|/|V| ~= 3.47-3.50 on all five datasets; our
+  // synthetic XMark stand-in must land in a comparable band and stay
+  // stable across scales (structural, not size-dependent).
+  auto specs = workload::PaperDatasets();
+  for (const auto& spec : {specs[0], specs[4]}) {
+    Graph g = workload::LoadDataset(spec, 0.004);
+    GraphDatabase db;
+    ASSERT_TRUE(db.Build(g).ok());
+    double per_node = double(db.labeling().CoverSize()) / double(g.NumNodes());
+    // (Our pruned builder is a little less tight than the authors'
+    // EDBT'06 algorithm, and tiny scales inflate the ratio slightly.)
+    EXPECT_GT(per_node, 1.5) << spec.name;
+    EXPECT_LT(per_node, 6.0) << spec.name;
+  }
+}
+
+TEST(IntegrationTest, DpsIoAdvantageOnGraphPatterns) {
+  // Section 6.2: "DP spends over five times of I/O cost than DPS" — at
+  // our test scale we only assert DPS does not do *more* I/O summed over
+  // the Q-suite.
+  gen::XMarkOptions opts;
+  opts.factor = 0.004;
+  Graph g = gen::XMarkLike(opts);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+  uint64_t dp_io = 0, dps_io = 0;
+  for (const auto& p : workload::XmarkGraphPatterns4()) {
+    auto dp = (*matcher)->Match(p, {.engine = Engine::kDp});
+    ASSERT_TRUE(dp.ok());
+    dp_io += dp->stats.modeled_io_pages;
+    auto dps = (*matcher)->Match(p, {.engine = Engine::kDps});
+    ASSERT_TRUE(dps.ok());
+    dps_io += dps->stats.modeled_io_pages;
+  }
+  // At this tiny test scale the two can land close together; the real
+  // multiple shows in bench_io_cost at benchmark scale. Allow 15% slack.
+  EXPECT_LE(dps_io, dp_io + dp_io / 7);
+}
+
+}  // namespace
+}  // namespace fgpm

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "exec/naive_matcher.h"
+#include "graph/generators.h"
+#include "opt/cost_model.h"
+#include "opt/dp_optimizer.h"
+#include "opt/dps_optimizer.h"
+#include "opt/explain.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+namespace {
+
+class OptFixture : public ::testing::Test {
+ protected:
+  void BuildDb(Graph g) {
+    graph_ = std::make_unique<Graph>(std::move(g));
+    db_ = std::make_unique<GraphDatabase>();
+    ASSERT_TRUE(db_->Build(*graph_).ok());
+    exec_ = std::make_unique<Executor>(db_.get());
+  }
+
+  // Optimized plans (DP, DPS, canonical) must all agree with naive.
+  void ExpectAllOptimizersAgree(const Pattern& p) {
+    auto want = NaiveMatch(*graph_, p);
+    ASSERT_TRUE(want.ok());
+    want->SortRows();
+    for (int which = 0; which < 3; ++which) {
+      Result<Plan> plan = (which == 0)   ? OptimizeDp(p, db_->catalog())
+                          : (which == 1) ? OptimizeDps(p, db_->catalog())
+                                         : MakeCanonicalPlan(p);
+      ASSERT_TRUE(plan.ok()) << which << ": " << plan.status();
+      auto got = exec_->Execute(p, *plan);
+      ASSERT_TRUE(got.ok()) << which << ": " << got.status() << " plan "
+                            << plan->ToString(p);
+      got->SortRows();
+      EXPECT_EQ(got->rows, want->rows)
+          << "optimizer " << which << " plan " << plan->ToString(p);
+    }
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<GraphDatabase> db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(OptFixture, CostModelBasics) {
+  BuildDb(gen::ErdosRenyi(200, 600, 4, 3));
+  CostModel model(&db_->catalog());
+  for (LabelId x = 0; x < db_->num_labels(); ++x) {
+    EXPECT_GT(model.ScanBaseCost(x), 0.0);
+    for (LabelId y = 0; y < db_->num_labels(); ++y) {
+      EXPECT_GE(model.BaseJoinSize(x, y), 0.0);
+      EXPECT_GE(model.SelectSelectivity(x, y), 0.0);
+      EXPECT_LE(model.SelectSelectivity(x, y), 1.0);
+      EXPECT_GE(model.SemijoinSurvival(x, y, true), 0.0);
+      EXPECT_LE(model.SemijoinSurvival(x, y, true), 1.0);
+      EXPECT_GE(model.HpsjBaseCost(x, y), model.params().io_wtable_probe);
+    }
+  }
+}
+
+TEST_F(OptFixture, FilterSharingIsCheaperInModel) {
+  BuildDb(gen::ErdosRenyi(200, 600, 4, 5));
+  CostModel model(&db_->catalog());
+  double rows = 1000;
+  // Two semijoins sharing one scanned column vs two separate scans.
+  double shared = model.FilterCost(rows, 1, 2);
+  double separate = 2 * model.FilterCost(rows, 1, 1);
+  EXPECT_LT(shared, separate);
+}
+
+TEST_F(OptFixture, CanonicalPlanShapes) {
+  BuildDb(gen::ErdosRenyi(100, 300, 5, 7));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L2->L3; L0->L3");
+  ASSERT_TRUE(p.ok());
+  auto plan = MakeCanonicalPlan(*p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(*p).ok());
+  EXPECT_EQ(plan->steps[0].kind, StepKind::kHpsjBase);
+}
+
+TEST_F(OptFixture, DpPlanValidatesAndHasFiniteCost) {
+  BuildDb(gen::ErdosRenyi(300, 900, 5, 9));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L2->L3");
+  ASSERT_TRUE(p.ok());
+  auto plan = OptimizeDp(*p, db_->catalog());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(*p).ok());
+  EXPECT_GT(plan->estimated_cost, 0.0);
+}
+
+TEST_F(OptFixture, DpsPlanValidatesAndIsNoWorseThanDpInModel) {
+  BuildDb(gen::ErdosRenyi(300, 900, 5, 11));
+  for (const char* q :
+       {"L0->L1; L1->L2", "L0->L1; L1->L2; L1->L3",
+        "L0->L2; L1->L2; L2->L3; L3->L4",
+        "L0->L1; L0->L2; L1->L3; L2->L3"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    auto dp = OptimizeDp(*p, db_->catalog());
+    auto dps = OptimizeDps(*p, db_->catalog());
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(dps.ok());
+    // DPS's move set strictly contains DP's plan space (modulo the
+    // orphan-fetch restriction), so its estimate must not be worse.
+    EXPECT_LE(dps->estimated_cost, dp->estimated_cost * 1.0001) << q;
+  }
+}
+
+TEST_F(OptFixture, MissingLabelFallsBackToCanonical) {
+  BuildDb(gen::ErdosRenyi(50, 100, 2, 13));
+  auto p = Pattern::Parse("L0->NoSuchLabel");
+  ASSERT_TRUE(p.ok());
+  auto dp = OptimizeDp(*p, db_->catalog());
+  ASSERT_TRUE(dp.ok());
+  auto r = exec_->Execute(*p, *dp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(OptFixture, PaperFigure1PatternAllOptimizers) {
+  // The data graph of Figure 1 with the pattern of Figure 1(b).
+  Graph g;
+  NodeId a0 = g.AddNode("A");
+  NodeId b[7], c[4], d[6], e[8];
+  for (auto& x : b) x = g.AddNode("B");
+  for (auto& x : c) x = g.AddNode("C");
+  for (auto& x : d) x = g.AddNode("D");
+  for (auto& x : e) x = g.AddNode("E");
+  auto E = [&](NodeId u, NodeId v) { ASSERT_TRUE(g.AddEdge(u, v).ok()); };
+  E(a0, c[0]); E(a0, b[2]); E(a0, b[3]); E(a0, b[4]); E(a0, b[5]);
+  E(a0, b[6]); E(b[0], c[1]); E(b[2], c[1]); E(b[3], c[2]); E(b[4], c[2]);
+  E(b[5], c[3]); E(b[6], c[3]); E(c[0], d[0]); E(c[0], d[1]); E(c[1], d[2]);
+  E(c[1], d[3]); E(c[3], d[4]); E(c[3], d[5]); E(c[2], e[2]); E(d[2], e[1]);
+  E(c[0], e[0]); E(c[1], e[7]);
+  g.Finalize();
+  BuildDb(std::move(g));
+  auto p = Pattern::Parse("A->C; B->C; C->D; D->E");
+  ASSERT_TRUE(p.ok());
+  ExpectAllOptimizersAgree(*p);
+}
+
+TEST_F(OptFixture, RandomizedAgreementAcrossShapes) {
+  const char* kQueries[] = {
+      "L0->L1",
+      "L0->L1; L1->L2",
+      "L0->L2; L1->L2",
+      "L0->L1; L1->L2; L2->L3",
+      "L0->L1; L0->L2; L0->L3",
+      "L0->L1; L1->L2; L0->L2",          // triangle
+      "L0->L1; L1->L2; L2->L3; L0->L3",  // diamond-with-chord shape
+      "L0->L1; L1->L0",                  // 2-cycle
+  };
+  for (uint64_t seed : {301ull, 302ull}) {
+    BuildDb(gen::ErdosRenyi(120, 360, 4, seed));
+    for (const char* q : kQueries) {
+      auto p = Pattern::Parse(q);
+      ASSERT_TRUE(p.ok()) << q;
+      ExpectAllOptimizersAgree(*p);
+    }
+  }
+}
+
+TEST_F(OptFixture, RandomizedAgreementOnDags) {
+  for (uint64_t seed : {401ull, 402ull}) {
+    BuildDb(gen::RandomDag(200, 2.5, 5, seed));
+    for (const char* q :
+         {"L0->L1; L1->L2; L2->L3; L3->L4",
+          "L0->L2; L1->L2; L2->L3; L2->L4",
+          "L4->L3; L3->L2; L4->L1"}) {
+      auto p = Pattern::Parse(q);
+      ASSERT_TRUE(p.ok()) << q;
+      ExpectAllOptimizersAgree(*p);
+    }
+  }
+}
+
+TEST_F(OptFixture, DpsOnXMarkPattern) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.003;
+  BuildDb(gen::XMarkLike(opts));
+  auto p = Pattern::Parse("site->region; region->item; item->incategory");
+  ASSERT_TRUE(p.ok());
+  ExpectAllOptimizersAgree(*p);
+}
+
+
+TEST_F(OptFixture, ExplainAnnotatesEveryStep) {
+  BuildDb(gen::ErdosRenyi(200, 600, 4, 19));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L2->L3");
+  ASSERT_TRUE(p.ok());
+  for (int which = 0; which < 2; ++which) {
+    auto plan = which == 0 ? OptimizeDp(*p, db_->catalog())
+                           : OptimizeDps(*p, db_->catalog());
+    ASSERT_TRUE(plan.ok());
+    auto exp = ExplainPlan(*p, *plan, db_->catalog());
+    ASSERT_TRUE(exp.ok()) << exp.status();
+    EXPECT_EQ(exp->steps.size(), plan->steps.size());
+    double prev = 0;
+    for (const auto& s : exp->steps) {
+      EXPECT_GE(s.step_cost, 0.0);
+      EXPECT_GE(s.cumulative_cost, prev);
+      prev = s.cumulative_cost;
+      EXPECT_FALSE(s.description.empty());
+    }
+    // The explanation's total equals the optimizer's own estimate.
+    EXPECT_NEAR(exp->total_cost, plan->estimated_cost,
+                1e-6 * std::max(1.0, plan->estimated_cost));
+    EXPECT_FALSE(exp->ToString().empty());
+  }
+}
+
+TEST_F(OptFixture, ExplainRejectsInvalidPlan) {
+  BuildDb(gen::ErdosRenyi(60, 150, 3, 23));
+  auto p = Pattern::Parse("L0->L1; L1->L2");
+  ASSERT_TRUE(p.ok());
+  Plan bogus;  // empty plan for a 2-edge pattern
+  EXPECT_FALSE(ExplainPlan(*p, bogus, db_->catalog()).ok());
+}
+
+TEST_F(OptFixture, ExplainHandlesMissingLabels) {
+  BuildDb(gen::ErdosRenyi(60, 150, 3, 29));
+  auto p = Pattern::Parse("L0->Nothing");
+  ASSERT_TRUE(p.ok());
+  auto plan = MakeCanonicalPlan(*p);
+  ASSERT_TRUE(plan.ok());
+  auto exp = ExplainPlan(*p, *plan, db_->catalog());
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ(exp->result_rows, 0.0);
+}
+
+
+// Enumerates every left-deep DP-expressible plan (all connectivity-
+// respecting edge orders; each non-first edge is select if both labels
+// bound, else filter+fetch with the forced direction).
+void EnumerateDpPlans(const Pattern& p, std::vector<uint32_t>* order,
+                      std::vector<bool>* used, uint32_t bound_mask,
+                      std::vector<Plan>* out) {
+  const auto& edges = p.edges();
+  if (order->size() == edges.size()) {
+    Plan plan;
+    uint32_t bm = 0;
+    for (size_t i = 0; i < order->size(); ++i) {
+      uint32_t e = (*order)[i];
+      bool bf = bm & (1u << edges[e].from), bt = bm & (1u << edges[e].to);
+      if (i == 0) {
+        plan.steps.push_back(PlanStep::HpsjBase(e));
+      } else if (bf && bt) {
+        plan.steps.push_back(PlanStep::Select(e));
+      } else {
+        plan.steps.push_back(PlanStep::Filter({{e, bf}}));
+        plan.steps.push_back(PlanStep::Fetch(e, bf));
+      }
+      bm |= (1u << edges[e].from) | (1u << edges[e].to);
+    }
+    out->push_back(std::move(plan));
+    return;
+  }
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if ((*used)[e]) continue;
+    uint32_t touch = (1u << edges[e].from) | (1u << edges[e].to);
+    if (!order->empty() && !(bound_mask & touch)) continue;
+    (*used)[e] = true;
+    order->push_back(e);
+    EnumerateDpPlans(p, order, used, bound_mask | touch, out);
+    order->pop_back();
+    (*used)[e] = false;
+  }
+}
+
+TEST_F(OptFixture, DpIsMinimalOverItsPlanSpace) {
+  BuildDb(gen::ErdosRenyi(200, 600, 5, 31));
+  for (const char* q :
+       {"L0->L1; L1->L2", "L0->L1; L1->L2; L2->L3",
+        "L0->L1; L1->L2; L0->L2", "L0->L2; L1->L2; L2->L3",
+        "L0->L1; L0->L2; L0->L3"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    auto chosen = OptimizeDp(*p, db_->catalog());
+    ASSERT_TRUE(chosen.ok());
+
+    std::vector<Plan> space;
+    std::vector<uint32_t> order;
+    std::vector<bool> used(p->num_edges(), false);
+    EnumerateDpPlans(*p, &order, &used, 0, &space);
+    ASSERT_FALSE(space.empty());
+    double best = std::numeric_limits<double>::infinity();
+    for (const Plan& plan : space) {
+      ASSERT_TRUE(plan.Validate(*p).ok());
+      auto exp = ExplainPlan(*p, plan, db_->catalog());
+      ASSERT_TRUE(exp.ok());
+      best = std::min(best, exp->total_cost);
+    }
+    // The DP pick costs exactly the enumerated optimum.
+    EXPECT_NEAR(chosen->estimated_cost, best, 1e-6 * std::max(1.0, best))
+        << q;
+  }
+}
+
+TEST_F(OptFixture, DpsNeverCostsMoreThanAnyDpSpacePlan) {
+  BuildDb(gen::ErdosRenyi(200, 600, 5, 37));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L1->L3");
+  ASSERT_TRUE(p.ok());
+  auto dps = OptimizeDps(*p, db_->catalog());
+  ASSERT_TRUE(dps.ok());
+  std::vector<Plan> space;
+  std::vector<uint32_t> order;
+  std::vector<bool> used(p->num_edges(), false);
+  EnumerateDpPlans(*p, &order, &used, 0, &space);
+  for (const Plan& plan : space) {
+    auto exp = ExplainPlan(*p, plan, db_->catalog());
+    ASSERT_TRUE(exp.ok());
+    EXPECT_LE(dps->estimated_cost, exp->total_cost * 1.0001);
+  }
+}
+
+}  // namespace
+}  // namespace fgpm

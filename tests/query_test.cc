@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "query/pattern.h"
+
+namespace fgpm {
+namespace {
+
+TEST(PatternParseTest, PaperFigure1b) {
+  auto p = Pattern::Parse("A->C; B->C; C->D; D->E");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_nodes(), 5u);
+  EXPECT_EQ(p->num_edges(), 4u);
+  EXPECT_EQ(p->label(0), "A");
+  EXPECT_EQ(p->label(1), "C");
+  EXPECT_TRUE(p->IsConnected());
+}
+
+TEST(PatternParseTest, ChainSyntax) {
+  auto p = Pattern::Parse("A -> B -> C -> D");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_nodes(), 4u);
+  EXPECT_EQ(p->num_edges(), 3u);
+  EXPECT_EQ(p->edges()[0], (PatternEdge{0, 1}));
+  EXPECT_EQ(p->edges()[2], (PatternEdge{2, 3}));
+}
+
+TEST(PatternParseTest, CommaSeparatorAndWhitespace) {
+  auto p = Pattern::Parse("  Supplier->Retailer ,\n Bank -> Supplier ; ");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_nodes(), 3u);
+  EXPECT_EQ(p->num_edges(), 2u);
+}
+
+TEST(PatternParseTest, SingleNodePattern) {
+  auto p = Pattern::Parse("item");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_nodes(), 1u);
+  EXPECT_EQ(p->num_edges(), 0u);
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST(PatternParseTest, RepeatedEdgeIsDeduplicated) {
+  auto p = Pattern::Parse("A->B; A->B; B->C");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_edges(), 2u);
+}
+
+TEST(PatternParseTest, CyclicPatternAllowed) {
+  auto p = Pattern::Parse("A->B; B->C; C->A");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_edges(), 3u);
+}
+
+TEST(PatternParseTest, Rejections) {
+  EXPECT_FALSE(Pattern::Parse("").ok());
+  EXPECT_FALSE(Pattern::Parse("  ;; ").ok());
+  EXPECT_FALSE(Pattern::Parse("A->").ok());
+  EXPECT_FALSE(Pattern::Parse("->B").ok());
+  EXPECT_FALSE(Pattern::Parse("A->A").ok());            // self-loop
+  EXPECT_FALSE(Pattern::Parse("A->B; C->D").ok());      // disconnected
+  EXPECT_FALSE(Pattern::Parse("A B").ok());             // junk
+  EXPECT_FALSE(Pattern::Parse("1A->B").ok());           // bad identifier
+}
+
+TEST(PatternBuildTest, ManualConstruction) {
+  Pattern p;
+  PatternNodeId a = p.AddNode("A");
+  PatternNodeId b = p.AddNode("B");
+  EXPECT_EQ(p.AddNode("A"), a);  // dedup by label
+  ASSERT_TRUE(p.AddEdge(a, b).ok());
+  EXPECT_EQ(p.AddEdge(a, b).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(p.AddEdge(a, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(p.AddEdge(a, 9).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(PatternValidateTest, MultiNodeWithoutEdges) {
+  Pattern p;
+  p.AddNode("A");
+  p.AddNode("B");
+  EXPECT_EQ(p.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TransitiveReductionTest, RemovesImpliedEdge) {
+  auto p = Pattern::Parse("A->B; B->C; A->C");
+  ASSERT_TRUE(p.ok());
+  Pattern r = p->TransitiveReduction();
+  EXPECT_EQ(r.num_edges(), 2u);
+  // A->C dropped; A->B and B->C survive.
+  for (const auto& e : r.edges()) {
+    EXPECT_FALSE(e.from == 0 && e.to == 2);
+  }
+}
+
+TEST(TransitiveReductionTest, KeepsCycleIntact) {
+  auto p = Pattern::Parse("A->B; B->C; C->A");
+  ASSERT_TRUE(p.ok());
+  Pattern r = p->TransitiveReduction();
+  // Every edge of a simple cycle is necessary.
+  EXPECT_EQ(r.num_edges(), 3u);
+}
+
+TEST(TransitiveReductionTest, DiamondKept) {
+  auto p = Pattern::Parse("A->B; A->C; B->D; C->D");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->TransitiveReduction().num_edges(), 4u);
+}
+
+TEST(PatternToStringTest, RoundTrips) {
+  auto p = Pattern::Parse("A->C; B->C; C->D");
+  ASSERT_TRUE(p.ok());
+  auto q = Pattern::Parse(p->ToString());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->num_nodes(), p->num_nodes());
+  EXPECT_EQ(q->edges(), p->edges());
+  auto single = Pattern::Parse("item");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->ToString(), "item");
+}
+
+}  // namespace
+}  // namespace fgpm

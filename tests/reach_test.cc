@@ -1,0 +1,406 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/reach_oracle.h"
+#include "reach/grail.h"
+#include "reach/interval.h"
+#include "reach/sspi.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+namespace {
+
+// Every index must agree with the BFS oracle on sampled pairs; the whole
+// system rests on these equivalences.
+template <typename Index>
+void ExpectAgreesWithOracle(const Graph& g, const Index& index,
+                            int samples, uint64_t seed) {
+  ReachOracle oracle(const_cast<Graph*>(&g));
+  Rng rng(seed);
+  for (int i = 0; i < samples; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    EXPECT_EQ(oracle.Reaches(u, v), index.Reaches(u, v))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+Graph Diamond() {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C"),
+         d = g.AddNode("D");
+  EXPECT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_TRUE(g.AddEdge(a, c).ok());
+  EXPECT_TRUE(g.AddEdge(b, d).ok());
+  EXPECT_TRUE(g.AddEdge(c, d).ok());
+  g.Finalize();
+  return g;
+}
+
+TEST(TwoHopPrunedTest, DiamondReachability) {
+  Graph g = Diamond();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  EXPECT_TRUE(lab.Reaches(0, 3));
+  EXPECT_TRUE(lab.Reaches(0, 1));
+  EXPECT_TRUE(lab.Reaches(1, 3));
+  EXPECT_FALSE(lab.Reaches(1, 2));
+  EXPECT_FALSE(lab.Reaches(3, 0));
+  EXPECT_TRUE(lab.Reaches(2, 2));  // reflexive
+}
+
+TEST(TwoHopPrunedTest, CodesIncludeSelf) {
+  Graph g = Diamond();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    CenterId self = lab.CenterOf(v);
+    EXPECT_TRUE(SortedContains(lab.InCode(v), self));
+    EXPECT_TRUE(SortedContains(lab.OutCode(v), self));
+  }
+}
+
+TEST(TwoHopPrunedTest, CodesAreSorted) {
+  Graph g = gen::ErdosRenyi(500, 1500, 5, 3);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_TRUE(std::is_sorted(lab.InCode(v).begin(), lab.InCode(v).end()));
+    EXPECT_TRUE(std::is_sorted(lab.OutCode(v).begin(), lab.OutCode(v).end()));
+  }
+}
+
+TEST(TwoHopPrunedTest, RandomDagAgreesWithOracle) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph g = gen::RandomDag(400, 2.5, 4, seed);
+    TwoHopLabeling lab = BuildTwoHopPruned(g);
+    ExpectAgreesWithOracle(g, lab, 2000, seed * 31);
+  }
+}
+
+TEST(TwoHopPrunedTest, CyclicGraphAgreesWithOracle) {
+  for (uint64_t seed : {11ull, 12ull}) {
+    Graph g = gen::ErdosRenyi(300, 900, 4, seed);
+    EXPECT_FALSE(IsDag(g));  // dense ER digraphs have cycles
+    TwoHopLabeling lab = BuildTwoHopPruned(g);
+    ExpectAgreesWithOracle(g, lab, 2000, seed * 17);
+  }
+}
+
+TEST(TwoHopPrunedTest, SameSccSharesCodes) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("B"), c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  ASSERT_TRUE(g.AddEdge(c, a).ok());
+  g.Finalize();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  EXPECT_EQ(lab.CenterOf(a), lab.CenterOf(b));
+  EXPECT_EQ(lab.InCode(a), lab.InCode(c));
+  EXPECT_TRUE(lab.Reaches(c, b));
+  EXPECT_TRUE(lab.Reaches(b, a));
+}
+
+TEST(TwoHopPrunedTest, XMarkScaleAndCoverSize) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.01;
+  Graph g = gen::XMarkLike(opts);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  ExpectAgreesWithOracle(g, lab, 500, 99);
+  // Paper reports |H|/|V| ~= 3.5 on XMark-derived graphs (Table 2);
+  // our synthetic stand-in must land in the same band.
+  double per_node = double(lab.CoverSize()) / double(g.NumNodes());
+  EXPECT_GE(per_node, 1.5);
+  EXPECT_LE(per_node, 6.0);
+}
+
+TEST(TwoHopGreedyTest, DiamondAgreesWithOracle) {
+  Graph g = Diamond();
+  TwoHopLabeling lab = BuildTwoHopGreedy(g);
+  ExpectAgreesWithOracle(g, lab, 16, 5);
+}
+
+TEST(TwoHopGreedyTest, RandomGraphsAgreeWithOracle) {
+  for (uint64_t seed : {21ull, 22ull, 23ull}) {
+    Graph g = gen::ErdosRenyi(60, 150, 3, seed);
+    TwoHopLabeling lab = BuildTwoHopGreedy(g);
+    ExpectAgreesWithOracle(g, lab, 3600, seed);
+  }
+}
+
+TEST(TwoHopGreedyTest, ProducesCompactCoverOnChain) {
+  // On a path a->b->c->...->j the greedy cover should stay near-linear,
+  // not quadratic.
+  Graph g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 24; ++i) nodes.push_back(g.AddNode("A"));
+  for (int i = 0; i + 1 < 24; ++i) {
+    ASSERT_TRUE(g.AddEdge(nodes[i], nodes[i + 1]).ok());
+  }
+  g.Finalize();
+  TwoHopLabeling lab = BuildTwoHopGreedy(g);
+  ExpectAgreesWithOracle(g, lab, 576, 7);
+  EXPECT_LT(lab.CoverSize(), 24u * 12u);  // far below closure size
+}
+
+TEST(NormalizeIntervalsTest, MergesOverlapsAndAdjacency) {
+  auto out = NormalizeIntervals({{5, 9}, {1, 3}, {4, 6}, {12, 14}});
+  // [1,3] adjacent to [4,6] merges; [4,6]+[5,9] overlap merges.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (PostInterval{1, 9}));
+  EXPECT_EQ(out[1], (PostInterval{12, 14}));
+}
+
+TEST(NormalizeIntervalsTest, ContainmentQueries) {
+  auto ivs = NormalizeIntervals({{2, 4}, {8, 10}});
+  EXPECT_FALSE(IntervalsContain(ivs, 1));
+  EXPECT_TRUE(IntervalsContain(ivs, 2));
+  EXPECT_TRUE(IntervalsContain(ivs, 4));
+  EXPECT_FALSE(IntervalsContain(ivs, 5));
+  EXPECT_TRUE(IntervalsContain(ivs, 9));
+  EXPECT_FALSE(IntervalsContain(ivs, 11));
+  EXPECT_FALSE(IntervalsContain({}, 3));
+}
+
+TEST(MultiIntervalTest, DiamondReachability) {
+  Graph g = Diamond();
+  MultiIntervalIndex idx(g);
+  ExpectAgreesWithOracle(g, idx, 16, 9);
+}
+
+TEST(MultiIntervalTest, RandomDagAgreesWithOracle) {
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    Graph g = gen::RandomDag(300, 3.0, 4, seed);
+    MultiIntervalIndex idx(g);
+    ExpectAgreesWithOracle(g, idx, 2000, seed);
+  }
+}
+
+TEST(MultiIntervalTest, CyclicGraphCondensesCorrectly) {
+  Graph g = gen::ErdosRenyi(200, 700, 4, 41);
+  ASSERT_FALSE(IsDag(g));
+  MultiIntervalIndex idx(g);
+  ExpectAgreesWithOracle(g, idx, 2000, 42);
+}
+
+TEST(MultiIntervalTest, DenseDagGrowsCodeSize) {
+  Graph sparse = gen::RandomDag(300, 1.2, 3, 51);
+  Graph dense = gen::RandomDag(300, 8.0, 3, 51);
+  MultiIntervalIndex si(sparse), di(dense);
+  // Interval fragmentation grows with density (per-vertex, since edge
+  // count also differs).
+  EXPECT_GT(di.TotalIntervals(), si.TotalIntervals());
+}
+
+TEST(SspiTest, TreePhaseMatchesForestAncestry) {
+  Graph g = gen::RandomDag(200, 2.0, 3, 61);
+  SspiIndex sspi(g);
+  const DfsForest& f = sspi.forest();
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (f.parent[v] != kInvalidNode) {
+      EXPECT_TRUE(sspi.TreeReaches(f.parent[v], v));
+    }
+  }
+}
+
+TEST(SspiTest, DagAgreesWithOracle) {
+  for (uint64_t seed : {71ull, 72ull, 73ull}) {
+    Graph g = gen::RandomDag(250, 2.5, 4, seed);
+    SspiIndex sspi(g);
+    ExpectAgreesWithOracle(g, sspi, 2000, seed);
+  }
+}
+
+TEST(SspiTest, XMarkAcyclicAgreesWithOracle) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.002;
+  opts.acyclic = true;
+  Graph g = gen::XMarkLike(opts);
+  SspiIndex sspi(g);
+  ExpectAgreesWithOracle(g, sspi, 800, 81);
+}
+
+TEST(SspiTest, EntriesCountNonTreeEdges) {
+  Graph g = gen::RandomDag(100, 3.0, 3, 91);
+  SspiIndex sspi(g);
+  EXPECT_EQ(sspi.TotalEntries(), sspi.forest().non_tree_edges.size());
+}
+
+// Cross-index consistency: all three structures answer identically.
+TEST(CrossIndexTest, AllIndexesAgree) {
+  Graph g = gen::RandomDag(150, 2.0, 5, 101);
+  TwoHopLabeling hop = BuildTwoHopPruned(g);
+  TwoHopLabeling greedy = BuildTwoHopGreedy(g);
+  MultiIntervalIndex intervals(g);
+  SspiIndex sspi(g);
+  Rng rng(103);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    bool expect = hop.Reaches(u, v);
+    EXPECT_EQ(greedy.Reaches(u, v), expect);
+    EXPECT_EQ(intervals.Reaches(u, v), expect);
+    EXPECT_EQ(sspi.Reaches(u, v), expect);
+  }
+}
+
+
+// --- incremental maintenance (the cited 2-hop update problem) -----------
+
+TEST(TwoHopUpdateTest, SingleEdgeInsertMatchesOracle) {
+  Graph g = gen::RandomDag(150, 1.5, 3, 201);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  Rng rng(202);
+  ReachOracle pre(&g);
+  // Pick an edge that does not close a cycle.
+  NodeId u = 0, v = 0;
+  do {
+    u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+  } while (u == v || pre.Reaches(v, u));
+  ASSERT_TRUE(g.AddEdge(u, v).ok());
+  g.Finalize();
+  ASSERT_TRUE(lab.UpdateForEdgeInsert(g, u, v).ok());
+  ExpectAgreesWithOracle(g, lab, 3000, 203);
+}
+
+TEST(TwoHopUpdateTest, SequenceOfInsertsStaysCorrect) {
+  Graph g = gen::RandomDag(120, 1.2, 3, 211);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  Rng rng(212);
+  int applied = 0;
+  for (int i = 0; i < 25 && applied < 12; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (u == v) continue;
+    if (lab.Reaches(v, u)) continue;  // would close a cycle
+    ASSERT_TRUE(g.AddEdge(u, v).ok());
+    g.Finalize();
+    ASSERT_TRUE(lab.UpdateForEdgeInsert(g, u, v).ok());
+    ++applied;
+  }
+  ASSERT_GT(applied, 0);
+  ExpectAgreesWithOracle(g, lab, 4000, 213);
+}
+
+TEST(TwoHopUpdateTest, EdgeWithinCoveredPairIsNoop) {
+  // a -> b -> c; adding a -> c changes nothing.
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("A"), c = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  g.Finalize();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  uint64_t before = lab.CoverSize();
+  ASSERT_TRUE(g.AddEdge(a, c).ok());
+  g.Finalize();
+  ASSERT_TRUE(lab.UpdateForEdgeInsert(g, a, c).ok());
+  EXPECT_EQ(lab.CoverSize(), before);
+  EXPECT_TRUE(lab.Reaches(a, c));
+}
+
+TEST(TwoHopUpdateTest, CycleClosingEdgeRejected) {
+  Graph g;
+  NodeId a = g.AddNode("A"), b = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  g.Finalize();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  g.Finalize();
+  EXPECT_EQ(lab.UpdateForEdgeInsert(g, b, a).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(TwoHopUpdateTest, UpdateTouchingSccsWorks) {
+  // A graph with a 3-cycle; inserting an edge from/to the cycle must
+  // label all members.
+  Graph g;
+  NodeId x = g.AddNode("A"), c1 = g.AddNode("A"), c2 = g.AddNode("A"),
+         c3 = g.AddNode("A"), y = g.AddNode("A");
+  ASSERT_TRUE(g.AddEdge(c1, c2).ok());
+  ASSERT_TRUE(g.AddEdge(c2, c3).ok());
+  ASSERT_TRUE(g.AddEdge(c3, c1).ok());
+  g.Finalize();
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  // x -> c2 makes every cycle member reachable from x.
+  ASSERT_TRUE(g.AddEdge(x, c2).ok());
+  g.Finalize();
+  ASSERT_TRUE(lab.UpdateForEdgeInsert(g, x, c2).ok());
+  EXPECT_TRUE(lab.Reaches(x, c1));
+  EXPECT_TRUE(lab.Reaches(x, c3));
+  // c3 -> y: reachable from every member and from x.
+  ASSERT_TRUE(g.AddEdge(c3, y).ok());
+  g.Finalize();
+  ASSERT_TRUE(lab.UpdateForEdgeInsert(g, c3, y).ok());
+  EXPECT_TRUE(lab.Reaches(c1, y));
+  EXPECT_TRUE(lab.Reaches(x, y));
+  ExpectAgreesWithOracle(g, lab, 25, 214);
+}
+
+TEST(TwoHopUpdateTest, UnknownNodeRejected) {
+  Graph g = gen::RandomDag(20, 1.0, 2, 221);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  EXPECT_EQ(lab.UpdateForEdgeInsert(g, 0, 999).code(),
+            StatusCode::kInvalidArgument);
+}
+
+
+// --- GRAIL comparison index ----------------------------------------------
+
+TEST(GrailTest, DiamondReachability) {
+  Graph g = Diamond();
+  GrailIndex idx(g, 2);
+  ExpectAgreesWithOracle(g, idx, 16, 401);
+}
+
+TEST(GrailTest, RandomDagAgreesWithOracle) {
+  for (uint64_t seed : {411ull, 412ull}) {
+    Graph g = gen::RandomDag(300, 2.5, 4, seed);
+    GrailIndex idx(g, 3, seed);
+    ExpectAgreesWithOracle(g, idx, 2000, seed);
+  }
+}
+
+TEST(GrailTest, CyclicGraphCondenses) {
+  Graph g = gen::ErdosRenyi(200, 700, 3, 421);
+  ASSERT_FALSE(IsDag(g));
+  GrailIndex idx(g, 3, 422);
+  ExpectAgreesWithOracle(g, idx, 2000, 423);
+}
+
+TEST(GrailTest, LabelsExcludeOnlyNonReachable) {
+  Graph g = gen::RandomDag(200, 2.0, 3, 431);
+  GrailIndex idx(g, 2, 432);
+  ReachOracle oracle(&g);
+  Rng rng(433);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    if (u == v) continue;
+    if (idx.ExcludedByLabels(u, v)) {
+      EXPECT_FALSE(oracle.Reaches(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(GrailTest, MoreTraversalsFewerFallbacks) {
+  Graph g = gen::RandomDag(400, 2.0, 3, 441);
+  GrailIndex k1(g, 1, 442), k4(g, 4, 442);
+  Rng rng(443);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  for (int i = 0; i < 3000; ++i) {
+    queries.emplace_back(static_cast<NodeId>(rng.NextBounded(g.NumNodes())),
+                         static_cast<NodeId>(rng.NextBounded(g.NumNodes())));
+  }
+  for (auto [u, v] : queries) {
+    (void)k1.Reaches(u, v);
+    (void)k4.Reaches(u, v);
+  }
+  // More traversals cut more false positives, so fewer DFS fallbacks.
+  EXPECT_LE(k4.dfs_fallbacks(), k1.dfs_fallbacks());
+}
+
+}  // namespace
+}  // namespace fgpm

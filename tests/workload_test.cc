@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "workload/datasets.h"
+#include "workload/patterns.h"
+
+namespace fgpm {
+namespace {
+
+TEST(PatternSuiteTest, SuiteSizesMatchPaper) {
+  EXPECT_EQ(workload::XmarkPathPatterns().size(), 9u);
+  EXPECT_EQ(workload::XmarkTreePatterns().size(), 9u);
+  EXPECT_EQ(workload::XmarkGraphPatterns4().size(), 5u);
+  EXPECT_EQ(workload::XmarkGraphPatterns5().size(), 5u);
+}
+
+TEST(PatternSuiteTest, PathSuiteShapes) {
+  auto paths = workload::XmarkPathPatterns();
+  // 3x 3-node, 3x 4-node, 3x 5-node; every pattern is a chain.
+  for (int i = 0; i < 9; ++i) {
+    size_t expect_nodes = 3 + i / 3;
+    EXPECT_EQ(paths[i].num_nodes(), expect_nodes) << "P" << (i + 1);
+    EXPECT_EQ(paths[i].num_edges(), expect_nodes - 1) << "P" << (i + 1);
+    EXPECT_TRUE(paths[i].Validate().ok());
+  }
+}
+
+TEST(PatternSuiteTest, TreeSuiteShapes) {
+  auto trees = workload::XmarkTreePatterns();
+  for (int i = 0; i < 9; ++i) {
+    size_t expect_nodes = 3 + i / 3;
+    EXPECT_EQ(trees[i].num_nodes(), expect_nodes) << "T" << (i + 1);
+    EXPECT_EQ(trees[i].num_edges(), expect_nodes - 1) << "T" << (i + 1);
+    EXPECT_TRUE(trees[i].Validate().ok());
+  }
+}
+
+TEST(PatternSuiteTest, GraphSuitesAreNonTree) {
+  for (const auto& q : workload::XmarkGraphPatterns4()) {
+    EXPECT_EQ(q.num_nodes(), 4u);
+    EXPECT_GT(q.num_edges(), q.num_nodes() - 1);  // has a join-back edge
+    EXPECT_TRUE(q.Validate().ok());
+  }
+  for (const auto& q : workload::XmarkGraphPatterns5()) {
+    EXPECT_EQ(q.num_nodes(), 5u);
+    EXPECT_GT(q.num_edges(), q.num_nodes() - 1);
+    EXPECT_TRUE(q.Validate().ok());
+  }
+}
+
+TEST(PatternSuiteTest, SuitesUseXmarkVocabulary) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.002;
+  Graph g = gen::XMarkLike(opts);
+  auto all = workload::XmarkPathPatterns();
+  auto trees = workload::XmarkTreePatterns();
+  all.insert(all.end(), trees.begin(), trees.end());
+  auto q4 = workload::XmarkGraphPatterns4();
+  auto q5 = workload::XmarkGraphPatterns5();
+  all.insert(all.end(), q4.begin(), q4.end());
+  all.insert(all.end(), q5.begin(), q5.end());
+  for (const auto& p : all) {
+    for (PatternNodeId i = 0; i < p.num_nodes(); ++i) {
+      EXPECT_TRUE(g.FindLabel(p.label(i)).has_value())
+          << p.ToString() << " label " << p.label(i);
+    }
+  }
+}
+
+TEST(PatternSuiteTest, PathPatternsHaveMatchesOnXmark) {
+  gen::XMarkOptions opts;
+  opts.factor = 0.005;
+  Graph g = gen::XMarkLike(opts);
+  auto matcher = GraphMatcher::Create(&g);
+  ASSERT_TRUE(matcher.ok());
+  for (const auto& p : workload::XmarkPathPatterns()) {
+    auto r = (*matcher)->Match(p, {.engine = Engine::kDps});
+    ASSERT_TRUE(r.ok()) << p.ToString();
+    EXPECT_GT(r->rows.size(), 0u) << p.ToString();
+  }
+}
+
+TEST(PatternSuiteTest, GenericPath) {
+  Pattern p = workload::GenericPath(4);
+  EXPECT_EQ(p.num_nodes(), 4u);
+  EXPECT_EQ(p.num_edges(), 3u);
+  EXPECT_EQ(p.label(0), "L0");
+  EXPECT_EQ(p.label(3), "L3");
+}
+
+TEST(PatternSuiteTest, RandomPatternsAreValid) {
+  Graph g = gen::ErdosRenyi(200, 600, 6, 3);
+  auto ps = workload::RandomPatterns(g, 10, 4, 2, 7);
+  EXPECT_GE(ps.size(), 5u);
+  for (const auto& p : ps) {
+    EXPECT_TRUE(p.Validate().ok());
+    EXPECT_EQ(p.num_nodes(), 4u);
+    EXPECT_GE(p.num_edges(), 3u);
+  }
+}
+
+TEST(DatasetTest, PaperDatasetsSpec) {
+  auto ds = workload::PaperDatasets();
+  ASSERT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds[0].name, "20M");
+  EXPECT_DOUBLE_EQ(ds[0].factor, 0.2);
+  EXPECT_EQ(ds[4].name, "100M");
+  EXPECT_DOUBLE_EQ(ds[4].factor, 1.0);
+}
+
+TEST(DatasetTest, LoadDatasetScalesNodeCounts) {
+  auto ds = workload::PaperDatasets();
+  Graph g20 = workload::LoadDataset(ds[0], 0.02);
+  Graph g40 = workload::LoadDataset(ds[1], 0.02);
+  // 40M has ~2x the nodes of 20M at any fixed scale.
+  double ratio = double(g40.NumNodes()) / double(g20.NumNodes());
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 2.4);
+}
+
+TEST(DatasetTest, BenchScaleDefaults) {
+  unsetenv("FGPM_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(workload::BenchScaleFromEnv(), 0.1);
+  setenv("FGPM_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(workload::BenchScaleFromEnv(), 0.5);
+  setenv("FGPM_BENCH_SCALE", "7", 1);
+  EXPECT_DOUBLE_EQ(workload::BenchScaleFromEnv(), 1.0);
+  setenv("FGPM_BENCH_SCALE", "-1", 1);
+  EXPECT_DOUBLE_EQ(workload::BenchScaleFromEnv(), 0.1);
+  unsetenv("FGPM_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace fgpm
