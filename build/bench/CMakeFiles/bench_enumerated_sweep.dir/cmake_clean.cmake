@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enumerated_sweep.dir/bench_enumerated_sweep.cc.o"
+  "CMakeFiles/bench_enumerated_sweep.dir/bench_enumerated_sweep.cc.o.d"
+  "bench_enumerated_sweep"
+  "bench_enumerated_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enumerated_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dp_vs_dps.dir/bench_fig6_dp_vs_dps.cc.o"
+  "CMakeFiles/bench_fig6_dp_vs_dps.dir/bench_fig6_dp_vs_dps.cc.o.d"
+  "bench_fig6_dp_vs_dps"
+  "bench_fig6_dp_vs_dps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dp_vs_dps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citations.dir/citations.cpp.o"
+  "CMakeFiles/citations.dir/citations.cpp.o.d"
+  "citations"
+  "citations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

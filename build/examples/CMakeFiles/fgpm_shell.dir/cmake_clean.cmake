@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_shell.dir/fgpm_shell.cpp.o"
+  "CMakeFiles/fgpm_shell.dir/fgpm_shell.cpp.o.d"
+  "fgpm_shell"
+  "fgpm_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph.dir/web_graph.cpp.o"
+  "CMakeFiles/web_graph.dir/web_graph.cpp.o.d"
+  "web_graph"
+  "web_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

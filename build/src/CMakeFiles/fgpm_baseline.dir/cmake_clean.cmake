@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_baseline.dir/baseline/igmj.cc.o"
+  "CMakeFiles/fgpm_baseline.dir/baseline/igmj.cc.o.d"
+  "CMakeFiles/fgpm_baseline.dir/baseline/tsd.cc.o"
+  "CMakeFiles/fgpm_baseline.dir/baseline/tsd.cc.o.d"
+  "libfgpm_baseline.a"
+  "libfgpm_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

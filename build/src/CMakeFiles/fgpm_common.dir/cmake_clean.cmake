@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_common.dir/common/rng.cc.o"
+  "CMakeFiles/fgpm_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/fgpm_common.dir/common/status.cc.o"
+  "CMakeFiles/fgpm_common.dir/common/status.cc.o.d"
+  "libfgpm_common.a"
+  "libfgpm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

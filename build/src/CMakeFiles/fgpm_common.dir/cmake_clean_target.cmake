@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgpm_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_core.dir/core/graph_matcher.cc.o"
+  "CMakeFiles/fgpm_core.dir/core/graph_matcher.cc.o.d"
+  "libfgpm_core.a"
+  "libfgpm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_exec.dir/exec/engine.cc.o"
+  "CMakeFiles/fgpm_exec.dir/exec/engine.cc.o.d"
+  "CMakeFiles/fgpm_exec.dir/exec/naive_matcher.cc.o"
+  "CMakeFiles/fgpm_exec.dir/exec/naive_matcher.cc.o.d"
+  "CMakeFiles/fgpm_exec.dir/exec/operators.cc.o"
+  "CMakeFiles/fgpm_exec.dir/exec/operators.cc.o.d"
+  "CMakeFiles/fgpm_exec.dir/exec/plan.cc.o"
+  "CMakeFiles/fgpm_exec.dir/exec/plan.cc.o.d"
+  "CMakeFiles/fgpm_exec.dir/exec/temporal_table.cc.o"
+  "CMakeFiles/fgpm_exec.dir/exec/temporal_table.cc.o.d"
+  "libfgpm_exec.a"
+  "libfgpm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdb/base_table.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/base_table.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/base_table.cc.o.d"
+  "/root/repo/src/gdb/catalog.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/catalog.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/catalog.cc.o.d"
+  "/root/repo/src/gdb/database.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/database.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/database.cc.o.d"
+  "/root/repo/src/gdb/graph_codes.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/graph_codes.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/graph_codes.cc.o.d"
+  "/root/repo/src/gdb/rjoin_index.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/rjoin_index.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/rjoin_index.cc.o.d"
+  "/root/repo/src/gdb/wtable.cc" "src/CMakeFiles/fgpm_gdb.dir/gdb/wtable.cc.o" "gcc" "src/CMakeFiles/fgpm_gdb.dir/gdb/wtable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fgpm_reach.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fgpm_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fgpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fgpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_gdb.dir/gdb/base_table.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/base_table.cc.o.d"
+  "CMakeFiles/fgpm_gdb.dir/gdb/catalog.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/catalog.cc.o.d"
+  "CMakeFiles/fgpm_gdb.dir/gdb/database.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/database.cc.o.d"
+  "CMakeFiles/fgpm_gdb.dir/gdb/graph_codes.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/graph_codes.cc.o.d"
+  "CMakeFiles/fgpm_gdb.dir/gdb/rjoin_index.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/rjoin_index.cc.o.d"
+  "CMakeFiles/fgpm_gdb.dir/gdb/wtable.cc.o"
+  "CMakeFiles/fgpm_gdb.dir/gdb/wtable.cc.o.d"
+  "libfgpm_gdb.a"
+  "libfgpm_gdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_gdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fgpm_gdb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_graph.dir/graph/algorithms.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/algorithms.cc.o.d"
+  "CMakeFiles/fgpm_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/fgpm_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/fgpm_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/fgpm_graph.dir/graph/reach_oracle.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/reach_oracle.cc.o.d"
+  "CMakeFiles/fgpm_graph.dir/graph/summary.cc.o"
+  "CMakeFiles/fgpm_graph.dir/graph/summary.cc.o.d"
+  "libfgpm_graph.a"
+  "libfgpm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

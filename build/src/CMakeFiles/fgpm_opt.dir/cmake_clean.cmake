@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_opt.dir/opt/cost_model.cc.o"
+  "CMakeFiles/fgpm_opt.dir/opt/cost_model.cc.o.d"
+  "CMakeFiles/fgpm_opt.dir/opt/dp_optimizer.cc.o"
+  "CMakeFiles/fgpm_opt.dir/opt/dp_optimizer.cc.o.d"
+  "CMakeFiles/fgpm_opt.dir/opt/dps_optimizer.cc.o"
+  "CMakeFiles/fgpm_opt.dir/opt/dps_optimizer.cc.o.d"
+  "CMakeFiles/fgpm_opt.dir/opt/explain.cc.o"
+  "CMakeFiles/fgpm_opt.dir/opt/explain.cc.o.d"
+  "libfgpm_opt.a"
+  "libfgpm_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

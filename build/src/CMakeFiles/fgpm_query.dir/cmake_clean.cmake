@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_query.dir/query/pattern.cc.o"
+  "CMakeFiles/fgpm_query.dir/query/pattern.cc.o.d"
+  "libfgpm_query.a"
+  "libfgpm_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reach/grail.cc" "src/CMakeFiles/fgpm_reach.dir/reach/grail.cc.o" "gcc" "src/CMakeFiles/fgpm_reach.dir/reach/grail.cc.o.d"
+  "/root/repo/src/reach/interval.cc" "src/CMakeFiles/fgpm_reach.dir/reach/interval.cc.o" "gcc" "src/CMakeFiles/fgpm_reach.dir/reach/interval.cc.o.d"
+  "/root/repo/src/reach/sspi.cc" "src/CMakeFiles/fgpm_reach.dir/reach/sspi.cc.o" "gcc" "src/CMakeFiles/fgpm_reach.dir/reach/sspi.cc.o.d"
+  "/root/repo/src/reach/two_hop.cc" "src/CMakeFiles/fgpm_reach.dir/reach/two_hop.cc.o" "gcc" "src/CMakeFiles/fgpm_reach.dir/reach/two_hop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fgpm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fgpm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

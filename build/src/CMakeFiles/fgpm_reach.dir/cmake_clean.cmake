@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_reach.dir/reach/grail.cc.o"
+  "CMakeFiles/fgpm_reach.dir/reach/grail.cc.o.d"
+  "CMakeFiles/fgpm_reach.dir/reach/interval.cc.o"
+  "CMakeFiles/fgpm_reach.dir/reach/interval.cc.o.d"
+  "CMakeFiles/fgpm_reach.dir/reach/sspi.cc.o"
+  "CMakeFiles/fgpm_reach.dir/reach/sspi.cc.o.d"
+  "CMakeFiles/fgpm_reach.dir/reach/two_hop.cc.o"
+  "CMakeFiles/fgpm_reach.dir/reach/two_hop.cc.o.d"
+  "libfgpm_reach.a"
+  "libfgpm_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

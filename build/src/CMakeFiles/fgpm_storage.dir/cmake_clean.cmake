@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_storage.dir/storage/bptree.cc.o"
+  "CMakeFiles/fgpm_storage.dir/storage/bptree.cc.o.d"
+  "CMakeFiles/fgpm_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/fgpm_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/fgpm_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/fgpm_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/fgpm_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/fgpm_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/fgpm_storage.dir/storage/slotted_page.cc.o"
+  "CMakeFiles/fgpm_storage.dir/storage/slotted_page.cc.o.d"
+  "libfgpm_storage.a"
+  "libfgpm_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

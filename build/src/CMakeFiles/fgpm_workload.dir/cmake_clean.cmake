@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpm_workload.dir/workload/datasets.cc.o"
+  "CMakeFiles/fgpm_workload.dir/workload/datasets.cc.o.d"
+  "CMakeFiles/fgpm_workload.dir/workload/patterns.cc.o"
+  "CMakeFiles/fgpm_workload.dir/workload/patterns.cc.o.d"
+  "libfgpm_workload.a"
+  "libfgpm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

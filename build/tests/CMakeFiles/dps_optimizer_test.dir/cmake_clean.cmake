@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dps_optimizer_test.dir/dps_optimizer_test.cc.o"
+  "CMakeFiles/dps_optimizer_test.dir/dps_optimizer_test.cc.o.d"
+  "dps_optimizer_test"
+  "dps_optimizer_test.pdb"
+  "dps_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dps_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdb_test.dir/gdb_test.cc.o"
+  "CMakeFiles/gdb_test.dir/gdb_test.cc.o.d"
+  "gdb_test"
+  "gdb_test.pdb"
+  "gdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
