@@ -1,0 +1,192 @@
+// Parallel engine benchmark: the HPSJ hot path (the R-join that
+// dominates DP plans) against the seed implementation it replaced.
+//
+//   baseline    — per-pair std::unordered_set dedup, one center at a
+//                 time (the pre-parallel HpsjBaseJoin, replicated here).
+//   hpsj t=N    — chunked operator: thread-local packed-pair buffers,
+//                 merged with one global sort + unique, N-way pool.
+//
+// The dedup restructuring is a win even at t=1; extra threads scale the
+// center fan-out on multi-core hosts. Also reports filter+fetch plan
+// execution and parallel 2-hop construction times. Prints the
+// baseline/parallel speedup last so the ">= 2x at 4+ threads"
+// acceptance line is easy to eyeball.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/graph_matcher.h"
+#include "exec/operators.h"
+#include "graph/generators.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+namespace {
+
+// The seed HpsjBaseJoin inner loop: hash-set dedup per emitted pair.
+Status SeedStyleHpsj(const GraphDatabase& db, const Pattern& pattern,
+                     const std::vector<LabelId>& node_labels, uint32_t edge,
+                     TemporalTable* out) {
+  const PatternEdge& e = pattern.edges()[edge];
+  LabelId x = node_labels[e.from], y = node_labels[e.to];
+  out->AddColumn(e.from);
+  out->AddColumn(e.to);
+  std::vector<CenterId> centers;
+  FGPM_RETURN_IF_ERROR(db.wtable().Lookup(x, y, &centers));
+  std::unordered_set<uint64_t> seen;
+  for (CenterId w : centers) {
+    std::vector<NodeId> fs, ts;
+    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetF(w, x, &fs));
+    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetT(w, y, &ts));
+    for (NodeId u : fs) {
+      for (NodeId v : ts) {
+        if (seen.insert(PackPair(u, v)).second) out->AppendRow({u, v});
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double MedianMs(std::vector<double>& times) {
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct HpsjTimings {
+  double baseline_ms = 0;
+  double t1_ms = 0;
+  double t4_ms = 0;
+  double t8_ms = 0;
+};
+
+HpsjTimings BenchHpsj(const GraphDatabase& db, const Pattern& pattern,
+                      const std::vector<LabelId>& node_labels,
+                      int reps) {
+  HpsjTimings out;
+  ThreadPool pool4(4);
+  ThreadPool pool8(8);
+  auto run = [&](ThreadPool* pool, bool seed_style) {
+    std::vector<double> times;
+    size_t rows = 0;
+    for (int r = 0; r < reps; ++r) {
+      TemporalTable t;
+      OperatorStats stats;
+      WallTimer timer;
+      Status s = seed_style
+                     ? SeedStyleHpsj(db, pattern, node_labels, 0, &t)
+                     : HpsjBaseJoin(db, pattern, node_labels, 0, &t, &stats,
+                                    pool);
+      times.push_back(timer.ElapsedMillis());
+      FGPM_CHECK(s.ok());
+      rows = t.NumRows();
+    }
+    std::printf("  rows=%zu\n", rows);
+    return MedianMs(times);
+  };
+  std::printf("hpsj baseline (hash-set dedup):");
+  out.baseline_ms = run(nullptr, true);
+  std::printf("hpsj t=1 (sort+unique):");
+  out.t1_ms = run(nullptr, false);
+  std::printf("hpsj t=4:");
+  out.t4_ms = run(&pool4, false);
+  std::printf("hpsj t=8:");
+  out.t8_ms = run(&pool8, false);
+  return out;
+}
+
+}  // namespace
+}  // namespace fgpm
+
+int main() {
+  using namespace fgpm;
+
+  // Large-output R-join workload: a three-layer DAG whose middle nodes
+  // are the natural 2-hop centers. A source-target pair can be
+  // connected through several distinct middles (so dedup is exercised),
+  // and the unique pair set is large enough (~18 M) that a shared hash
+  // set cannot stay cache-resident — the regime the R-join hot path
+  // actually hits on the paper's datasets, and the one the packed-pair
+  // sort dedup targets. (Dense cyclic ER is unusable here: one giant
+  // SCC makes the join output quadratic in the graph.)
+  constexpr uint32_t kSources = 6000, kTargets = 6000, kMiddles = 600;
+  Graph g;
+  {
+    Rng rng(7);
+    std::vector<NodeId> src, mid, tgt;
+    for (uint32_t i = 0; i < kSources; ++i) src.push_back(g.AddNode("L0"));
+    for (uint32_t i = 0; i < kTargets; ++i) tgt.push_back(g.AddNode("L1"));
+    for (uint32_t i = 0; i < kMiddles; ++i) mid.push_back(g.AddNode("L2"));
+    for (NodeId s : src) {
+      for (int k = 0; k < 20; ++k) {
+        Status st = g.AddEdge(s, mid[rng.NextBounded(kMiddles)]);
+        (void)st;  // duplicate edges rejected; density is approximate
+      }
+    }
+    for (NodeId m : mid) {
+      for (int k = 0; k < 200; ++k) {
+        Status st = g.AddEdge(m, tgt[rng.NextBounded(kTargets)]);
+        (void)st;
+      }
+    }
+    g.Finalize();
+  }
+  auto matcher = GraphMatcher::Create(&g);
+  FGPM_CHECK(matcher.ok());
+  GraphDatabase& db = (*matcher)->db();
+
+  auto pattern = Pattern::Parse("L0->L1");
+  FGPM_CHECK(pattern.ok());
+  std::vector<LabelId> node_labels(pattern->num_nodes());
+  for (PatternNodeId i = 0; i < pattern->num_nodes(); ++i) {
+    auto l = db.catalog().FindLabel(pattern->label(i));
+    FGPM_CHECK(l.has_value());
+    node_labels[i] = *l;
+  }
+
+  HpsjTimings hpsj = BenchHpsj(db, *pattern, node_labels, 3);
+
+  // Full DPS plan (filter+fetch path) at 1 vs 4 threads.
+  auto bench_plan = [&](unsigned threads) {
+    Executor exec(&db, ExecOptions{.num_threads = threads});
+    std::vector<double> times;
+    auto p3 = Pattern::Parse("L0->L2; L2->L1");
+    FGPM_CHECK(p3.ok());
+    auto plan = (*matcher)->MakePlan(*p3, Engine::kDps);
+    FGPM_CHECK(plan.ok());
+    uint64_t rows = 0;
+    for (int r = 0; r < 3; ++r) {
+      WallTimer timer;
+      auto res = exec.Execute(*p3, *plan);
+      times.push_back(timer.ElapsedMillis());
+      FGPM_CHECK(res.ok());
+      rows = res->stats.result_rows;
+    }
+    std::printf("dps plan t=%u: %8.2f ms  (rows=%llu)\n", threads,
+                MedianMs(times), static_cast<unsigned long long>(rows));
+    return MedianMs(times);
+  };
+  bench_plan(1);
+  bench_plan(4);
+
+  // Parallel 2-hop cover construction.
+  for (unsigned t : {1u, 4u}) {
+    WallTimer timer;
+    TwoHopLabeling lab = BuildTwoHopPruned(g, t);
+    std::printf("two-hop build t=%u: %8.2f ms  (|H|=%llu)\n", t,
+                timer.ElapsedMillis(),
+                static_cast<unsigned long long>(lab.CoverSize()));
+  }
+
+  std::printf(
+      "\nhpsj baseline %.2f ms | t=1 %.2f ms | t=4 %.2f ms | t=8 %.2f ms\n",
+      hpsj.baseline_ms, hpsj.t1_ms, hpsj.t4_ms, hpsj.t8_ms);
+  std::printf("hpsj speedup vs seed baseline: t=1 %.2fx, t=4 %.2fx, t=8 %.2fx\n",
+              hpsj.baseline_ms / hpsj.t1_ms, hpsj.baseline_ms / hpsj.t4_ms,
+              hpsj.baseline_ms / hpsj.t8_ms);
+  return 0;
+}

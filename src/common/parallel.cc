@@ -1,0 +1,82 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace fgpm {
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::max(1u, ResolveThreads(num_threads))) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(unsigned worker) {
+  for (;;) {
+    size_t begin = cursor_.fetch_add(chunk_size_, std::memory_order_relaxed);
+    if (begin >= n_) break;
+    size_t end = std::min(n_, begin + chunk_size_);
+    (*body_)(worker, begin / chunk_size_, begin, end);
+  }
+}
+
+void ThreadPool::WorkerLoop(unsigned worker) {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || region_seq_ != seen; });
+      if (shutdown_) return;
+      seen = region_seq_;
+    }
+    RunChunks(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  if (num_threads_ == 1 || n <= chunk_size) {
+    // Inline: same chunk decomposition, no synchronization.
+    for (size_t begin = 0; begin < n; begin += chunk_size) {
+      body(0, begin / chunk_size, begin, std::min(n, begin + chunk_size));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    chunk_size_ = chunk_size;
+    cursor_.store(0, std::memory_order_relaxed);
+    active_ = num_threads_ - 1;
+    ++region_seq_;
+  }
+  work_cv_.notify_all();
+  RunChunks(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+}
+
+}  // namespace fgpm

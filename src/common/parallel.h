@@ -1,0 +1,85 @@
+// Chunked fork-join parallelism for intra-query execution.
+//
+// A ThreadPool owns `size() - 1` persistent workers (the calling thread
+// is always worker 0). Work is dispatched as parallel-for regions over
+// an index range [0, n): the range is cut into fixed-size contiguous
+// chunks and participants claim chunks from a shared atomic cursor — no
+// work stealing, but skewed chunks still load-balance because fast
+// workers simply claim more chunks.
+//
+// Determinism contract: the body receives the *chunk index* (a pure
+// function of `begin` and the chunk size), so callers can write each
+// chunk's output into a pre-sized slot and concatenate slots in chunk
+// order afterwards. The merged output is then byte-identical no matter
+// how many threads ran or how chunks were scheduled. A pool of size 1
+// never spawns threads and runs every chunk inline on the caller,
+// preserving the exact sequential behavior (and stack traces) of a
+// non-parallel build.
+#ifndef FGPM_COMMON_PARALLEL_H_
+#define FGPM_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fgpm {
+
+// Resolves a user-facing thread-count knob: 0 means "one worker per
+// hardware thread", anything else is taken literally (>= 1).
+unsigned ResolveThreads(unsigned requested);
+
+class ThreadPool {
+ public:
+  // body(worker, chunk, begin, end): process [begin, end). `worker` is in
+  // [0, size()) and identifies the executing participant (for scratch
+  // reuse); `chunk` = begin / chunk_size (for deterministic output slots).
+  using Body =
+      std::function<void(unsigned worker, size_t chunk, size_t begin,
+                         size_t end)>;
+
+  // num_threads == 0 resolves to hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return num_threads_; }
+
+  // Number of chunks ParallelFor(n, chunk_size, ...) will execute.
+  static size_t NumChunks(size_t n, size_t chunk_size) {
+    if (chunk_size == 0) chunk_size = 1;
+    return (n + chunk_size - 1) / chunk_size;
+  }
+
+  // Runs `body` over every chunk of [0, n). Blocks until all chunks are
+  // done. Reentrant calls from within a body are not supported.
+  void ParallelFor(size_t n, size_t chunk_size, const Body& body);
+
+ private:
+  void WorkerLoop(unsigned worker);
+  void RunChunks(unsigned worker);
+
+  const unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // region published / shutdown
+  std::condition_variable done_cv_;  // all workers left the region
+  uint64_t region_seq_ = 0;          // bumped when a region is published
+  unsigned active_ = 0;              // pool workers still inside a region
+  bool shutdown_ = false;
+
+  // Current region (valid while active_ > 0 or the caller is running it).
+  const Body* body_ = nullptr;
+  size_t n_ = 0;
+  size_t chunk_size_ = 1;
+  std::atomic<size_t> cursor_{0};
+};
+
+}  // namespace fgpm
+
+#endif  // FGPM_COMMON_PARALLEL_H_

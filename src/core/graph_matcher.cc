@@ -30,19 +30,23 @@ const char* EngineName(Engine e) {
 }
 
 Result<std::unique_ptr<GraphMatcher>> GraphMatcher::Create(
-    const Graph* g, GraphDatabaseOptions db_options) {
+    const Graph* g, GraphDatabaseOptions db_options,
+    ExecOptions exec_options) {
   if (g == nullptr || !g->finalized()) {
     return Status::InvalidArgument("graph must be finalized");
   }
   auto db = std::make_unique<GraphDatabase>(db_options);
   FGPM_RETURN_IF_ERROR(db->Build(*g));
-  return std::unique_ptr<GraphMatcher>(new GraphMatcher(g, std::move(db)));
+  return std::unique_ptr<GraphMatcher>(
+      new GraphMatcher(g, std::move(db), exec_options));
 }
 
 Result<std::unique_ptr<GraphMatcher>> GraphMatcher::FromDatabase(
-    std::unique_ptr<GraphDatabase> db, const Graph* g) {
+    std::unique_ptr<GraphDatabase> db, const Graph* g,
+    ExecOptions exec_options) {
   if (db == nullptr) return Status::InvalidArgument("null database");
-  return std::unique_ptr<GraphMatcher>(new GraphMatcher(g, std::move(db)));
+  return std::unique_ptr<GraphMatcher>(
+      new GraphMatcher(g, std::move(db), exec_options));
 }
 
 Result<Plan> GraphMatcher::MakePlan(const Pattern& pattern, Engine engine) const {

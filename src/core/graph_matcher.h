@@ -62,15 +62,19 @@ class GraphMatcher {
   // Builds the graph database (2-hop cover, base tables, R-join index,
   // W-table, statistics) for `g`. The graph must stay alive as long as
   // the matcher (baselines and the naive engine read it directly).
+  // `exec_options.num_threads` controls intra-operator parallelism of
+  // the R-join engines; results are identical for every thread count.
   static Result<std::unique_ptr<GraphMatcher>> Create(
-      const Graph* g, GraphDatabaseOptions db_options = {});
+      const Graph* g, GraphDatabaseOptions db_options = {},
+      ExecOptions exec_options = {});
 
   // Wraps an already-built database (e.g. GraphDatabase::Open). When
   // `g` is null the R-join engines (kDps/kDp/kCanonical) work fully;
   // the baselines and the naive engine need the original graph and
   // return FailedPrecondition without it.
   static Result<std::unique_ptr<GraphMatcher>> FromDatabase(
-      std::unique_ptr<GraphDatabase> db, const Graph* g = nullptr);
+      std::unique_ptr<GraphDatabase> db, const Graph* g = nullptr,
+      ExecOptions exec_options = {});
 
   Result<MatchResult> Match(const Pattern& pattern, MatchOptions options = {});
   Result<MatchResult> Match(std::string_view pattern_text,
@@ -84,8 +88,11 @@ class GraphMatcher {
   const Graph& graph() const { return *graph_; }
 
  private:
-  GraphMatcher(const Graph* g, std::unique_ptr<GraphDatabase> db)
-      : graph_(g), db_(std::move(db)), executor_(db_.get()) {}
+  GraphMatcher(const Graph* g, std::unique_ptr<GraphDatabase> db,
+               ExecOptions exec_options)
+      : graph_(g),
+        db_(std::move(db)),
+        executor_(db_.get(), exec_options) {}
 
   static Result<MatchResult> Project(MatchResult result,
                                      const Pattern& pattern,

@@ -49,7 +49,8 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
           case StepKind::kHpsjBase:
             FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
                                               step.edge, &table,
-                                              &result.stats.operators));
+                                              &result.stats.operators,
+                                              pool_.get()));
             break;
           case StepKind::kScanBase:
             FGPM_RETURN_IF_ERROR(ScanBase(*db_, pattern, node_labels,
@@ -59,18 +60,20 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
           case StepKind::kFilter:
             FGPM_RETURN_IF_ERROR(ApplyFilter(*db_, pattern, node_labels,
                                              step.filters, &table,
-                                             &result.stats.operators));
+                                             &result.stats.operators,
+                                             pool_.get()));
             break;
           case StepKind::kFetch:
             FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
                                             step.edge, step.bound_is_source,
-                                            &table,
-                                            &result.stats.operators));
+                                            &table, &result.stats.operators,
+                                            pool_.get()));
             break;
           case StepKind::kSelect:
             FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
                                              step.edge, &table,
-                                             &result.stats.operators));
+                                             &result.stats.operators,
+                                             pool_.get()));
             break;
         }
         // An empty intermediate stays empty; skip the remaining steps.

@@ -3,9 +3,11 @@
 #ifndef FGPM_EXEC_ENGINE_H_
 #define FGPM_EXEC_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "exec/operators.h"
 #include "exec/plan.h"
@@ -37,16 +39,31 @@ struct MatchResult {
   void SortRows();
 };
 
+// Intra-operator parallelism knobs. Results are identical for every
+// thread count (see operators.h); only elapsed time and thread usage
+// differ. num_threads == 1 keeps the exact seed sequential code paths.
+struct ExecOptions {
+  unsigned num_threads = 1;  // 0 = one worker per hardware thread
+};
+
 class Executor {
  public:
-  explicit Executor(const GraphDatabase* db) : db_(db) {}
+  explicit Executor(const GraphDatabase* db, ExecOptions options = {})
+      : db_(db) {
+    if (ResolveThreads(options.num_threads) > 1) {
+      pool_ = std::make_unique<ThreadPool>(options.num_threads);
+    }
+  }
 
   // Validates and runs `plan` for `pattern`. A pattern label absent from
   // the database yields an empty (not erroneous) result.
   Result<MatchResult> Execute(const Pattern& pattern, const Plan& plan);
 
+  unsigned num_threads() const { return pool_ ? pool_->size() : 1; }
+
  private:
   const GraphDatabase* db_;
+  std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
 };
 
 }  // namespace fgpm

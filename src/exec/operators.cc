@@ -1,13 +1,51 @@
 #include "exec/operators.h"
 
+#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/sorted_vector.h"
 
 namespace fgpm {
+namespace {
+
+// Runs body over chunks of [0, n): inline when no pool is given (or the
+// pool has one worker — ThreadPool::ParallelFor already inlines that),
+// fanned out otherwise. Chunk decomposition never affects operator
+// output (chunks are merged in chunk order), only scheduling.
+void RunChunked(ThreadPool* pool, size_t n, size_t chunk_size,
+                const ThreadPool::Body& body) {
+  if (chunk_size == 0) chunk_size = 1;
+  if (pool == nullptr) {
+    for (size_t begin = 0; begin < n; begin += chunk_size) {
+      body(0, begin / chunk_size, begin, std::min(n, begin + chunk_size));
+    }
+    return;
+  }
+  pool->ParallelFor(n, chunk_size, body);
+}
+
+// Chunk size for fanning `n` items out across the pool: one chunk (full
+// hoisting, zero overhead) when sequential, ~8 chunks per worker when
+// parallel so skew still balances, floored at `min_chunk` items to keep
+// per-chunk setup amortized.
+size_t ChunkFor(size_t n, ThreadPool* pool, size_t min_chunk) {
+  if (n == 0) return 1;
+  if (pool == nullptr || pool->size() <= 1) return n;
+  size_t target = n / (static_cast<size_t>(pool->size()) * 8) + 1;
+  return std::max(min_chunk, target);
+}
+
+// First non-OK status in chunk order (deterministic error reporting).
+Status FirstError(const std::vector<Status>& statuses) {
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 uint64_t TemporalTablePages(const TemporalTable& table) {
   // 4 bytes per bound node id plus, per row and pending slot, the
@@ -16,7 +54,7 @@ uint64_t TemporalTablePages(const TemporalTable& table) {
   for (const auto& slot : table.pending()) {
     for (uint32_t idx : slot.row_index) bytes += 4ull * slot.pool[idx].size();
   }
-  return bytes / 8192 + 1;
+  return (bytes + 8191) / 8192;
 }
 
 Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
@@ -36,7 +74,8 @@ Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
 
 Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
                     const std::vector<LabelId>& node_labels, uint32_t edge,
-                    TemporalTable* out, OperatorStats* stats) {
+                    TemporalTable* out, OperatorStats* stats,
+                    ThreadPool* pool) {
   const PatternEdge& e = pattern.edges()[edge];
   LabelId x = node_labels[e.from], y = node_labels[e.to];
 
@@ -48,21 +87,121 @@ Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
   ++stats->wtable_lookups;
 
   // A pair can appear under several centers; HPSJ output is a set.
-  std::unordered_set<uint64_t> seen;
-  std::vector<NodeId> fs, ts;
-  for (CenterId w : centers) {
-    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetF(w, x, &fs));
-    FGPM_RETURN_IF_ERROR(db.rjoin_index().GetT(w, y, &ts));
-    stats->cluster_fetches += 2;
-    for (NodeId u : fs) {
-      for (NodeId v : ts) {
-        ++stats->pairs_emitted;
-        if (seen.insert(PackPair(u, v)).second) {
-          out->AppendRow({u, v});
+  // Workers emit packed (u, v) keys into chunk-local buffers, hashed
+  // into a fixed number of buckets so the dedup itself parallelizes:
+  // equal keys always land in the same bucket, each bucket is sorted +
+  // uniqued independently, and the output is the buckets concatenated
+  // in bucket order — thread-count invariant, no cross-worker locks,
+  // and a large constant factor cheaper than a shared per-pair hash
+  // set.
+  constexpr size_t kBuckets = 64;
+  constexpr uint64_t kMix = 0x9e3779b97f4a7c15ull;
+  auto bucket_of = [](uint64_t key) {
+    return static_cast<size_t>((key * kMix) >> 58);
+  };
+  const size_t n = centers.size();
+  const size_t chunk = ChunkFor(n, pool, 1);
+  const size_t nchunks = ThreadPool::NumChunks(n, chunk);
+  struct ChunkOut {
+    std::vector<std::vector<uint64_t>> buckets;
+    std::vector<size_t> sorted;  // per bucket: length of sorted+unique prefix
+    size_t buffered = 0;
+    uint64_t pairs_emitted = 0;
+    uint64_t cluster_fetches = 0;
+  };
+  std::vector<ChunkOut> parts(nchunks);
+  std::vector<Status> errs(nchunks);
+  RunChunked(pool, n, chunk, [&](unsigned, size_t c, size_t begin,
+                                 size_t end) {
+    ChunkOut& part = parts[c];
+    part.buckets.resize(kBuckets);
+    part.sorted.assign(kBuckets, 0);
+    std::vector<NodeId> fs, ts;  // reused across the chunk's centers
+    // Amortized local dedup bounds the buffers near their unique size
+    // even when cross products are duplicate-heavy.
+    size_t dedup_watermark = 1u << 22;
+    for (size_t i = begin; i < end; ++i) {
+      CenterId w = centers[i];
+      Status s = db.rjoin_index().GetF(w, x, &fs);
+      if (s.ok()) s = db.rjoin_index().GetT(w, y, &ts);
+      if (!s.ok()) {
+        errs[c] = std::move(s);
+        return;
+      }
+      part.cluster_fetches += 2;
+      uint64_t cross = static_cast<uint64_t>(fs.size()) * ts.size();
+      part.pairs_emitted += cross;
+      part.buffered += cross;
+      for (NodeId u : fs) {
+        uint64_t hi = static_cast<uint64_t>(u) << 32;
+        for (NodeId v : ts) {
+          uint64_t key = hi | v;
+          part.buckets[bucket_of(key)].push_back(key);
         }
       }
+      if (part.buffered >= dedup_watermark) {
+        part.buffered = 0;
+        for (size_t b = 0; b < kBuckets; ++b) {
+          auto& vec = part.buckets[b];
+          // Sort only the fresh tail and merge it into the prefix that
+          // earlier rounds already sorted + uniqued.
+          auto mid = vec.begin() + part.sorted[b];
+          std::sort(mid, vec.end());
+          std::inplace_merge(vec.begin(), mid, vec.end());
+          vec.erase(std::unique(vec.begin(), vec.end()), vec.end());
+          part.sorted[b] = vec.size();
+          part.buffered += vec.size();
+        }
+        dedup_watermark = std::max<size_t>(1u << 22, part.buffered * 2);
+      }
     }
+  });
+  FGPM_RETURN_IF_ERROR(FirstError(errs));
+  for (const ChunkOut& part : parts) {
+    stats->pairs_emitted += part.pairs_emitted;
+    stats->cluster_fetches += part.cluster_fetches;
   }
+
+  // Per-bucket merge in parallel: gather every chunk's slice of the
+  // bucket, sort, unique. Bucket contents are a pure function of the
+  // emitted key set, so neither chunking nor scheduling shows through.
+  std::vector<std::vector<uint64_t>> merged(kBuckets);
+  RunChunked(pool, kBuckets, 1, [&](unsigned, size_t, size_t begin,
+                                    size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      size_t total = 0;
+      for (const ChunkOut& part : parts) {
+        if (!part.buckets.empty()) total += part.buckets[b].size();
+      }
+      std::vector<uint64_t>& m = merged[b];
+      m.reserve(total);
+      for (const ChunkOut& part : parts) {
+        if (part.buckets.empty()) continue;
+        m.insert(m.end(), part.buckets[b].begin(), part.buckets[b].end());
+      }
+      std::sort(m.begin(), m.end());
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+    }
+  });
+  parts.clear();
+  parts.shrink_to_fit();
+
+  std::vector<size_t> offset(kBuckets + 1, 0);
+  for (size_t b = 0; b < kBuckets; ++b) {
+    offset[b + 1] = offset[b] + merged[b].size();
+  }
+  std::vector<NodeId>& rows = out->raw_rows();
+  rows.resize(2 * offset[kBuckets]);
+  RunChunked(pool, kBuckets, 1, [&](unsigned, size_t, size_t begin,
+                                    size_t end) {
+    for (size_t b = begin; b < end; ++b) {
+      NodeId* dst = rows.data() + 2 * offset[b];
+      for (uint64_t k : merged[b]) {
+        *dst++ = PairFirst(k);
+        *dst++ = PairSecond(k);
+      }
+    }
+  });
   stats->temporal_pages_written += TemporalTablePages(*out);
   return Status::OK();
 }
@@ -70,7 +209,7 @@ Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
 Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels,
                    const std::vector<FilterItem>& items, TemporalTable* table,
-                   OperatorStats* stats) {
+                   OperatorStats* stats, ThreadPool* pool) {
   if (items.empty()) return Status::InvalidArgument("empty filter");
   stats->temporal_pages_read += TemporalTablePages(*table);
   const auto& edges = pattern.edges();
@@ -100,7 +239,6 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
   const size_t ncols = table->NumColumns();
   const size_t nrows = table->NumRows();
   const std::vector<NodeId>& rows = table->raw_rows();
-  std::vector<NodeId> new_rows;
   // Surviving-row center sets per old pending slot (pools are shared and
   // carried over; only row indexes are filtered), plus one fresh slot
   // per filter item.
@@ -113,40 +251,99 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
     new_pending.push_back({c.item.edge, c.item.bound_is_source, {}, {}});
   }
 
-  // One scan; one getCenters per (row, distinct column) shared across
-  // items (Remark 3.1).
-  std::unordered_map<size_t, GraphCodeRecord> col_codes;
-  std::vector<std::vector<CenterId>> xi(ctx.size());
-  for (size_t r = 0; r < nrows; ++r) {
-    ++stats->rows_scanned;
-    col_codes.clear();
-    bool ok = true;
-    for (size_t i = 0; i < ctx.size() && ok; ++i) {
-      auto it = col_codes.find(ctx[i].col);
-      if (it == col_codes.end()) {
-        GraphCodeRecord rec;
-        FGPM_RETURN_IF_ERROR(
-            db.GetCodes(rows[r * ncols + ctx[i].col], ctx[i].col_label, &rec));
-        ++stats->code_fetches;
-        it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
+  // Row-range partitions; each chunk scans its rows with its own shared
+  // getCenters fetches (Remark 3.1) and buffers survivors. The fresh
+  // slots gain exactly one pool entry per surviving row, so pool indexes
+  // are implied by the chunk-order merge.
+  const size_t chunk = ChunkFor(nrows, pool, 256);
+  const size_t nchunks = ThreadPool::NumChunks(nrows, chunk);
+  struct ChunkOut {
+    std::vector<NodeId> rows;
+    std::vector<std::vector<uint32_t>> carried;  // per old pending slot
+    std::vector<std::vector<std::vector<CenterId>>> fresh;  // per item
+    uint64_t rows_scanned = 0;
+    uint64_t rows_pruned = 0;
+    uint64_t code_fetches = 0;
+  };
+  std::vector<ChunkOut> parts(nchunks);
+  std::vector<Status> errs(nchunks);
+  RunChunked(pool, nrows, chunk, [&](unsigned, size_t c, size_t begin,
+                                     size_t end) {
+    ChunkOut& part = parts[c];
+    part.carried.resize(first_fresh);
+    part.fresh.resize(ctx.size());
+    // One scan; one getCenters per (row, distinct column) shared across
+    // items (Remark 3.1).
+    std::unordered_map<size_t, GraphCodeRecord> col_codes;
+    std::vector<std::vector<CenterId>> xi(ctx.size());
+    for (size_t r = begin; r < end; ++r) {
+      ++part.rows_scanned;
+      col_codes.clear();
+      bool ok = true;
+      for (size_t i = 0; i < ctx.size() && ok; ++i) {
+        auto it = col_codes.find(ctx[i].col);
+        if (it == col_codes.end()) {
+          GraphCodeRecord rec;
+          Status s =
+              db.GetCodes(rows[r * ncols + ctx[i].col], ctx[i].col_label,
+                          &rec);
+          if (!s.ok()) {
+            errs[c] = std::move(s);
+            return;
+          }
+          ++part.code_fetches;
+          it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
+        }
+        const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
+        xi[i] = SortedIntersect(code, ctx[i].wcenters);
+        if (xi[i].empty()) ok = false;
       }
-      const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
-      xi[i] = SortedIntersect(code, ctx[i].wcenters);
-      if (xi[i].empty()) ok = false;
+      if (!ok) {
+        ++part.rows_pruned;
+        continue;
+      }
+      part.rows.insert(part.rows.end(), rows.begin() + r * ncols,
+                       rows.begin() + (r + 1) * ncols);
+      for (size_t s = 0; s < first_fresh; ++s) {
+        part.carried[s].push_back(table->pending()[s].row_index[r]);
+      }
+      for (size_t i = 0; i < ctx.size(); ++i) {
+        part.fresh[i].push_back(std::move(xi[i]));
+      }
     }
-    if (!ok) {
-      ++stats->rows_pruned;
-      continue;
-    }
-    new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
-                    rows.begin() + (r + 1) * ncols);
+  });
+  FGPM_RETURN_IF_ERROR(FirstError(errs));
+
+  size_t kept_rows = 0;
+  for (const ChunkOut& part : parts) {
+    kept_rows += part.rows.size() / std::max<size_t>(1, ncols);
+    stats->rows_scanned += part.rows_scanned;
+    stats->rows_pruned += part.rows_pruned;
+    stats->code_fetches += part.code_fetches;
+  }
+  std::vector<NodeId> new_rows;
+  new_rows.reserve(kept_rows * ncols);
+  for (size_t s = 0; s < first_fresh; ++s) {
+    new_pending[s].row_index.reserve(kept_rows);
+  }
+  for (size_t i = 0; i < ctx.size(); ++i) {
+    new_pending[first_fresh + i].pool.reserve(kept_rows);
+    new_pending[first_fresh + i].row_index.reserve(kept_rows);
+  }
+  for (ChunkOut& part : parts) {
+    new_rows.insert(new_rows.end(), part.rows.begin(), part.rows.end());
     for (size_t s = 0; s < first_fresh; ++s) {
-      new_pending[s].row_index.push_back(table->pending()[s].row_index[r]);
+      new_pending[s].row_index.insert(new_pending[s].row_index.end(),
+                                      part.carried[s].begin(),
+                                      part.carried[s].end());
     }
     for (size_t i = 0; i < ctx.size(); ++i) {
-      TemporalTable::PendingSlot& fresh = new_pending[first_fresh + i];
-      fresh.pool.push_back(std::move(xi[i]));
-      fresh.row_index.push_back(static_cast<uint32_t>(fresh.pool.size() - 1));
+      TemporalTable::PendingSlot& slot = new_pending[first_fresh + i];
+      for (auto& centers : part.fresh[i]) {
+        slot.pool.push_back(std::move(centers));
+        slot.row_index.push_back(
+            static_cast<uint32_t>(slot.pool.size() - 1));
+      }
     }
   }
 
@@ -159,7 +356,7 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
 Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                   const std::vector<LabelId>& node_labels, uint32_t edge,
                   bool bound_is_source, TemporalTable* table,
-                  OperatorStats* stats) {
+                  OperatorStats* stats, ThreadPool* pool) {
   auto slot_idx = table->PendingSlotFor(edge, bound_is_source);
   if (!slot_idx) return Status::InvalidArgument("fetch without filter");
   stats->temporal_pages_read += TemporalTablePages(*table);
@@ -172,7 +369,6 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
   const std::vector<NodeId>& rows = table->raw_rows();
   const auto& slot = table->pending()[*slot_idx];
 
-  std::vector<NodeId> new_rows;
   std::vector<TemporalTable::PendingSlot> new_pending;
   std::vector<size_t> kept_slots;
   for (size_t s = 0; s < table->pending().size(); ++s) {
@@ -184,30 +380,71 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                            {}});
   }
 
-  std::unordered_set<NodeId> row_dedup;
-  std::vector<NodeId> cluster;
-  for (size_t r = 0; r < nrows; ++r) {
-    row_dedup.clear();
-    for (CenterId w : slot.CentersFor(r)) {
-      // Expanding toward the edge target uses T-subclusters; toward the
-      // source uses F-subclusters.
-      if (bound_is_source) {
-        FGPM_RETURN_IF_ERROR(db.rjoin_index().GetT(w, new_label, &cluster));
-      } else {
-        FGPM_RETURN_IF_ERROR(db.rjoin_index().GetF(w, new_label, &cluster));
+  // Row-range partitions; each chunk expands its rows' pending centers
+  // through the R-join index into a local buffer. Within a row the
+  // candidate set is sorted + uniqued (a row's expansion is a set).
+  const size_t chunk = ChunkFor(nrows, pool, 64);
+  const size_t nchunks = ThreadPool::NumChunks(nrows, chunk);
+  struct ChunkOut {
+    std::vector<NodeId> rows;
+    std::vector<std::vector<uint32_t>> kept;  // per kept pending slot
+    uint64_t cluster_fetches = 0;
+    uint64_t pairs_emitted = 0;
+  };
+  std::vector<ChunkOut> parts(nchunks);
+  std::vector<Status> errs(nchunks);
+  RunChunked(pool, nrows, chunk, [&](unsigned, size_t c, size_t begin,
+                                     size_t end) {
+    ChunkOut& part = parts[c];
+    part.kept.resize(kept_slots.size());
+    std::vector<NodeId> cluster, cand;  // reused across the chunk's rows
+    for (size_t r = begin; r < end; ++r) {
+      cand.clear();
+      for (CenterId w : slot.CentersFor(r)) {
+        // Expanding toward the edge target uses T-subclusters; toward
+        // the source uses F-subclusters.
+        Status s = bound_is_source
+                       ? db.rjoin_index().GetT(w, new_label, &cluster)
+                       : db.rjoin_index().GetF(w, new_label, &cluster);
+        if (!s.ok()) {
+          errs[c] = std::move(s);
+          return;
+        }
+        ++part.cluster_fetches;
+        part.pairs_emitted += cluster.size();
+        cand.insert(cand.end(), cluster.begin(), cluster.end());
       }
-      ++stats->cluster_fetches;
-      for (NodeId v : cluster) {
-        ++stats->pairs_emitted;
-        if (!row_dedup.insert(v).second) continue;
-        new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
-                        rows.begin() + (r + 1) * ncols);
-        new_rows.push_back(v);
+      std::sort(cand.begin(), cand.end());
+      cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+      for (NodeId v : cand) {
+        part.rows.insert(part.rows.end(), rows.begin() + r * ncols,
+                         rows.begin() + (r + 1) * ncols);
+        part.rows.push_back(v);
         for (size_t k = 0; k < kept_slots.size(); ++k) {
-          new_pending[k].row_index.push_back(
-              table->pending()[kept_slots[k]].row_index[r]);
+          part.kept[k].push_back(table->pending()[kept_slots[k]].row_index[r]);
         }
       }
+    }
+  });
+  FGPM_RETURN_IF_ERROR(FirstError(errs));
+
+  size_t out_rows = 0;
+  for (const ChunkOut& part : parts) {
+    out_rows += part.rows.size() / (ncols + 1);
+    stats->cluster_fetches += part.cluster_fetches;
+    stats->pairs_emitted += part.pairs_emitted;
+  }
+  std::vector<NodeId> new_rows;
+  new_rows.reserve(out_rows * (ncols + 1));
+  for (size_t k = 0; k < kept_slots.size(); ++k) {
+    new_pending[k].row_index.reserve(out_rows);
+  }
+  for (ChunkOut& part : parts) {
+    new_rows.insert(new_rows.end(), part.rows.begin(), part.rows.end());
+    for (size_t k = 0; k < kept_slots.size(); ++k) {
+      new_pending[k].row_index.insert(new_pending[k].row_index.end(),
+                                      part.kept[k].begin(),
+                                      part.kept[k].end());
     }
   }
 
@@ -220,7 +457,8 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
 
 Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels, uint32_t edge,
-                   TemporalTable* table, OperatorStats* stats) {
+                   TemporalTable* table, OperatorStats* stats,
+                   ThreadPool* pool) {
   const PatternEdge& e = pattern.edges()[edge];
   auto cx = table->ColumnOf(e.from), cy = table->ColumnOf(e.to);
   if (!cx || !cy) return Status::InvalidArgument("select columns not bound");
@@ -229,29 +467,62 @@ Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
   const size_t ncols = table->NumColumns();
   const size_t nrows = table->NumRows();
   const std::vector<NodeId>& rows = table->raw_rows();
-  std::vector<NodeId> new_rows;
   std::vector<TemporalTable::PendingSlot> new_pending;
   for (const auto& slot : table->pending()) {
     new_pending.push_back({slot.edge, slot.bound_is_source, slot.pool, {}});
   }
 
-  GraphCodeRecord rx, ry;
-  for (size_t r = 0; r < nrows; ++r) {
-    ++stats->rows_scanned;
-    NodeId u = rows[r * ncols + *cx], v = rows[r * ncols + *cy];
-    FGPM_RETURN_IF_ERROR(db.GetCodes(u, node_labels[e.from], &rx));
-    FGPM_RETURN_IF_ERROR(db.GetCodes(v, node_labels[e.to], &ry));
-    stats->code_fetches += 2;
-    // Labels differ, so u != v; the code intersection decides (it covers
-    // same-SCC pairs through the shared component center).
-    if (!SortedIntersects(rx.out, ry.in)) {
-      ++stats->rows_pruned;
-      continue;
+  const size_t chunk = ChunkFor(nrows, pool, 256);
+  const size_t nchunks = ThreadPool::NumChunks(nrows, chunk);
+  struct ChunkOut {
+    std::vector<NodeId> rows;
+    std::vector<std::vector<uint32_t>> kept;  // per pending slot
+    uint64_t rows_scanned = 0;
+    uint64_t rows_pruned = 0;
+    uint64_t code_fetches = 0;
+  };
+  std::vector<ChunkOut> parts(nchunks);
+  std::vector<Status> errs(nchunks);
+  RunChunked(pool, nrows, chunk, [&](unsigned, size_t c, size_t begin,
+                                     size_t end) {
+    ChunkOut& part = parts[c];
+    part.kept.resize(table->pending().size());
+    GraphCodeRecord rx, ry;
+    for (size_t r = begin; r < end; ++r) {
+      ++part.rows_scanned;
+      NodeId u = rows[r * ncols + *cx], v = rows[r * ncols + *cy];
+      Status s = db.GetCodes(u, node_labels[e.from], &rx);
+      if (s.ok()) s = db.GetCodes(v, node_labels[e.to], &ry);
+      if (!s.ok()) {
+        errs[c] = std::move(s);
+        return;
+      }
+      part.code_fetches += 2;
+      // Labels differ, so u != v; the code intersection decides (it
+      // covers same-SCC pairs through the shared component center).
+      if (!SortedIntersects(rx.out, ry.in)) {
+        ++part.rows_pruned;
+        continue;
+      }
+      part.rows.insert(part.rows.end(), rows.begin() + r * ncols,
+                       rows.begin() + (r + 1) * ncols);
+      for (size_t s2 = 0; s2 < table->pending().size(); ++s2) {
+        part.kept[s2].push_back(table->pending()[s2].row_index[r]);
+      }
     }
-    new_rows.insert(new_rows.end(), rows.begin() + r * ncols,
-                    rows.begin() + (r + 1) * ncols);
+  });
+  FGPM_RETURN_IF_ERROR(FirstError(errs));
+
+  std::vector<NodeId> new_rows;
+  for (ChunkOut& part : parts) {
+    stats->rows_scanned += part.rows_scanned;
+    stats->rows_pruned += part.rows_pruned;
+    stats->code_fetches += part.code_fetches;
+    new_rows.insert(new_rows.end(), part.rows.begin(), part.rows.end());
     for (size_t s = 0; s < table->pending().size(); ++s) {
-      new_pending[s].row_index.push_back(table->pending()[s].row_index[r]);
+      new_pending[s].row_index.insert(new_pending[s].row_index.end(),
+                                      part.kept[s].begin(),
+                                      part.kept[s].end());
     }
   }
   table->raw_rows() = std::move(new_rows);

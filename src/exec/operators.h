@@ -8,12 +8,23 @@
 //                  the cluster-based R-join index.
 //   ApplySelect  — self R-join (Eq. 5): reachability selection between
 //                  two bound columns via graph codes.
+//
+// Parallelism: every operator takes an optional ThreadPool. HPSJ fans
+// out over 2-hop centers; filter/fetch/select fan out over contiguous
+// temporal-table row ranges. Each chunk emits into its own buffer;
+// filter/fetch/select merge chunks in chunk order, and HPSJ dedups its
+// packed pair set through fixed hash buckets that are sorted + uniqued
+// independently and concatenated in bucket order. Either way the
+// produced table — rows, pending pools and OperatorStats — is identical
+// for every thread count, including the sequential pool == nullptr
+// path.
 #ifndef FGPM_EXEC_OPERATORS_H_
 #define FGPM_EXEC_OPERATORS_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/status.h"
 #include "exec/plan.h"
 #include "exec/temporal_table.h"
@@ -52,21 +63,23 @@ Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
 
 Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
                     const std::vector<LabelId>& node_labels, uint32_t edge,
-                    TemporalTable* out, OperatorStats* stats);
+                    TemporalTable* out, OperatorStats* stats,
+                    ThreadPool* pool = nullptr);
 
 Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels,
                    const std::vector<FilterItem>& items, TemporalTable* table,
-                   OperatorStats* stats);
+                   OperatorStats* stats, ThreadPool* pool = nullptr);
 
 Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                   const std::vector<LabelId>& node_labels, uint32_t edge,
                   bool bound_is_source, TemporalTable* table,
-                  OperatorStats* stats);
+                  OperatorStats* stats, ThreadPool* pool = nullptr);
 
 Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels, uint32_t edge,
-                   TemporalTable* table, OperatorStats* stats);
+                   TemporalTable* table, OperatorStats* stats,
+                   ThreadPool* pool = nullptr);
 
 }  // namespace fgpm
 

@@ -149,8 +149,9 @@ Status GraphDatabase::Build(const Graph& g) {
   if (!g.finalized()) return Status::FailedPrecondition("graph not finalized");
   built_ = true;
 
-  labeling_ =
-      options_.use_greedy_cover ? BuildTwoHopGreedy(g) : BuildTwoHopPruned(g);
+  labeling_ = options_.use_greedy_cover
+                  ? BuildTwoHopGreedy(g)
+                  : BuildTwoHopPruned(g, options_.build_threads);
 
   // Base tables: one per label, tuples in extent order.
   tables_.clear();
@@ -182,6 +183,7 @@ Status GraphDatabase::Build(const Graph& g) {
 Status GraphDatabase::GetCodes(NodeId v, LabelId label,
                                GraphCodeRecord* rec) const {
   if (cache_enabled_) {
+    std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = cache_map_.find(v);
     if (it != cache_map_.end()) {
       ++cache_hits_;
@@ -193,11 +195,15 @@ Status GraphDatabase::GetCodes(NodeId v, LabelId label,
   }
   FGPM_RETURN_IF_ERROR(tables_[label]->Get(v, rec));
   if (cache_enabled_) {
-    cache_list_.emplace_front(v, *rec);
-    cache_map_[v] = cache_list_.begin();
-    if (cache_list_.size() > options_.code_cache_capacity) {
-      cache_map_.erase(cache_list_.back().first);
-      cache_list_.pop_back();
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    // Another worker may have cached v while we read the base table.
+    if (cache_map_.find(v) == cache_map_.end()) {
+      cache_list_.emplace_front(v, *rec);
+      cache_map_[v] = cache_list_.begin();
+      if (cache_list_.size() > options_.code_cache_capacity) {
+        cache_map_.erase(cache_list_.back().first);
+        cache_list_.pop_back();
+      }
     }
   }
   return Status::OK();

@@ -6,6 +6,7 @@
 
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -34,6 +35,11 @@ struct GraphDatabaseOptions {
   // 1 MiB total memory budget — a cache that holds every node would hide
   // the row-proportional I/O the paper's cost model charges filters for.
   size_t code_cache_capacity = 4096;
+  // Worker threads for the 2-hop cover construction (0 = one per
+  // hardware thread). The default of 1 reproduces the sequential builder
+  // exactly; higher values use the batch-parallel builder, which yields
+  // an equally valid (but not entry-identical) cover.
+  unsigned build_threads = 1;
 };
 
 // Counter snapshot for experiment reporting.
@@ -90,7 +96,9 @@ class GraphDatabase {
 
   // --- graph codes with the working cache --------------------------------
   // Fetches in(x)/out(x) through the primary index, caching decoded
-  // records (the paper's getCenters cache).
+  // records (the paper's getCenters cache). Safe to call from parallel
+  // execution workers (the cache has its own mutex; the storage read
+  // path is serialized by the buffer pool).
   Status GetCodes(NodeId v, LabelId label, GraphCodeRecord* rec) const;
 
   void set_code_cache_enabled(bool enabled);
@@ -112,8 +120,10 @@ class GraphDatabase {
   TwoHopLabeling labeling_;
   bool built_ = false;
 
-  // LRU code cache.
+  // LRU code cache (cache_mu_ guards the list/map/counters; the enabled
+  // flag only changes while no query is running).
   bool cache_enabled_ = true;
+  mutable std::mutex cache_mu_;
   mutable std::list<std::pair<NodeId, GraphCodeRecord>> cache_list_;
   mutable std::unordered_map<NodeId, decltype(cache_list_)::iterator>
       cache_map_;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "graph/algorithms.h"
 #include "graph/reach_oracle.h"
 
@@ -150,52 +151,123 @@ Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
   return Status::OK();
 }
 
-TwoHopLabeling BuildTwoHopPruned(const Graph& g) {
+TwoHopLabeling BuildTwoHopPruned(const Graph& g, unsigned num_threads) {
   FGPM_CHECK(g.finalized());
   CondensedView view = BuildCondensedView(g, /*order_by_degree=*/true);
   const uint32_t n = view.dag.NumNodes();
+  const unsigned threads = ResolveThreads(num_threads);
 
   std::vector<std::vector<CenterId>> in_labels(n), out_labels(n);
-  std::vector<uint32_t> visit_mark(n, 0xffffffffu);
-  std::vector<CenterId> queue;
 
-  // Process hubs by priority; pruned forward/backward BFS. The pruning
-  // rule guarantees each label receives only hubs with a smaller id, so
-  // plain push_back keeps vectors sorted.
-  for (CenterId hub = 0; hub < n; ++hub) {
-    // Forward: hub ~> v, so hub enters L_in(v).
-    queue.assign(1, hub);
-    visit_mark[hub] = hub * 2;
-    for (size_t qi = 0; qi < queue.size(); ++qi) {
-      CenterId v = queue[qi];
-      for (NodeId w : view.dag.OutNeighbors(v)) {
-        if (visit_mark[w] == hub * 2) continue;
-        visit_mark[w] = hub * 2;
-        if (CoveredSoFar(out_labels, in_labels, hub, w)) continue;
-        in_labels[w].push_back(hub);
-        queue.push_back(w);
+  if (threads == 1) {
+    std::vector<uint32_t> visit_mark(n, 0xffffffffu);
+    std::vector<CenterId> queue;
+
+    // Process hubs by priority; pruned forward/backward BFS. The pruning
+    // rule guarantees each label receives only hubs with a smaller id, so
+    // plain push_back keeps vectors sorted.
+    for (CenterId hub = 0; hub < n; ++hub) {
+      // Forward: hub ~> v, so hub enters L_in(v).
+      queue.assign(1, hub);
+      visit_mark[hub] = hub * 2;
+      for (size_t qi = 0; qi < queue.size(); ++qi) {
+        CenterId v = queue[qi];
+        for (NodeId w : view.dag.OutNeighbors(v)) {
+          if (visit_mark[w] == hub * 2) continue;
+          visit_mark[w] = hub * 2;
+          if (CoveredSoFar(out_labels, in_labels, hub, w)) continue;
+          in_labels[w].push_back(hub);
+          queue.push_back(w);
+        }
+      }
+      // Backward: u ~> hub, so hub enters L_out(u).
+      queue.assign(1, hub);
+      visit_mark[hub] = hub * 2 + 1;
+      for (size_t qi = 0; qi < queue.size(); ++qi) {
+        CenterId v = queue[qi];
+        for (NodeId w : view.dag.InNeighbors(v)) {
+          if (visit_mark[w] == hub * 2 + 1) continue;
+          visit_mark[w] = hub * 2 + 1;
+          if (CoveredSoFar(out_labels, in_labels, w, hub)) continue;
+          out_labels[w].push_back(hub);
+          queue.push_back(w);
+        }
       }
     }
-    // Backward: u ~> hub, so hub enters L_out(u).
-    queue.assign(1, hub);
-    visit_mark[hub] = hub * 2 + 1;
-    for (size_t qi = 0; qi < queue.size(); ++qi) {
-      CenterId v = queue[qi];
-      for (NodeId w : view.dag.InNeighbors(v)) {
-        if (visit_mark[w] == hub * 2 + 1) continue;
-        visit_mark[w] = hub * 2 + 1;
-        if (CoveredSoFar(out_labels, in_labels, w, hub)) continue;
-        out_labels[w].push_back(hub);
-        queue.push_back(w);
+
+    // The paper's compaction: every node carries itself in both codes.
+    // Appended last because self ids exceed all hub ids received.
+    for (CenterId c = 0; c < n; ++c) {
+      in_labels[c].push_back(c);
+      out_labels[c].push_back(c);
+    }
+  } else {
+    // Batch-parallel pruned sweeps. A batch of consecutive hubs is swept
+    // concurrently; every sweep prunes against the labels committed by
+    // earlier batches only (in_labels/out_labels are read-only during
+    // the sweeps), so the outcome depends on the batch size but not on
+    // thread scheduling. Missing same-batch pruning can only add entries
+    // that are true reachability facts — the cover stays valid, merely a
+    // little larger than the sequential one.
+    ThreadPool pool(threads);
+    const uint32_t batch = threads * 4;
+    std::vector<std::vector<uint32_t>> marks(
+        threads, std::vector<uint32_t>(n, 0xffffffffu));
+    std::vector<std::vector<CenterId>> queues(threads);
+    // Per batch slot: nodes whose in()/out() gain the slot's hub.
+    std::vector<std::vector<CenterId>> gains_in(batch), gains_out(batch);
+
+    for (CenterId base = 0; base < n; base += batch) {
+      const size_t count = std::min<size_t>(batch, n - base);
+      pool.ParallelFor(count, 1, [&](unsigned worker, size_t slot,
+                                     size_t begin, size_t end) {
+        (void)slot;
+        (void)end;
+        const CenterId hub = base + static_cast<CenterId>(begin);
+        std::vector<uint32_t>& visit_mark = marks[worker];
+        std::vector<CenterId>& queue = queues[worker];
+        gains_in[begin].clear();
+        gains_out[begin].clear();
+        // Forward sweep: hub enters L_in(w) for reached w.
+        queue.assign(1, hub);
+        visit_mark[hub] = hub * 2;
+        for (size_t qi = 0; qi < queue.size(); ++qi) {
+          for (NodeId w : view.dag.OutNeighbors(queue[qi])) {
+            if (visit_mark[w] == hub * 2) continue;
+            visit_mark[w] = hub * 2;
+            if (CoveredSoFar(out_labels, in_labels, hub, w)) continue;
+            gains_in[begin].push_back(w);
+            queue.push_back(w);
+          }
+        }
+        // Backward sweep: hub enters L_out(w) for reaching w.
+        queue.assign(1, hub);
+        visit_mark[hub] = hub * 2 + 1;
+        for (size_t qi = 0; qi < queue.size(); ++qi) {
+          for (NodeId w : view.dag.InNeighbors(queue[qi])) {
+            if (visit_mark[w] == hub * 2 + 1) continue;
+            visit_mark[w] = hub * 2 + 1;
+            if (CoveredSoFar(out_labels, in_labels, w, hub)) continue;
+            gains_out[begin].push_back(w);
+            queue.push_back(w);
+          }
+        }
+      });
+      // Commit in hub order: across batches hub ids only grow, so
+      // push_back keeps every label vector sorted.
+      for (size_t i = 0; i < count; ++i) {
+        const CenterId hub = base + static_cast<CenterId>(i);
+        for (CenterId w : gains_in[i]) in_labels[w].push_back(hub);
+        for (CenterId w : gains_out[i]) out_labels[w].push_back(hub);
       }
     }
-  }
 
-  // The paper's compaction: every node carries itself in both codes.
-  // Appended last because self ids exceed all hub ids received.
-  for (CenterId c = 0; c < n; ++c) {
-    in_labels[c].push_back(c);
-    out_labels[c].push_back(c);
+    // Compaction self entries. Unlike the sequential builder, a node may
+    // carry same-batch hubs with ids above its own, so insert sorted.
+    for (CenterId c = 0; c < n; ++c) {
+      SortedInsert(&in_labels[c], c);
+      SortedInsert(&out_labels[c], c);
+    }
   }
 
   TwoHopLabeling lab;

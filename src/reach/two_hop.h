@@ -11,7 +11,15 @@
 // Two builders:
 //  * BuildTwoHopPruned — pruned-BFS construction on the SCC condensation
 //    (a valid 2-hop cover; our stand-in for the authors' EDBT'06 fast
-//    algorithm; scales to millions of nodes).
+//    algorithm; scales to millions of nodes). With num_threads > 1 the
+//    per-center forward/backward sweeps run batch-parallel: a batch of
+//    consecutive priority-ordered centers is swept concurrently, each
+//    sweep pruning against the labels committed by earlier batches, and
+//    the batch's label additions are committed in center order. Stale
+//    pruning can only *add* (still true) entries, so the result is a
+//    valid cover for any thread count, and it depends only on the batch
+//    size — never on thread scheduling. num_threads == 1 reproduces the
+//    sequential construction bit for bit.
 //  * BuildTwoHopGreedy — classic greedy set-cover approximation; only
 //    for small graphs (computes the transitive closure); used in tests
 //    and the cover-size ablation.
@@ -87,7 +95,8 @@ class TwoHopLabeling {
   Status LoadMeta(BinaryReader* r);
 
  private:
-  friend TwoHopLabeling BuildTwoHopPruned(const Graph& g);
+  friend TwoHopLabeling BuildTwoHopPruned(const Graph& g,
+                                          unsigned num_threads);
   friend TwoHopLabeling BuildTwoHopGreedy(const Graph& g);
 
   std::vector<CenterId> scc_of_;               // node -> center id
@@ -96,7 +105,9 @@ class TwoHopLabeling {
   std::vector<std::vector<NodeId>> members_;   // center -> member nodes
 };
 
-TwoHopLabeling BuildTwoHopPruned(const Graph& g);
+// num_threads: 1 = exact sequential construction (default); 0 = one
+// worker per hardware thread; N = batch-parallel with N workers.
+TwoHopLabeling BuildTwoHopPruned(const Graph& g, unsigned num_threads = 1);
 TwoHopLabeling BuildTwoHopGreedy(const Graph& g);
 
 }  // namespace fgpm

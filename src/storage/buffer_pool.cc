@@ -70,6 +70,7 @@ Result<size_t> BufferPool::GrabFrame() {
 }
 
 Result<PageGuard> BufferPool::Fetch(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -94,6 +95,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
 }
 
 Result<PageGuard> BufferPool::New() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id = disk_->AllocatePage();
   FGPM_ASSIGN_OR_RETURN(size_t f, GrabFrame());
   Frame& fr = frames_[f];
@@ -106,6 +108,7 @@ Result<PageGuard> BufferPool::New() {
 }
 
 void BufferPool::Unpin(size_t frame) {
+  std::lock_guard<std::mutex> lock(mu_);
   Frame& fr = frames_[frame];
   FGPM_DCHECK(fr.pin_count > 0);
   if (--fr.pin_count == 0) {
@@ -116,6 +119,7 @@ void BufferPool::Unpin(size_t frame) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (Frame& fr : frames_) {
     if (fr.id != kInvalidPage && fr.dirty) {
       FGPM_RETURN_IF_ERROR(disk_->WritePage(fr.id, fr.page));

@@ -2,11 +2,20 @@
 // buffer for its experiments; that is our default (128 frames x 8 KiB).
 // Pages are accessed through pin/unpin RAII guards; unpinned frames are
 // evicted in LRU order, writing back dirty pages.
+//
+// Thread safety: Fetch/New/Unpin/FlushAll are serialized by an internal
+// mutex so concurrent *read* paths (parallel R-join workers pinning index
+// and cluster pages) are safe; a pinned frame is never evicted, so page
+// bytes can be read outside the lock for the guard's lifetime. Writers
+// (MutablePage) are not synchronized against readers of the same page —
+// the execution engine is read-only, and all build/update paths are
+// single-threaded.
 #ifndef FGPM_STORAGE_BUFFER_POOL_H_
 #define FGPM_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +78,7 @@ class BufferPool {
   Status FlushAll();
 
   size_t num_frames() const { return frames_.size(); }
+  // Snapshot of the counters; call only while no region is fetching.
   const BufferPoolStats& stats() const { return stats_; }
   DiskManager* disk() { return disk_; }
   void ResetStats() { stats_ = BufferPoolStats{}; }
@@ -86,11 +96,13 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  // Finds a frame for a new resident page, evicting if needed.
+  // Finds a frame for a new resident page, evicting if needed. Requires
+  // mu_ held.
   Result<size_t> GrabFrame();
   void Unpin(size_t frame);
   void MarkDirty(size_t frame) { frames_[frame].dirty = true; }
 
+  mutable std::mutex mu_;  // guards all fields below except frame bytes
   DiskManager* disk_;
   std::vector<Frame> frames_;
   std::unordered_map<PageId, size_t> page_table_;

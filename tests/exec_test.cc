@@ -73,6 +73,22 @@ class ExecFixture : public ::testing::Test {
 
 // ---- plan structure validation -----------------------------------------
 
+// Page charge is ceil(bytes / 8192): exact multiples of the page size
+// must not be charged an extra page, and an empty table occupies none.
+TEST(TemporalTablePagesTest, CeilDivisionBoundaries) {
+  TemporalTable t;
+  t.AddColumn(0);
+  EXPECT_EQ(TemporalTablePages(t), 0u);  // no rows, no pages
+  // 2047 ids = 8188 bytes -> 1 page; 2048 ids = exactly one page;
+  // 2049 ids = 8196 bytes -> 2 pages.
+  for (NodeId v = 0; v < 2047; ++v) t.AppendRow({v});
+  EXPECT_EQ(TemporalTablePages(t), 1u);
+  t.AppendRow({2047});
+  EXPECT_EQ(TemporalTablePages(t), 1u);
+  t.AppendRow({2048});
+  EXPECT_EQ(TemporalTablePages(t), 2u);
+}
+
 TEST(PlanValidateTest, AcceptsCanonicalFilterFetch) {
   auto p = Pattern::Parse("A->B; B->C");
   ASSERT_TRUE(p.ok());
