@@ -1,0 +1,28 @@
+# Convenience wrappers around the CMake build.
+#
+#   make build        - configure + build the regular tree (./build)
+#   make test         - regular build + full ctest suite
+#   make verify-tsan  - ThreadSanitizer pass over the concurrency tests
+#
+# verify-tsan is the one-command sanitizer gate for the `concurrency`
+# ctest label (the buffer-pool / code-cache hammer tests): it maintains
+# a separate instrumented tree in ./build-tsan so the regular build is
+# never polluted with -fsanitize flags.
+
+BUILD_DIR ?= build
+TSAN_BUILD_DIR ?= build-tsan
+JOBS ?= $(shell nproc 2>/dev/null || echo 2)
+
+.PHONY: build test verify-tsan
+
+build:
+	cmake -B $(BUILD_DIR) -S .
+	cmake --build $(BUILD_DIR) -j $(JOBS)
+
+test: build
+	ctest --test-dir $(BUILD_DIR) --output-on-failure -j $(JOBS)
+
+verify-tsan:
+	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
+	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
+	ctest --test-dir $(TSAN_BUILD_DIR) -L concurrency --output-on-failure

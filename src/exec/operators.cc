@@ -295,7 +295,10 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
           it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
         }
         const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
-        xi[i] = SortedIntersect(code, ctx[i].wcenters);
+        // Galloping/merge kernel writing into the hoisted per-item
+        // buffer (capacity reused across rows; W(X, Y) is often much
+        // larger than a node's code, the galloping regime).
+        SortedIntersectInto(code, ctx[i].wcenters, &xi[i]);
         if (xi[i].empty()) ok = false;
       }
       if (!ok) {

@@ -1,6 +1,8 @@
 #include "gdb/database.h"
 
+#include <algorithm>
 #include <fstream>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/serialize.h"
@@ -54,8 +56,7 @@ Status GraphDatabase::ApplyEdgeInsert(const Graph& g_after, NodeId u,
   FGPM_RETURN_IF_ERROR(touch(in_changed, RJoinIndex::Side::kT));
 
   // Stale cached codes would answer queries incorrectly.
-  cache_list_.clear();
-  cache_map_.clear();
+  ClearCodeCache();
 
   // Diff the center's subclusters: new (X, Y) combinations enter the
   // W-table; est_pairs/sums get the product deltas.
@@ -136,12 +137,45 @@ Result<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
   return db;
 }
 
+namespace {
+
+size_t ResolveStripes(size_t requested, size_t capacity) {
+  size_t s = requested;
+  if (s == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    s = 1;
+    while (s < hw) s <<= 1;
+    s = std::min<size_t>(s, 64);
+  } else {
+    size_t p = 1;
+    while (p < s) p <<= 1;
+    s = p;
+  }
+  // Keep stripes useful: at least 8 cacheable entries each.
+  while (s > 1 && capacity / s < 8) s >>= 1;
+  return s;
+}
+
+}  // namespace
+
 GraphDatabase::GraphDatabase(GraphDatabaseOptions options)
     : options_(options),
       disk_(std::make_unique<DiskManager>()),
-      pool_(std::make_unique<BufferPool>(disk_.get(),
-                                         options.buffer_pool_bytes)) {
+      pool_(std::make_unique<BufferPool>(
+          disk_.get(),
+          BufferPoolOptions{options.buffer_pool_bytes,
+                            options.buffer_pool_shards,
+                            options.buffer_pool_latch_across_io})) {
   cache_enabled_ = options_.code_cache_capacity > 0;
+  if (cache_enabled_) {
+    num_stripes_ = ResolveStripes(options_.code_cache_stripes,
+                                  options_.code_cache_capacity);
+    stripe_mask_ = num_stripes_ - 1;
+    stripe_capacity_ =
+        std::max<size_t>(1, options_.code_cache_capacity / num_stripes_);
+    stripes_ = std::make_unique<CacheStripe[]>(num_stripes_);
+  }
 }
 
 Status GraphDatabase::Build(const Graph& g) {
@@ -183,57 +217,82 @@ Status GraphDatabase::Build(const Graph& g) {
 Status GraphDatabase::GetCodes(NodeId v, LabelId label,
                                GraphCodeRecord* rec) const {
   if (cache_enabled_) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    auto it = cache_map_.find(v);
-    if (it != cache_map_.end()) {
-      ++cache_hits_;
-      cache_list_.splice(cache_list_.begin(), cache_list_, it->second);
-      *rec = it->second->second;
-      return Status::OK();
+    CacheStripe& st = stripes_[StripeOf(v)];
+    {
+      std::shared_lock<std::shared_mutex> lock(st.mu);
+      auto it = st.map.find(v);
+      if (it != st.map.end()) {
+        st.hits.fetch_add(1, std::memory_order_relaxed);
+        it->second.referenced.store(true, std::memory_order_relaxed);
+        *rec = it->second.rec;
+        return Status::OK();
+      }
     }
-    ++cache_misses_;
+    st.misses.fetch_add(1, std::memory_order_relaxed);
   }
   FGPM_RETURN_IF_ERROR(tables_[label]->Get(v, rec));
   if (cache_enabled_) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    CacheStripe& st = stripes_[StripeOf(v)];
+    std::unique_lock<std::shared_mutex> lock(st.mu);
     // Another worker may have cached v while we read the base table.
-    if (cache_map_.find(v) == cache_map_.end()) {
-      cache_list_.emplace_front(v, *rec);
-      cache_map_[v] = cache_list_.begin();
-      if (cache_list_.size() > options_.code_cache_capacity) {
-        cache_map_.erase(cache_list_.back().first);
-        cache_list_.pop_back();
+    if (st.map.find(v) == st.map.end()) {
+      while (st.map.size() >= stripe_capacity_ && !st.ring.empty()) {
+        // CLOCK sweep: referenced entries get a second chance.
+        NodeId hand = st.ring.front();
+        st.ring.pop_front();
+        auto ce = st.map.find(hand);
+        if (ce == st.map.end()) continue;
+        if (ce->second.referenced.load(std::memory_order_relaxed)) {
+          ce->second.referenced.store(false, std::memory_order_relaxed);
+          st.ring.push_back(hand);
+        } else {
+          st.map.erase(ce);
+        }
       }
+      st.map.try_emplace(v).first->second.rec = *rec;
+      st.ring.push_back(v);
     }
   }
   return Status::OK();
 }
 
+void GraphDatabase::ClearCodeCache() const {
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    CacheStripe& st = stripes_[i];
+    std::unique_lock<std::shared_mutex> lock(st.mu);
+    st.map.clear();
+    st.ring.clear();
+  }
+}
+
 void GraphDatabase::set_code_cache_enabled(bool enabled) {
   cache_enabled_ = enabled && options_.code_cache_capacity > 0;
-  if (!cache_enabled_) {
-    cache_list_.clear();
-    cache_map_.clear();
-  }
+  if (!cache_enabled_) ClearCodeCache();
 }
 
 IoSnapshot GraphDatabase::Io() const {
   IoSnapshot s;
-  s.page_reads = disk_->stats().page_reads;
-  s.page_writes = disk_->stats().page_writes;
-  s.pool_hits = pool_->stats().hits;
-  s.pool_misses = pool_->stats().misses;
-  s.code_cache_hits = cache_hits_;
-  s.code_cache_misses = cache_misses_;
+  DiskStats disk = disk_->stats();
+  s.page_reads = disk.page_reads;
+  s.page_writes = disk.page_writes;
+  BufferPoolStats pool = pool_->stats();
+  s.pool_hits = pool.hits;
+  s.pool_misses = pool.misses;
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    s.code_cache_hits += stripes_[i].hits.load(std::memory_order_relaxed);
+    s.code_cache_misses += stripes_[i].misses.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
 void GraphDatabase::ResetIo() {
   disk_->ResetStats();
   pool_->ResetStats();
-  cache_hits_ = cache_misses_ = 0;
-  cache_list_.clear();
-  cache_map_.clear();
+  for (size_t i = 0; i < num_stripes_; ++i) {
+    stripes_[i].hits.store(0, std::memory_order_relaxed);
+    stripes_[i].misses.store(0, std::memory_order_relaxed);
+  }
+  ClearCodeCache();
 }
 
 }  // namespace fgpm

@@ -4,9 +4,10 @@
 #ifndef FGPM_GDB_DATABASE_H_
 #define FGPM_GDB_DATABASE_H_
 
-#include <list>
+#include <atomic>
+#include <deque>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,19 @@ struct GraphDatabaseOptions {
   // exactly; higher values use the batch-parallel builder, which yields
   // an equally valid (but not entry-identical) cover.
   unsigned build_threads = 1;
+  // Buffer-pool shards (BufferPoolOptions::num_shards). 0 = auto: next
+  // power of two >= hardware threads, capped at 64. 1 = the legacy
+  // single-latch pool.
+  size_t buffer_pool_shards = 0;
+  // Code-cache lock stripes. 0 = auto (same rule as pool shards). Each
+  // stripe holds code_cache_capacity / stripes entries under its own
+  // shared_mutex, so concurrent getCenters probes only contend when two
+  // workers hash to the same stripe.
+  size_t code_cache_stripes = 0;
+  // Hold the buffer-pool shard latch across disk reads (the pre-sharding
+  // pool's behavior). Only bench_concurrency sets this, as the A/B
+  // baseline for the de-serialized miss path.
+  bool buffer_pool_latch_across_io = false;
 };
 
 // Counter snapshot for experiment reporting.
@@ -97,8 +111,10 @@ class GraphDatabase {
   // --- graph codes with the working cache --------------------------------
   // Fetches in(x)/out(x) through the primary index, caching decoded
   // records (the paper's getCenters cache). Safe to call from parallel
-  // execution workers (the cache has its own mutex; the storage read
-  // path is serialized by the buffer pool).
+  // execution workers: the cache is striped (per-stripe shared_mutex,
+  // CLOCK eviction — hits take only a shared lock and flip an atomic
+  // reference bit), and the storage read path is sharded rather than
+  // globally serialized.
   Status GetCodes(NodeId v, LabelId label, GraphCodeRecord* rec) const;
 
   void set_code_cache_enabled(bool enabled);
@@ -108,6 +124,8 @@ class GraphDatabase {
   IoSnapshot Io() const;
   void ResetIo();
   BufferPool* buffer_pool() { return pool_.get(); }
+  const BufferPool* buffer_pool() const { return pool_.get(); }
+  size_t code_cache_stripes() const { return num_stripes_; }
 
  private:
   GraphDatabaseOptions options_;
@@ -120,15 +138,33 @@ class GraphDatabase {
   TwoHopLabeling labeling_;
   bool built_ = false;
 
-  // LRU code cache (cache_mu_ guards the list/map/counters; the enabled
-  // flag only changes while no query is running).
+  // Striped read-mostly code cache. Each stripe is an independent CLOCK
+  // (second-chance) cache: hits take the stripe's shared lock, copy the
+  // record and set an atomic reference bit; misses take the exclusive
+  // lock only for the double-checked insert. CLOCK instead of a splice-
+  // on-hit LRU keeps the hit path free of list surgery (and thus of the
+  // exclusive lock); single-threaded behavior is deterministic.
+  struct CacheEntry {
+    GraphCodeRecord rec;
+    std::atomic<bool> referenced{false};
+  };
+  struct CacheStripe {
+    std::shared_mutex mu;
+    std::unordered_map<NodeId, CacheEntry> map;
+    std::deque<NodeId> ring;  // CLOCK order; front = hand
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+  };
+  size_t StripeOf(NodeId v) const { return v & stripe_mask_; }
+  void ClearCodeCache() const;
+
   bool cache_enabled_ = true;
-  mutable std::mutex cache_mu_;
-  mutable std::list<std::pair<NodeId, GraphCodeRecord>> cache_list_;
-  mutable std::unordered_map<NodeId, decltype(cache_list_)::iterator>
-      cache_map_;
-  mutable uint64_t cache_hits_ = 0;
-  mutable uint64_t cache_misses_ = 0;
+  // unique_ptr<[]> so stripes (non-movable: mutex + atomics) can be
+  // mutated from const readers without a mutable qualifier per field.
+  std::unique_ptr<CacheStripe[]> stripes_;
+  size_t num_stripes_ = 0;
+  size_t stripe_mask_ = 0;
+  size_t stripe_capacity_ = 0;
 };
 
 }  // namespace fgpm

@@ -54,6 +54,9 @@ class TwoHopLabeling {
   }
 
   // Reflexive reachability test via code intersection (Example 3.1).
+  // The probe runs on the adaptive SortedIntersects kernel: galloping
+  // when one code is far larger than the other (hub vs leaf nodes),
+  // branch-light merge when balanced.
   bool Reaches(NodeId u, NodeId v) const {
     if (u == v) return true;
     CenterId cu = scc_of_[u], cv = scc_of_[v];

@@ -1,7 +1,10 @@
 #include "storage/disk_manager.h"
 
+#include <chrono>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <thread>
 
 #include "common/serialize.h"
 
@@ -22,6 +25,7 @@ uint64_t PageChecksum(const Page& p) {
 }  // namespace
 
 Status DiskManager::SavePages(std::ostream& os) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   BinaryWriter w(&os);
   w.U64(pages_.size());
   for (const auto& p : pages_) {
@@ -33,6 +37,7 @@ Status DiskManager::SavePages(std::ostream& os) const {
 }
 
 Status DiskManager::LoadPages(std::istream& is) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   BinaryReader r(&is);
   uint64_t n = 0;
   FGPM_RETURN_IF_ERROR(r.U64(&n));
@@ -48,7 +53,7 @@ Status DiskManager::LoadPages(std::istream& is) {
       return Status::Corruption("page data truncated");
     }
     if (PageChecksum(*page) != expected) {
-      ++stats_.checksum_failures;
+      checksum_failures_.fetch_add(1, std::memory_order_relaxed);
       return Status::Corruption("page " + std::to_string(i) +
                                 " checksum mismatch");
     }
@@ -58,6 +63,7 @@ Status DiskManager::LoadPages(std::istream& is) {
 }
 
 Status DiskManager::CorruptPageForTesting(PageId id, size_t offset) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size() || offset >= kPageSize) {
     return Status::OutOfRange("corruption target out of range");
   }
@@ -66,26 +72,35 @@ Status DiskManager::CorruptPageForTesting(PageId id, size_t offset) {
 }
 
 PageId DiskManager::AllocatePage() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   pages_.push_back(std::make_unique<Page>());
-  ++stats_.pages_allocated;
+  pages_allocated_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status DiskManager::ReadPage(PageId id, Page* out) {
-  if (id >= pages_.size()) {
-    return Status::OutOfRange("ReadPage: page id out of range");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (id >= pages_.size()) {
+      return Status::OutOfRange("ReadPage: page id out of range");
+    }
+    *out = *pages_[id];
+    page_reads_.fetch_add(1, std::memory_order_relaxed);
   }
-  *out = *pages_[id];
-  ++stats_.page_reads;
+  uint32_t latency = simulated_read_latency_us_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const Page& page) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id >= pages_.size()) {
     return Status::OutOfRange("WritePage: page id out of range");
   }
   *pages_[id] = page;
-  ++stats_.page_writes;
+  page_writes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -154,6 +154,97 @@ TEST(SortedVectorTest, IntersectAndUnion) {
   EXPECT_EQ(SortedUnion(a, b), (std::vector<int>{1, 3, 5, 7, 9}));
 }
 
+// Scalar reference implementations for the differential test below: the
+// seed's plain two-cursor merge, with no strategy switch.
+bool ScalarIntersects(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  auto ia = a.begin(), ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> ScalarIntersect(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(SortedVectorTest, GallopLowerBoundMatchesStd) {
+  Rng rng(99);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<uint32_t> v;
+    size_t n = rng.NextBounded(64);
+    for (size_t i = 0; i < n; ++i) v.push_back(rng.NextBounded(100));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    for (uint32_t key = 0; key <= 100; key += 7) {
+      for (size_t lo = 0; lo <= v.size(); ++lo) {
+        size_t expect = static_cast<size_t>(
+            std::lower_bound(v.begin() + lo, v.end(), key) - v.begin());
+        EXPECT_EQ(gallop_internal::GallopLowerBound(v.data(), lo, v.size(),
+                                                    key),
+                  expect)
+            << "lo=" << lo << " key=" << key;
+      }
+    }
+  }
+}
+
+// Randomized differential: the adaptive (galloping/branch-light)
+// kernels vs the scalar merge, across adversarial size ratios — empty,
+// disjoint, subset, equal, and everything the ratio sweep hits in
+// between (both sides of the kGallopRatio switch).
+TEST(SortedVectorTest, GallopDifferentialAdversarialShapes) {
+  Rng rng(4321);
+  auto random_sorted = [&](size_t n, uint32_t universe) {
+    std::vector<uint32_t> v;
+    for (size_t i = 0; i < n; ++i) v.push_back(rng.NextBounded(universe));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  const size_t sizes[] = {0, 1, 2, 3, 15, 16, 17, 100, 1000, 5000};
+  for (size_t na : sizes) {
+    for (size_t nb : sizes) {
+      for (int dense = 0; dense < 2; ++dense) {
+        // Dense universe forces overlaps; sparse one favors disjoint.
+        uint32_t universe =
+            dense ? static_cast<uint32_t>(na + nb + 1) * 2 : 1u << 30;
+        std::vector<uint32_t> a = random_sorted(na, universe);
+        std::vector<uint32_t> b = random_sorted(nb, universe);
+        EXPECT_EQ(SortedIntersects(a, b), ScalarIntersects(a, b));
+        EXPECT_EQ(SortedIntersect(a, b), ScalarIntersect(a, b));
+        // Aliased shapes: equal inputs and a strict subset.
+        EXPECT_TRUE(a.empty() || SortedIntersects(a, a));
+        EXPECT_EQ(SortedIntersect(a, a), a);
+        std::vector<uint32_t> sub;
+        for (size_t i = 0; i < a.size(); i += 3) sub.push_back(a[i]);
+        EXPECT_EQ(SortedIntersect(a, sub), sub);
+        EXPECT_EQ(SortedIntersect(sub, a), sub);
+        if (!sub.empty()) EXPECT_TRUE(SortedIntersects(sub, a));
+      }
+    }
+  }
+}
+
+TEST(SortedVectorTest, IntersectIntoReusesBuffer) {
+  std::vector<uint32_t> a{1, 2, 3, 4, 5}, b{2, 4, 6}, out{9, 9, 9, 9};
+  SortedIntersectInto(a, b, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 4}));
+  SortedIntersectInto(a, std::vector<uint32_t>{}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(SortedVectorTest, InsertKeepsOrderAndDedups) {
   std::vector<int> v;
   EXPECT_TRUE(SortedInsert(&v, 5));
