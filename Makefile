@@ -2,18 +2,25 @@
 #
 #   make build        - configure + build the regular tree (./build)
 #   make test         - regular build + full ctest suite
-#   make verify-tsan  - ThreadSanitizer pass over the concurrency tests
+#   make bench-codes  - build + run the code-layout A/B bench
+#                       (writes BENCH_codes.json in the repo root)
+#   make verify-tsan  - ThreadSanitizer pass over the concurrency +
+#                       reach-labeled tests
+#   make verify-asan  - AddressSanitizer pass over the same labels
 #
-# verify-tsan is the one-command sanitizer gate for the `concurrency`
-# ctest label (the buffer-pool / code-cache hammer tests): it maintains
-# a separate instrumented tree in ./build-tsan so the regular build is
-# never polluted with -fsanitize flags.
+# verify-tsan / verify-asan are the one-command sanitizer gates for the
+# `concurrency` and `reach` ctest labels (buffer-pool / code-cache
+# hammer tests, code-layout round-trips and the multi-threaded probe
+# differentials): each maintains a separate instrumented tree
+# (./build-tsan, ./build-asan) so the regular build is never polluted
+# with -fsanitize flags.
 
 BUILD_DIR ?= build
 TSAN_BUILD_DIR ?= build-tsan
+ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test verify-tsan
+.PHONY: build test bench-codes verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -22,7 +29,16 @@ build:
 test: build
 	ctest --test-dir $(BUILD_DIR) --output-on-failure -j $(JOBS)
 
+bench-codes: build
+	cd $(BUILD_DIR)/bench && ./bench_codes
+	cp $(BUILD_DIR)/bench/BENCH_codes.json BENCH_codes.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L concurrency --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach' --output-on-failure
+
+verify-asan:
+	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
+	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach' --output-on-failure

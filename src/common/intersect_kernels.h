@@ -1,0 +1,63 @@
+// Vectorized sorted-set intersection kernels for 32-bit ids.
+//
+// Graph codes, W-table center lists and R-join cluster lists are all
+// strictly increasing uint32 sequences, and the balanced (similar-size)
+// intersection is the innermost loop of every reachability probe. The
+// generic merge in sorted_vector.h routes balanced uint32 inputs here;
+// this TU provides three implementations behind one runtime dispatch:
+//
+//  * kScalar — unrolled branch-free two-pointer: 2x2 blocks of elements
+//    are cross-compared with 64-bit word "has-zero-lane" tests (two
+//    32-bit XOR lanes packed per word), and both cursors advance by
+//    comparison masks, so the loop carries no data-dependent branch.
+//  * kSse — the classic 4x4 block kernel: `_mm_cmpeq_epi32` against all
+//    four `_mm_shuffle_epi32` rotations of the other block (SSE2, always
+//    available on x86-64). The materializing variant compacts matched
+//    lanes with a 16-entry `_mm_shuffle_epi8` table (SSSE3).
+//  * kAvx2 — 8x8 block variant via `_mm256_permutevar8x32_epi32`
+//    rotations, selected when `__builtin_cpu_supports("avx2")`.
+//
+// kSeed is the pre-kernel scalar merge kept callable for A/B baselines
+// (bench_codes) and differential tests. All kernels require *strictly*
+// increasing inputs (sets, no duplicates) — which every call site
+// guarantees — and produce identical results (tests/common_test.cc
+// cross-checks them exhaustively on adversarial shapes).
+#ifndef FGPM_COMMON_INTERSECT_KERNELS_H_
+#define FGPM_COMMON_INTERSECT_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fgpm {
+
+enum class IntersectKernel : int {
+  kAuto = 0,    // runtime dispatch: AVX2 > SSE > scalar
+  kSeed = 1,    // branch-light scalar merge (baseline for A/B runs)
+  kScalar = 2,  // unrolled branch-free two-pointer, 64-bit word compares
+  kSse = 3,
+  kAvx2 = 4,
+};
+
+// Forces a specific kernel (tests and bench A/B); kAuto restores CPU
+// dispatch. Returns false (and keeps the current choice) if the CPU
+// lacks the requested ISA. Not thread-safe against in-flight probes —
+// call between workloads.
+bool SetIntersectKernel(IntersectKernel k);
+IntersectKernel ActiveIntersectKernel();  // what probes currently use
+const char* IntersectKernelName(IntersectKernel k);
+
+// True if the two strictly-increasing sequences share an element.
+bool IntersectsU32(const uint32_t* a, size_t na, const uint32_t* b,
+                   size_t nb);
+
+// Materializing intersection into `out`, which must have room for
+// min(na, nb) + kIntersectPad elements (SIMD compaction stores whole
+// blocks past the logical end). Returns the number of matches written;
+// output is strictly increasing.
+inline constexpr size_t kIntersectPad = 8;
+size_t IntersectU32(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb, uint32_t* out);
+
+}  // namespace fgpm
+
+#endif  // FGPM_COMMON_INTERSECT_KERNELS_H_

@@ -1,26 +1,36 @@
-// Set operations over sorted vectors. Graph codes (2-hop label entries)
-// are stored as sorted vectors of center ids, so intersection tests are
-// the innermost loop of every reachability check (TwoHop::Reaches, the
-// W-table probes of the HPSJ filter step, and the select operator).
+// Set operations over sorted sequences. Graph codes (2-hop label
+// entries) are stored as strictly increasing id sequences — nested
+// vectors on disk records, flat arena spans in TwoHopLabeling — so
+// intersection tests are the innermost loop of every reachability check
+// (TwoHop::Reaches, the W-table probes of the HPSJ filter step, and the
+// select operator). Everything here takes any contiguous container
+// (std::vector, std::span) with matching value types.
 //
-// Two strategies, switched on the size ratio:
-//  * balanced inputs — a branch-light merge: both cursors are advanced
-//    by comparison results instead of an if/else ladder, so the loop
-//    carries no hard-to-predict branch on random center ids;
+// Strategy switch on the size ratio:
 //  * lopsided inputs (one side >= kGallopRatio times the other) — a
 //    galloping (doubling) search: each element of the small side is
 //    located in the large side by exponential probing from the previous
 //    match position, O(small * log(large / small)) instead of
-//    O(small + large).
-// Both strategies produce identical results (differential-tested in
+//    O(small + large);
+//  * balanced uint32 inputs — the runtime-dispatched SIMD kernels of
+//    common/intersect_kernels.h (AVX2/SSE shuffle compare, branch-free
+//    unrolled scalar fallback);
+//  * balanced inputs of other types — a branch-light scalar merge: both
+//    cursors advance by comparison results instead of an if/else
+//    ladder, so the loop carries no hard-to-predict branch.
+// All strategies produce identical results (differential-tested in
 // tests/common_test.cc over adversarial shapes: empty, disjoint,
-// subset, equal, extreme ratios).
+// subset, equal, extreme ratios, every forced kernel).
 #ifndef FGPM_COMMON_SORTED_VECTOR_H_
 #define FGPM_COMMON_SORTED_VECTOR_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
+
+#include "common/intersect_kernels.h"
 
 namespace fgpm {
 
@@ -81,64 +91,126 @@ inline bool Lopsided(size_t na, size_t nb) {
 
 // True if the two sorted ranges share at least one element.
 template <typename T>
-bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
-  const size_t na = a.size(), nb = b.size();
+bool SortedRangeIntersects(const T* pa, size_t na, const T* pb, size_t nb) {
   if (na == 0 || nb == 0) return false;
   if (gallop_internal::Lopsided(na, nb)) {
-    return na < nb
-               ? gallop_internal::GallopIntersects(a.data(), na, b.data(), nb)
-               : gallop_internal::GallopIntersects(b.data(), nb, a.data(), na);
+    return na < nb ? gallop_internal::GallopIntersects(pa, na, pb, nb)
+                   : gallop_internal::GallopIntersects(pb, nb, pa, na);
   }
-  const T* pa = a.data();
-  const T* pb = b.data();
-  size_t ia = 0, ib = 0;
-  while (ia < na && ib < nb) {
-    const T va = pa[ia], vb = pb[ib];
-    if (va == vb) return true;
-    ia += (va < vb);
-    ib += (vb < va);
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    return IntersectsU32(pa, na, pb, nb);
+  } else {
+    size_t ia = 0, ib = 0;
+    while (ia < na && ib < nb) {
+      const T va = pa[ia], vb = pb[ib];
+      if (va == vb) return true;
+      ia += (va < vb);
+      ib += (vb < va);
+    }
+    return false;
   }
-  return false;
 }
 
-// Intersection of two sorted vectors appended into `*out` (cleared
+// Intersection of two sorted ranges appended into `*out` (cleared
 // first; capacity is reused, which matters in the filter operator's
 // per-row probe loop).
 template <typename T>
-void SortedIntersectInto(const std::vector<T>& a, const std::vector<T>& b,
-                         std::vector<T>* out) {
+void SortedRangeIntersectInto(const T* pa, size_t na, const T* pb, size_t nb,
+                              std::vector<T>* out) {
   out->clear();
-  const size_t na = a.size(), nb = b.size();
   if (na == 0 || nb == 0) return;
   if (gallop_internal::Lopsided(na, nb)) {
     if (na < nb) {
-      gallop_internal::GallopIntersectInto(a.data(), na, b.data(), nb, out);
+      gallop_internal::GallopIntersectInto(pa, na, pb, nb, out);
     } else {
-      gallop_internal::GallopIntersectInto(b.data(), nb, a.data(), na, out);
+      gallop_internal::GallopIntersectInto(pb, nb, pa, na, out);
     }
     return;
   }
-  const T* pa = a.data();
-  const T* pb = b.data();
-  size_t ia = 0, ib = 0;
-  while (ia < na && ib < nb) {
-    const T va = pa[ia], vb = pb[ib];
-    if (va == vb) out->push_back(va);
-    ia += (va <= vb);
-    ib += (vb <= va);
+  if constexpr (std::is_same_v<T, uint32_t>) {
+    // SIMD compaction stores whole blocks; give it padded headroom,
+    // then shrink to the real count.
+    out->resize(std::min(na, nb) + kIntersectPad);
+    out->resize(IntersectU32(pa, na, pb, nb, out->data()));
+  } else {
+    size_t ia = 0, ib = 0;
+    while (ia < na && ib < nb) {
+      const T va = pa[ia], vb = pb[ib];
+      if (va == vb) out->push_back(va);
+      ia += (va <= vb);
+      ib += (vb <= va);
+    }
   }
 }
 
-// Intersection of two sorted vectors.
-template <typename T>
-std::vector<T> SortedIntersect(const std::vector<T>& a,
-                               const std::vector<T>& b) {
+namespace sorted_internal {
+
+// Accepts any contiguous container (vector, span) of T.
+template <typename C, typename T>
+concept RangeOf =
+    requires(const C& c) {
+      { c.data() } -> std::convertible_to<const T*>;
+      { c.size() } -> std::convertible_to<size_t>;
+    };
+
+template <typename C>
+using ValueT = std::remove_cv_t<std::remove_reference_t<
+    decltype(*std::declval<const C&>().data())>>;
+
+}  // namespace sorted_internal
+
+// True if the two sorted containers share at least one element.
+template <typename CA, typename CB,
+          typename T = sorted_internal::ValueT<CA>>
+  requires sorted_internal::RangeOf<CA, T> && sorted_internal::RangeOf<CB, T>
+bool SortedIntersects(const CA& a, const CB& b) {
+  return SortedRangeIntersects<T>(a.data(), a.size(), b.data(), b.size());
+}
+
+// Intersection of two sorted containers appended into `*out`.
+template <typename CA, typename CB,
+          typename T = sorted_internal::ValueT<CA>>
+  requires sorted_internal::RangeOf<CA, T> && sorted_internal::RangeOf<CB, T>
+void SortedIntersectInto(const CA& a, const CB& b, std::vector<T>* out) {
+  SortedRangeIntersectInto<T>(a.data(), a.size(), b.data(), b.size(), out);
+}
+
+// Intersection of two sorted containers.
+template <typename CA, typename CB,
+          typename T = sorted_internal::ValueT<CA>>
+  requires sorted_internal::RangeOf<CA, T> && sorted_internal::RangeOf<CB, T>
+std::vector<T> SortedIntersect(const CA& a, const CB& b) {
   std::vector<T> out;
   SortedIntersectInto(a, b, &out);
   return out;
 }
 
-// Union of two sorted vectors (deduplicated).
+// Union of two sorted containers (deduplicated).
+template <typename CA, typename CB,
+          typename T = sorted_internal::ValueT<CA>>
+  requires sorted_internal::RangeOf<CA, T> && sorted_internal::RangeOf<CB, T>
+std::vector<T> SortedUnion(const CA& a, const CB& b) {
+  std::vector<T> out;
+  std::set_union(a.data(), a.data() + a.size(), b.data(),
+                 b.data() + b.size(), std::back_inserter(out));
+  return out;
+}
+
+// Vector overloads: braced-init-list arguments (`SortedIntersects(a,
+// {})`) can't drive deduction through the container-generic templates
+// above, but they could through the seed's vector-only signatures.
+// These forwarders keep that calling style compiling.
+template <typename T>
+bool SortedIntersects(const std::vector<T>& a, const std::vector<T>& b) {
+  return SortedRangeIntersects<T>(a.data(), a.size(), b.data(), b.size());
+}
+template <typename T>
+std::vector<T> SortedIntersect(const std::vector<T>& a,
+                               const std::vector<T>& b) {
+  std::vector<T> out;
+  SortedRangeIntersectInto<T>(a.data(), a.size(), b.data(), b.size(), &out);
+  return out;
+}
 template <typename T>
 std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
   std::vector<T> out;
@@ -157,9 +229,10 @@ bool SortedInsert(std::vector<T>* vec, const T& v) {
 }
 
 // Binary-search membership test.
-template <typename T>
-bool SortedContains(const std::vector<T>& vec, const T& v) {
-  return std::binary_search(vec.begin(), vec.end(), v);
+template <typename C, typename T = sorted_internal::ValueT<C>>
+  requires sorted_internal::RangeOf<C, T>
+bool SortedContains(const C& vec, const T& v) {
+  return std::binary_search(vec.data(), vec.data() + vec.size(), v);
 }
 
 }  // namespace fgpm

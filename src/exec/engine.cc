@@ -43,6 +43,7 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
           }));
     } else {
       TemporalTable table;
+      scratch_.BeginQuery();
       for (const PlanStep& step : plan.steps) {
         ++result.stats.steps;
         switch (step.kind) {
@@ -50,7 +51,7 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
             FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
                                               step.edge, &table,
                                               &result.stats.operators,
-                                              pool_.get()));
+                                              pool_.get(), &scratch_));
             break;
           case StepKind::kScanBase:
             FGPM_RETURN_IF_ERROR(ScanBase(*db_, pattern, node_labels,
@@ -61,7 +62,7 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
             FGPM_RETURN_IF_ERROR(ApplyFilter(*db_, pattern, node_labels,
                                              step.filters, &table,
                                              &result.stats.operators,
-                                             pool_.get()));
+                                             pool_.get(), &scratch_));
             break;
           case StepKind::kFetch:
             FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
@@ -73,7 +74,7 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
             FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
                                              step.edge, &table,
                                              &result.stats.operators,
-                                             pool_.get()));
+                                             pool_.get(), &scratch_));
             break;
         }
         // An empty intermediate stays empty; skip the remaining steps.

@@ -39,9 +39,11 @@ struct MatchResult {
   void SortRows();
 };
 
-// Intra-operator parallelism knobs. Results are identical for every
-// thread count (see operators.h); only elapsed time and thread usage
-// differ. num_threads == 1 keeps the exact seed sequential code paths.
+// Intra-operator parallelism knobs. Result rows are identical for every
+// thread count (see operators.h); elapsed time and memo-affected
+// counters (code_fetches, reach_memo_*) may differ because reachability
+// memos are per-worker. num_threads == 1 keeps the sequential code
+// paths.
 struct ExecOptions {
   unsigned num_threads = 1;  // 0 = one worker per hardware thread
 };
@@ -53,6 +55,8 @@ class Executor {
     if (ResolveThreads(options.num_threads) > 1) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     }
+    scratch_.Configure(pool_ ? pool_->size() : 1,
+                       db->options().reach_cache_entries);
   }
 
   // Validates and runs `plan` for `pattern`. A pattern label absent from
@@ -64,6 +68,9 @@ class Executor {
  private:
   const GraphDatabase* db_;
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
+  // Per-worker reachability memos + reused probe buffers, threaded
+  // through the operators of every Execute call (see ExecScratch).
+  ExecScratch scratch_;
 };
 
 }  // namespace fgpm

@@ -1,6 +1,7 @@
 #include "exec/operators.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -75,15 +76,21 @@ Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
 Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
                     const std::vector<LabelId>& node_labels, uint32_t edge,
                     TemporalTable* out, OperatorStats* stats,
-                    ThreadPool* pool) {
+                    ThreadPool* pool, ExecScratch* scratch) {
   const PatternEdge& e = pattern.edges()[edge];
   LabelId x = node_labels[e.from], y = node_labels[e.to];
 
   out->AddColumn(e.from);
   out->AddColumn(e.to);
 
-  std::vector<CenterId> centers;
-  FGPM_RETURN_IF_ERROR(db.wtable().Lookup(x, y, &centers));
+  // Borrowed-buffer W-table probe: the scratch vector's capacity is
+  // reused query over query; the span stays valid for the whole call
+  // (nothing below touches the scratch buffer).
+  std::vector<CenterId> local_centers;
+  std::vector<CenterId>* cbuf =
+      scratch ? &scratch->wtable_scratch : &local_centers;
+  FGPM_ASSIGN_OR_RETURN(std::span<const CenterId> centers,
+                        db.wtable().LookupSpan(x, y, cbuf));
   ++stats->wtable_lookups;
 
   // A pair can appear under several centers; HPSJ output is a set.
@@ -209,7 +216,8 @@ Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
 Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels,
                    const std::vector<FilterItem>& items, TemporalTable* table,
-                   OperatorStats* stats, ThreadPool* pool) {
+                   OperatorStats* stats, ThreadPool* pool,
+                   ExecScratch* scratch) {
   if (items.empty()) return Status::InvalidArgument("empty filter");
   stats->temporal_pages_read += TemporalTablePages(*table);
   const auto& edges = pattern.edges();
@@ -219,8 +227,14 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
     size_t col = 0;      // probed column in the temporal table
     LabelId col_label = 0;
     bool use_out = false;  // probe out(x) vs in(y)
-    std::vector<CenterId> wcenters;  // W(X, Y)
   };
+  // W(X, Y) buffers hoisted into executor-owned scratch: their capacity
+  // survives across filter calls (and queries) instead of being
+  // reallocated per call.
+  std::vector<std::vector<CenterId>> local_wcenters;
+  std::vector<std::vector<CenterId>>& wcenters =
+      scratch ? scratch->wcenters_pool : local_wcenters;
+  if (wcenters.size() < items.size()) wcenters.resize(items.size());
   std::vector<ItemCtx> ctx(items.size());
   for (size_t i = 0; i < items.size(); ++i) {
     const PatternEdge& e = edges[items[i].edge];
@@ -232,8 +246,20 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
     ctx[i].col_label = node_labels[bound];
     ctx[i].use_out = items[i].bound_is_source;
     FGPM_RETURN_IF_ERROR(db.wtable().Lookup(
-        node_labels[e.from], node_labels[e.to], &ctx[i].wcenters));
+        node_labels[e.from], node_labels[e.to], &wcenters[i]));
     ++stats->wtable_lookups;
+  }
+
+  // Per-worker Xi memo: Xi(node, item) = code(node) ∩ W(X, Y) is a pure
+  // function of the probed node and the item, so cached center lists
+  // never change the output — only how often getCenters and the
+  // intersection run. Keys pack the item index into the low 12 bits;
+  // cleared here because item indexes are call-local.
+  const bool use_memo = scratch != nullptr && items.size() < 4096 &&
+                        !scratch->workers.empty() &&
+                        scratch->workers[0].filter_memo.enabled();
+  if (use_memo) {
+    for (auto& w : scratch->workers) w.filter_memo.Clear();
   }
 
   const size_t ncols = table->NumColumns();
@@ -267,11 +293,14 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
   };
   std::vector<ChunkOut> parts(nchunks);
   std::vector<Status> errs(nchunks);
-  RunChunked(pool, nrows, chunk, [&](unsigned, size_t c, size_t begin,
+  RunChunked(pool, nrows, chunk, [&](unsigned wk, size_t c, size_t begin,
                                      size_t end) {
     ChunkOut& part = parts[c];
     part.carried.resize(first_fresh);
     part.fresh.resize(ctx.size());
+    ExecScratch::Worker* ws =
+        use_memo && wk < scratch->workers.size() ? &scratch->workers[wk]
+                                                 : nullptr;
     // One scan; one getCenters per (row, distinct column) shared across
     // items (Remark 3.1).
     std::unordered_map<size_t, GraphCodeRecord> col_codes;
@@ -281,24 +310,35 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
       col_codes.clear();
       bool ok = true;
       for (size_t i = 0; i < ctx.size() && ok; ++i) {
-        auto it = col_codes.find(ctx[i].col);
-        if (it == col_codes.end()) {
-          GraphCodeRecord rec;
-          Status s =
-              db.GetCodes(rows[r * ncols + ctx[i].col], ctx[i].col_label,
-                          &rec);
-          if (!s.ok()) {
-            errs[c] = std::move(s);
-            return;
-          }
-          ++part.code_fetches;
-          it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
+        NodeId node = rows[r * ncols + ctx[i].col];
+        uint32_t memo_slot = 0;
+        bool memo_hit = false;
+        if (ws != nullptr) {
+          uint64_t key = (static_cast<uint64_t>(node) << 12) | i;
+          memo_slot = ws->filter_memo.Acquire(key, &memo_hit);
         }
-        const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
-        // Galloping/merge kernel writing into the hoisted per-item
-        // buffer (capacity reused across rows; W(X, Y) is often much
-        // larger than a node's code, the galloping regime).
-        SortedIntersectInto(code, ctx[i].wcenters, &xi[i]);
+        if (memo_hit) {
+          xi[i] = ws->xi_pool[memo_slot];  // Xi is a pure fn of (node, i)
+        } else {
+          auto it = col_codes.find(ctx[i].col);
+          if (it == col_codes.end()) {
+            GraphCodeRecord rec;
+            Status s = db.GetCodes(node, ctx[i].col_label, &rec);
+            if (!s.ok()) {
+              errs[c] = std::move(s);
+              return;
+            }
+            ++part.code_fetches;
+            it = col_codes.emplace(ctx[i].col, std::move(rec)).first;
+          }
+          const auto& code = ctx[i].use_out ? it->second.out : it->second.in;
+          // Hybrid kernel (galloping / SIMD merge) writing into the
+          // hoisted per-item buffer (capacity reused across rows;
+          // W(X, Y) is often much larger than a node's code, the
+          // galloping regime).
+          SortedIntersectInto(code, wcenters[i], &xi[i]);
+          if (ws != nullptr) ws->xi_pool[memo_slot] = xi[i];
+        }
         if (xi[i].empty()) ok = false;
       }
       if (!ok) {
@@ -323,6 +363,12 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
     stats->rows_scanned += part.rows_scanned;
     stats->rows_pruned += part.rows_pruned;
     stats->code_fetches += part.code_fetches;
+  }
+  if (use_memo) {
+    for (const auto& w : scratch->workers) {
+      stats->reach_memo_probes += w.filter_memo.probes();
+      stats->reach_memo_hits += w.filter_memo.hits();
+    }
   }
   std::vector<NodeId> new_rows;
   new_rows.reserve(kept_rows * ncols);
@@ -461,11 +507,22 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
 Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels, uint32_t edge,
                    TemporalTable* table, OperatorStats* stats,
-                   ThreadPool* pool) {
+                   ThreadPool* pool, ExecScratch* scratch) {
   const PatternEdge& e = pattern.edges()[edge];
   auto cx = table->ColumnOf(e.from), cy = table->ColumnOf(e.to);
   if (!cx || !cy) return Status::InvalidArgument("select columns not bound");
   stats->temporal_pages_read += TemporalTablePages(*table);
+
+  // Per-worker reachability memo: a select's verdict for (u, v) is a
+  // pure function of the node pair, so a hit skips both getCenters
+  // calls and the code intersection without changing which rows
+  // survive. Joins frequently revisit pairs (a fetch multiplies rows
+  // without changing the bound pair), making repeats common.
+  const bool use_memo = scratch != nullptr && !scratch->workers.empty() &&
+                        scratch->workers[0].select_memo.enabled();
+  if (use_memo) {
+    for (auto& w : scratch->workers) w.select_memo.Clear();
+  }
 
   const size_t ncols = table->NumColumns();
   const size_t nrows = table->NumRows();
@@ -486,24 +543,45 @@ Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
   };
   std::vector<ChunkOut> parts(nchunks);
   std::vector<Status> errs(nchunks);
-  RunChunked(pool, nrows, chunk, [&](unsigned, size_t c, size_t begin,
+  RunChunked(pool, nrows, chunk, [&](unsigned wk, size_t c, size_t begin,
                                      size_t end) {
     ChunkOut& part = parts[c];
     part.kept.resize(table->pending().size());
-    GraphCodeRecord rx, ry;
+    ExecScratch::Worker* ws =
+        scratch != nullptr && wk < scratch->workers.size()
+            ? &scratch->workers[wk]
+            : nullptr;
+    ReachMemo* memo =
+        ws != nullptr && ws->select_memo.enabled() ? &ws->select_memo
+                                                   : nullptr;
+    GraphCodeRecord local_rx, local_ry;
+    GraphCodeRecord& rx = ws != nullptr ? ws->rx : local_rx;
+    GraphCodeRecord& ry = ws != nullptr ? ws->ry : local_ry;
     for (size_t r = begin; r < end; ++r) {
       ++part.rows_scanned;
       NodeId u = rows[r * ncols + *cx], v = rows[r * ncols + *cy];
-      Status s = db.GetCodes(u, node_labels[e.from], &rx);
-      if (s.ok()) s = db.GetCodes(v, node_labels[e.to], &ry);
-      if (!s.ok()) {
-        errs[c] = std::move(s);
-        return;
+      bool reachable;
+      uint32_t memo_slot = 0;
+      bool memo_hit = false;
+      if (memo != nullptr) {
+        memo_slot = memo->Acquire(PackPair(u, v), &memo_hit);
       }
-      part.code_fetches += 2;
-      // Labels differ, so u != v; the code intersection decides (it
-      // covers same-SCC pairs through the shared component center).
-      if (!SortedIntersects(rx.out, ry.in)) {
+      if (memo_hit) {
+        reachable = memo->value(memo_slot) != 0;
+      } else {
+        Status s = db.GetCodes(u, node_labels[e.from], &rx);
+        if (s.ok()) s = db.GetCodes(v, node_labels[e.to], &ry);
+        if (!s.ok()) {
+          errs[c] = std::move(s);
+          return;
+        }
+        part.code_fetches += 2;
+        // Labels differ, so u != v; the code intersection decides (it
+        // covers same-SCC pairs through the shared component center).
+        reachable = SortedIntersects(rx.out, ry.in);
+        if (memo != nullptr) memo->set_value(memo_slot, reachable ? 1u : 0u);
+      }
+      if (!reachable) {
         ++part.rows_pruned;
         continue;
       }
@@ -526,6 +604,12 @@ Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
       new_pending[s].row_index.insert(new_pending[s].row_index.end(),
                                       part.kept[s].begin(),
                                       part.kept[s].end());
+    }
+  }
+  if (use_memo) {
+    for (const auto& w : scratch->workers) {
+      stats->reach_memo_probes += w.select_memo.probes();
+      stats->reach_memo_hits += w.select_memo.hits();
     }
   }
   table->raw_rows() = std::move(new_rows);

@@ -15,9 +15,15 @@
 // filter/fetch/select merge chunks in chunk order, and HPSJ dedups its
 // packed pair set through fixed hash buckets that are sorted + uniqued
 // independently and concatenated in bucket order. Either way the
-// produced table — rows, pending pools and OperatorStats — is identical
-// for every thread count, including the sequential pool == nullptr
-// path.
+// produced table — rows and pending pools — is identical for every
+// thread count, including the sequential pool == nullptr path.
+//
+// OperatorStats are likewise thread-count invariant EXCEPT when an
+// ExecScratch with enabled reachability memos is passed: memo hits are
+// per-worker, so code_fetches / reach_memo_* counters depend on how
+// rows were partitioned. The produced rows never do — a memo only
+// short-circuits a recomputation whose result is a pure function of
+// the probed node pair.
 #ifndef FGPM_EXEC_OPERATORS_H_
 #define FGPM_EXEC_OPERATORS_H_
 
@@ -30,6 +36,7 @@
 #include "exec/temporal_table.h"
 #include "gdb/database.h"
 #include "query/pattern.h"
+#include "reach/reach_memo.h"
 
 namespace fgpm {
 
@@ -46,6 +53,56 @@ struct OperatorStats {
   // so DP-vs-DPS I/O comparisons mean what they meant in the paper.
   uint64_t temporal_pages_read = 0;
   uint64_t temporal_pages_written = 0;
+  // Per-query reachability memo traffic (filter Xi cache + select
+  // verdict cache). Zero when no ExecScratch / disabled memos.
+  uint64_t reach_memo_probes = 0;
+  uint64_t reach_memo_hits = 0;
+};
+
+// Operator-owned scratch the Executor threads through a query: per-
+// worker reachability memos (cleared per query) plus reusable buffers
+// that hoist per-call allocations out of the hot probe loops. Operators
+// accept scratch == nullptr (tests and benches calling them directly)
+// and fall back to local temporaries.
+struct ExecScratch {
+  struct Worker {
+    // ApplySelect: PackPair(u, v) -> reachable verdict (0/1).
+    ReachMemo select_memo;
+    // ApplyFilter: (node << 8 | item) -> Xi slot. The memo slot index
+    // doubles as the xi_pool index, so cached center lists are bounded
+    // by the memo capacity. Cleared at the start of every filter call
+    // (item indexes are call-local).
+    ReachMemo filter_memo;
+    std::vector<std::vector<CenterId>> xi_pool;
+    GraphCodeRecord rx, ry;  // reused decoded-code records
+  };
+  std::vector<Worker> workers;
+  // W(X, Y) probe buffers, reused call over call (capacity persists):
+  // one for HPSJ's borrowed-buffer LookupSpan, one pool for filter items.
+  std::vector<CenterId> wtable_scratch;
+  std::vector<std::vector<CenterId>> wcenters_pool;
+
+  // Sizes per-worker state; entries == 0 disables both memos.
+  void Configure(unsigned num_workers, size_t entries) {
+    workers.assign(std::max(1u, num_workers), Worker{});
+    for (Worker& w : workers) {
+      w.select_memo.Reset(entries);
+      w.filter_memo.Reset(entries);
+      w.xi_pool.assign(w.filter_memo.capacity(), {});
+    }
+  }
+
+  // Per-query reset: memos are operator-call-scoped anyway (each
+  // operator clears at entry and folds its traffic into OperatorStats
+  // at exit), but clearing here too keeps stale verdicts from ever
+  // crossing a query boundary (e.g. after an edge insert). O(1) per
+  // worker via epochs.
+  void BeginQuery() {
+    for (Worker& w : workers) {
+      w.select_memo.Clear();
+      w.filter_memo.Clear();
+    }
+  }
 };
 
 // Charged pages for one pass over a temporal table's current contents.
@@ -64,12 +121,13 @@ Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
 Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
                     const std::vector<LabelId>& node_labels, uint32_t edge,
                     TemporalTable* out, OperatorStats* stats,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr, ExecScratch* scratch = nullptr);
 
 Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels,
                    const std::vector<FilterItem>& items, TemporalTable* table,
-                   OperatorStats* stats, ThreadPool* pool = nullptr);
+                   OperatorStats* stats, ThreadPool* pool = nullptr,
+                   ExecScratch* scratch = nullptr);
 
 Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                   const std::vector<LabelId>& node_labels, uint32_t edge,
@@ -79,7 +137,7 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
 Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels, uint32_t edge,
                    TemporalTable* table, OperatorStats* stats,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr, ExecScratch* scratch = nullptr);
 
 }  // namespace fgpm
 

@@ -44,8 +44,10 @@ Status GraphDatabase::ApplyEdgeInsert(const Graph& g_after, NodeId u,
         LabelId l = g_after.label_of(m);
         GraphCodeRecord rec;
         rec.node = m;
-        rec.in = labeling_.InCode(m);
-        rec.out = labeling_.OutCode(m);
+        const auto in = labeling_.InCode(m);
+        const auto out = labeling_.OutCode(m);
+        rec.in.assign(in.begin(), in.end());
+        rec.out.assign(out.begin(), out.end());
         FGPM_RETURN_IF_ERROR(tables_[l]->Update(rec));
         FGPM_RETURN_IF_ERROR(rjoin_index_->AddToCluster(c, side, l, m));
       }
@@ -129,6 +131,11 @@ Result<std::unique_ptr<GraphDatabase>> GraphDatabase::Open(
   db->wtable_ = std::make_unique<WTable>(std::move(wt));
   FGPM_RETURN_IF_ERROR(db->catalog_.LoadMeta(&r));
   FGPM_RETURN_IF_ERROR(db->labeling_.LoadMeta(&r));
+  // The sidecar layout is derived data: the opening database's knob
+  // wins over whatever threshold the file was built with.
+  if (db->labeling_.bitmap_threshold() != options.code_bitmap_threshold) {
+    db->labeling_.SetBitmapThreshold(options.code_bitmap_threshold);
+  }
   if (db->tables_.size() != db->catalog_.num_labels()) {
     return Status::Corruption("table count disagrees with catalog");
   }
@@ -184,8 +191,9 @@ Status GraphDatabase::Build(const Graph& g) {
   built_ = true;
 
   labeling_ = options_.use_greedy_cover
-                  ? BuildTwoHopGreedy(g)
-                  : BuildTwoHopPruned(g, options_.build_threads);
+                  ? BuildTwoHopGreedy(g, options_.code_bitmap_threshold)
+                  : BuildTwoHopPruned(g, options_.build_threads,
+                                      options_.code_bitmap_threshold);
 
   // Base tables: one per label, tuples in extent order.
   tables_.clear();
@@ -194,8 +202,10 @@ Status GraphDatabase::Build(const Graph& g) {
     for (NodeId v : g.Extent(l)) {
       GraphCodeRecord rec;
       rec.node = v;
-      rec.in = labeling_.InCode(v);
-      rec.out = labeling_.OutCode(v);
+      const auto in = labeling_.InCode(v);
+      const auto out = labeling_.OutCode(v);
+      rec.in.assign(in.begin(), in.end());
+      rec.out.assign(out.begin(), out.end());
       FGPM_RETURN_IF_ERROR(tables_[l]->Insert(rec));
     }
   }

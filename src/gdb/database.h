@@ -54,6 +54,15 @@ struct GraphDatabaseOptions {
   // pool's behavior). Only bench_concurrency sets this, as the A/B
   // baseline for the de-serialized miss path.
   bool buffer_pool_latch_across_io = false;
+  // Code length at which a center's in()/out() code gets a chunked
+  // bitmap sidecar in the labeling (hub x hub probes become word-AND
+  // loops). 0 keeps every probe on the flat sorted arrays. See
+  // kDefaultCodeBitmapThreshold.
+  uint32_t code_bitmap_threshold = kDefaultCodeBitmapThreshold;
+  // Entries in each per-worker reachability memo the executor consults
+  // from the HPSJ filter and select operators (rounded up to a power of
+  // two). The memo is cleared per query; 0 disables memoization.
+  size_t reach_cache_entries = 65536;
 };
 
 // Counter snapshot for experiment reporting.
@@ -95,6 +104,7 @@ class GraphDatabase {
       const std::string& path, GraphDatabaseOptions options = {});
 
   // --- metadata ---------------------------------------------------------
+  const GraphDatabaseOptions& options() const { return options_; }
   uint32_t num_labels() const { return catalog_.num_labels(); }
   const Catalog& catalog() const { return catalog_; }
   uint64_t NumNodes() const { return catalog_.NumNodes(); }

@@ -1,5 +1,6 @@
 #include "gdb/rjoin_index.h"
 
+#include <algorithm>
 #include <cstring>
 #include <map>
 #include <string>
@@ -62,6 +63,14 @@ Status NodeListStore::Get(uint64_t handle,
       return Status::Corruption("node list chunk size mismatch");
     }
     size_t old = out->size();
+    // Reserve with one chunk of lookahead when the chain continues
+    // (every chunk but the last is full, so the lookahead is exact
+    // until the tail): single-chunk lists allocate exactly instead of
+    // geometrically. Long chains still double to stay amortized O(n).
+    size_t need = old + count + (next != kNullHandle ? kIdsPerChunk : 0);
+    if (out->capacity() < need) {
+      out->reserve(std::max(need, 2 * out->capacity()));
+    }
     out->resize(old + count);
     std::memcpy(out->data() + old, bytes.data() + kChunkHeader, 4ull * count);
     handle = next;

@@ -45,6 +45,12 @@ Status WTable::Lookup(LabelId x, LabelId y,
   return store_.Get(*handle, out);
 }
 
+Result<std::span<const CenterId>> WTable::LookupSpan(
+    LabelId x, LabelId y, std::vector<CenterId>* scratch) const {
+  FGPM_RETURN_IF_ERROR(Lookup(x, y, scratch));
+  return std::span<const CenterId>(scratch->data(), scratch->size());
+}
+
 
 Status WTable::AddCenter(LabelId x, LabelId y, CenterId w, bool* added) {
   *added = false;

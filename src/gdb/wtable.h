@@ -7,6 +7,7 @@
 #ifndef FGPM_GDB_WTABLE_H_
 #define FGPM_GDB_WTABLE_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -29,6 +30,13 @@ class WTable {
   // Centers for W(X, Y); empty vector when no center qualifies (the
   // R-join result is then provably empty).
   Status Lookup(LabelId x, LabelId y, std::vector<CenterId>* out) const;
+
+  // Borrowed-buffer fast path: decodes into `*scratch` (whose capacity
+  // is reused probe over probe — the executor passes operator-owned
+  // scratch) and returns a span over it. The span is valid until the
+  // next use of `scratch`.
+  Result<std::span<const CenterId>> LookupSpan(
+      LabelId x, LabelId y, std::vector<CenterId>* scratch) const;
 
   // Ensures center w is listed under W(X, Y) (incremental maintenance).
   // Returns true through `added` when w was newly inserted.

@@ -74,15 +74,179 @@ bool CoveredSoFar(const std::vector<std::vector<CenterId>>& out_labels,
 
 }  // namespace
 
+// --- flat arena / hybrid layout ---------------------------------------------
+
+void TwoHopLabeling::Flatten(std::vector<std::vector<CenterId>>&& nested,
+                             DirCodes* dir) {
+  const size_t n = nested.size();
+  uint64_t total = 0;
+  for (const auto& v : nested) total += v.size();
+  dir->pool.clear();
+  dir->pool.reserve(total);
+  dir->off.clear();
+  dir->off.reserve(n + 1);
+  dir->off.push_back(0);
+  for (auto& v : nested) {
+    dir->pool.insert(dir->pool.end(), v.begin(), v.end());
+    dir->off.push_back(dir->pool.size());
+    v.clear();
+    v.shrink_to_fit();  // release the nested allocation as we go
+  }
+  nested.clear();
+}
+
+void TwoHopLabeling::BuildSidecar(DirCodes* dir, uint32_t threshold) {
+  const size_t n = dir->off.empty() ? 0 : dir->off.size() - 1;
+  dir->slot.assign(n, kNoSlot);
+  dir->chunk_off.assign(1, 0);
+  dir->chunks.clear();
+  dir->words.clear();
+  if (threshold == 0) return;
+  for (size_t c = 0; c < n; ++c) {
+    const uint64_t b = dir->off[c], e = dir->off[c + 1];
+    if (e - b < threshold) continue;
+    dir->slot[c] = static_cast<uint32_t>(dir->chunk_off.size() - 1);
+    uint32_t cur = 0xffffffffu;
+    for (uint64_t i = b; i < e; ++i) {
+      const CenterId id = dir->pool[i];
+      const uint32_t chunk = id >> 8;
+      if (chunk != cur) {
+        dir->chunks.push_back(chunk);
+        dir->words.insert(dir->words.end(), 4, 0);
+        cur = chunk;
+      }
+      dir->words[dir->words.size() - 4 + ((id >> 6) & 3)] |=
+          uint64_t{1} << (id & 63);
+    }
+    dir->chunk_off.push_back(static_cast<uint32_t>(dir->chunks.size()));
+  }
+}
+
+void TwoHopLabeling::AdoptCodes(std::vector<std::vector<CenterId>>&& in,
+                                std::vector<std::vector<CenterId>>&& out,
+                                uint32_t bitmap_threshold) {
+  Flatten(std::move(in), &in_);
+  Flatten(std::move(out), &out_);
+  bitmap_threshold_ = bitmap_threshold;
+  BuildSidecar(&in_, bitmap_threshold_);
+  BuildSidecar(&out_, bitmap_threshold_);
+}
+
+void TwoHopLabeling::SetBitmapThreshold(uint32_t threshold) {
+  bitmap_threshold_ = threshold;
+  BuildSidecar(&in_, threshold);
+  BuildSidecar(&out_, threshold);
+}
+
+uint32_t TwoHopLabeling::NumBitmapCodes() const {
+  return static_cast<uint32_t>(in_.chunk_off.size() +
+                               out_.chunk_off.size() - 2);
+}
+
+uint64_t TwoHopLabeling::CodeBytes() const {
+  auto dir_bytes = [](const DirCodes& d) {
+    return d.pool.size() * sizeof(CenterId) + d.off.size() * sizeof(uint64_t) +
+           d.slot.size() * sizeof(uint32_t) +
+           d.chunk_off.size() * sizeof(uint32_t) +
+           d.chunks.size() * sizeof(uint32_t) +
+           d.words.size() * sizeof(uint64_t);
+  };
+  return dir_bytes(in_) + dir_bytes(out_);
+}
+
+bool TwoHopLabeling::BitmapBitmapIntersects(const DirCodes& a, uint32_t sa,
+                                            const DirCodes& b, uint32_t sb) {
+  size_t i = a.chunk_off[sa];
+  const size_t ie = a.chunk_off[sa + 1];
+  size_t j = b.chunk_off[sb];
+  const size_t je = b.chunk_off[sb + 1];
+  while (i < ie && j < je) {
+    const uint32_t ca = a.chunks[i], cb = b.chunks[j];
+    if (ca == cb) {
+      const uint64_t* wa = &a.words[4 * i];
+      const uint64_t* wb = &b.words[4 * j];
+      if ((wa[0] & wb[0]) | (wa[1] & wb[1]) | (wa[2] & wb[2]) |
+          (wa[3] & wb[3])) {
+        return true;
+      }
+      ++i;
+      ++j;
+    } else {
+      i += (ca < cb);
+      j += (cb < ca);
+    }
+  }
+  return false;
+}
+
+bool TwoHopLabeling::ArrayBitmapIntersects(CodeSpan arr, const DirCodes& b,
+                                           uint32_t sb) {
+  size_t j = b.chunk_off[sb];
+  const size_t je = b.chunk_off[sb + 1];
+  for (const CenterId id : arr) {
+    const uint32_t chunk = id >> 8;
+    while (j < je && b.chunks[j] < chunk) ++j;
+    if (j == je) return false;
+    if (b.chunks[j] != chunk) continue;
+    if (b.words[4 * j + ((id >> 6) & 3)] & (uint64_t{1} << (id & 63))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TwoHopLabeling::ProbeCodes(CenterId cu, CenterId cv) const {
+  const uint32_t so = out_.slot.empty() ? kNoSlot : out_.slot[cu];
+  const uint32_t si = in_.slot.empty() ? kNoSlot : in_.slot[cv];
+  if (so != kNoSlot) {
+    if (si != kNoSlot) return BitmapBitmapIntersects(out_, so, in_, si);
+    return ArrayBitmapIntersects(Slice(in_, cv), out_, so);
+  }
+  if (si != kNoSlot) return ArrayBitmapIntersects(Slice(out_, cu), in_, si);
+  const CodeSpan a = Slice(out_, cu), b = Slice(in_, cv);
+  return SortedRangeIntersects(a.data(), a.size(), b.data(), b.size());
+}
+
 uint64_t TwoHopLabeling::CoverSize() const {
   uint64_t total = 0;
-  for (CenterId c = 0; c < in_.size(); ++c) {
+  for (CenterId c = 0; c < members_.size(); ++c) {
     // Compact form: the self entry in each of in() and out() is implied
     // by the tuple itself and not stored (Example 3.1).
-    total += static_cast<uint64_t>(in_[c].size() - 1 + out_[c].size() - 1) *
+    total += (in_.off[c + 1] - in_.off[c] - 1 + out_.off[c + 1] -
+              out_.off[c] - 1) *
              members_[c].size();
   }
   return total;
+}
+
+void TwoHopLabeling::InsertCenter(DirCodes* dir,
+                                  const std::vector<CenterId>& comps,
+                                  CenterId c) {
+  if (comps.empty()) return;
+  const size_t n = dir->off.size() - 1;
+  std::vector<CenterId> pool;
+  pool.reserve(dir->pool.size() + comps.size());
+  std::vector<uint64_t> off;
+  off.reserve(n + 1);
+  off.push_back(0);
+  size_t k = 0;  // cursor into comps (ascending, like the center loop)
+  for (size_t comp = 0; comp < n; ++comp) {
+    const CenterId* s = dir->pool.data() + dir->off[comp];
+    const size_t len = static_cast<size_t>(dir->off[comp + 1] - dir->off[comp]);
+    if (k < comps.size() && comps[k] == comp) {
+      ++k;
+      const size_t pos =
+          static_cast<size_t>(std::lower_bound(s, s + len, c) - s);
+      pool.insert(pool.end(), s, s + pos);
+      pool.push_back(c);
+      pool.insert(pool.end(), s + pos, s + len);
+    } else {
+      pool.insert(pool.end(), s, s + len);
+    }
+    off.push_back(pool.size());
+  }
+  dir->pool = std::move(pool);
+  dir->off = std::move(off);
 }
 
 Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
@@ -108,8 +272,9 @@ Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
   // New pairs are exactly {(x, y) : x ~> u, v ~> y}. One added cluster
   // with center(u) covers them all: center(u) joins out(x) for every
   // ancestor x of u and in(y) for every descendant y of v.
-  CenterId c = scc_of_[u];
-  std::vector<bool> comp_seen(in_.size(), false);
+  const CenterId c = scc_of_[u];
+  const uint32_t n = num_centers();
+  std::vector<bool> comp_seen(n, false);
   std::vector<NodeId> queue;
 
   // BFS at component granularity: visiting a component enqueues ALL its
@@ -128,11 +293,14 @@ Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
       visit_component(scc_of_[w]);
     }
   }
-  for (CenterId comp = 0; comp < in_.size(); ++comp) {
-    if (comp_seen[comp] && SortedInsert(&out_[comp], c) && out_changed) {
-      out_changed->push_back(comp);
+  std::vector<CenterId> gained;
+  for (CenterId comp = 0; comp < n; ++comp) {
+    if (comp_seen[comp] && !SortedContains(CenterOutCode(comp), c)) {
+      gained.push_back(comp);
+      if (out_changed) out_changed->push_back(comp);
     }
   }
+  InsertCenter(&out_, gained, c);
 
   // Forward from v: every component reachable from v gains c in in().
   std::fill(comp_seen.begin(), comp_seen.end(), false);
@@ -143,15 +311,23 @@ Status TwoHopLabeling::UpdateForEdgeInsert(const Graph& g_after, NodeId u,
       visit_component(scc_of_[w]);
     }
   }
-  for (CenterId comp = 0; comp < in_.size(); ++comp) {
-    if (comp_seen[comp] && SortedInsert(&in_[comp], c) && in_changed) {
-      in_changed->push_back(comp);
+  gained.clear();
+  for (CenterId comp = 0; comp < n; ++comp) {
+    if (comp_seen[comp] && !SortedContains(CenterInCode(comp), c)) {
+      gained.push_back(comp);
+      if (in_changed) in_changed->push_back(comp);
     }
   }
+  InsertCenter(&in_, gained, c);
+
+  // Code lengths changed; refresh the derived bitmap sidecars.
+  BuildSidecar(&out_, bitmap_threshold_);
+  BuildSidecar(&in_, bitmap_threshold_);
   return Status::OK();
 }
 
-TwoHopLabeling BuildTwoHopPruned(const Graph& g, unsigned num_threads) {
+TwoHopLabeling BuildTwoHopPruned(const Graph& g, unsigned num_threads,
+                                 uint32_t bitmap_threshold) {
   FGPM_CHECK(g.finalized());
   CondensedView view = BuildCondensedView(g, /*order_by_degree=*/true);
   const uint32_t n = view.dag.NumNodes();
@@ -272,13 +448,13 @@ TwoHopLabeling BuildTwoHopPruned(const Graph& g, unsigned num_threads) {
 
   TwoHopLabeling lab;
   lab.scc_of_ = std::move(view.scc_of);
-  lab.in_ = std::move(in_labels);
-  lab.out_ = std::move(out_labels);
   lab.members_ = std::move(view.members);
+  lab.AdoptCodes(std::move(in_labels), std::move(out_labels),
+                 bitmap_threshold);
   return lab;
 }
 
-TwoHopLabeling BuildTwoHopGreedy(const Graph& g) {
+TwoHopLabeling BuildTwoHopGreedy(const Graph& g, uint32_t bitmap_threshold) {
   FGPM_CHECK(g.finalized());
   CondensedView view = BuildCondensedView(g, /*order_by_degree=*/false);
   const uint32_t n = view.dag.NumNodes();
@@ -374,38 +550,63 @@ TwoHopLabeling BuildTwoHopGreedy(const Graph& g) {
 
   TwoHopLabeling lab;
   lab.scc_of_ = std::move(view.scc_of);
-  lab.in_ = std::move(in_labels);
-  lab.out_ = std::move(out_labels);
   lab.members_ = std::move(view.members);
+  lab.AdoptCodes(std::move(in_labels), std::move(out_labels),
+                 bitmap_threshold);
   return lab;
 }
 
 
 void TwoHopLabeling::SaveMeta(BinaryWriter* w) const {
   w->VecU32(scc_of_);
-  w->U64(in_.size());
-  for (const auto& v : in_) w->VecU32(v);
-  w->U64(out_.size());
-  for (const auto& v : out_) w->VecU32(v);
+  w->U32(bitmap_threshold_);
+  w->VecU64(in_.off);
+  w->VecU32(in_.pool);
+  w->VecU64(out_.off);
+  w->VecU32(out_.pool);
   w->U64(members_.size());
   for (const auto& v : members_) w->VecU32(v);
 }
 
+namespace {
+
+Status CheckDirShape(const std::vector<uint64_t>& off,
+                     const std::vector<CenterId>& pool, size_t num_centers) {
+  if (off.size() != num_centers + 1 || off.front() != 0 ||
+      off.back() != pool.size()) {
+    return Status::Corruption("2-hop code index shape mismatch");
+  }
+  for (size_t i = 0; i + 1 < off.size(); ++i) {
+    if (off[i] > off[i + 1]) {
+      return Status::Corruption("2-hop code offsets not monotone");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status TwoHopLabeling::LoadMeta(BinaryReader* r) {
   FGPM_RETURN_IF_ERROR(r->VecU32(&scc_of_));
+  FGPM_RETURN_IF_ERROR(r->U32(&bitmap_threshold_));
+  FGPM_RETURN_IF_ERROR(r->VecU64(&in_.off));
+  FGPM_RETURN_IF_ERROR(r->VecU32(&in_.pool));
+  FGPM_RETURN_IF_ERROR(r->VecU64(&out_.off));
+  FGPM_RETURN_IF_ERROR(r->VecU32(&out_.pool));
   uint64_t n = 0;
-  FGPM_RETURN_IF_ERROR(r->U64(&n));
-  in_.resize(n);
-  for (auto& v : in_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
-  FGPM_RETURN_IF_ERROR(r->U64(&n));
-  out_.resize(n);
-  for (auto& v : out_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
   FGPM_RETURN_IF_ERROR(r->U64(&n));
   members_.resize(n);
   for (auto& v : members_) FGPM_RETURN_IF_ERROR(r->VecU32(&v));
-  if (in_.size() != out_.size() || in_.size() != members_.size()) {
-    return Status::Corruption("2-hop labeling sections disagree");
+  FGPM_RETURN_IF_ERROR(CheckDirShape(in_.off, in_.pool, members_.size()));
+  FGPM_RETURN_IF_ERROR(CheckDirShape(out_.off, out_.pool, members_.size()));
+  for (CenterId c : scc_of_) {
+    if (c >= members_.size()) {
+      return Status::Corruption("2-hop scc map references unknown center");
+    }
   }
+  // The bitmap sidecars are derived data, rebuilt rather than stored.
+  BuildSidecar(&in_, bitmap_threshold_);
+  BuildSidecar(&out_, bitmap_threshold_);
   return Status::OK();
 }
 

@@ -1,0 +1,165 @@
+// Flat-arena / hybrid-bitmap code layout: serialization round-trips,
+// CoverSize invariance across bitmap thresholds, and probe equivalence
+// between the pure-array and bitmap-sidecar representations (the layout
+// may change the probe kernel, never the verdict).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/reach_oracle.h"
+#include "reach/two_hop.h"
+
+namespace fgpm {
+namespace {
+
+// Nodes with no edges at all: after compaction every stored code is
+// empty (a node's only label entry is itself, which the compact layout
+// strips).
+Graph IsolatedNodes(uint32_t n) {
+  Graph g;
+  for (uint32_t i = 0; i < n; ++i) g.AddNode(i % 2 == 0 ? "A" : "B");
+  g.Finalize();
+  return g;
+}
+
+// One big cycle: a single SCC, one center, every pair reachable.
+Graph SingleScc(uint32_t n) {
+  Graph g;
+  std::vector<NodeId> ids;
+  for (uint32_t i = 0; i < n; ++i) ids.push_back(g.AddNode("C"));
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(g.AddEdge(ids[i], ids[(i + 1) % n]).ok());
+  }
+  g.Finalize();
+  return g;
+}
+
+void ExpectSameLabeling(const TwoHopLabeling& a, const TwoHopLabeling& b,
+                        const Graph& g) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_centers(), b.num_centers());
+  EXPECT_EQ(a.CoverSize(), b.CoverSize());
+  EXPECT_EQ(a.bitmap_threshold(), b.bitmap_threshold());
+  EXPECT_EQ(a.NumBitmapCodes(), b.NumBitmapCodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(a.CenterOf(v), b.CenterOf(v));
+    EXPECT_TRUE(std::ranges::equal(a.InCode(v), b.InCode(v))) << "v=" << v;
+    EXPECT_TRUE(std::ranges::equal(a.OutCode(v), b.OutCode(v))) << "v=" << v;
+  }
+  Rng rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    EXPECT_EQ(a.Reaches(u, v), b.Reaches(u, v)) << "u=" << u << " v=" << v;
+  }
+}
+
+class CodeLayoutRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CodeLayoutRoundTrip, GeneratedDags) {
+  const uint32_t threshold = GetParam();
+  std::vector<Graph> graphs;
+  graphs.push_back(gen::RandomDag(300, 2.0, 3, 41));
+  graphs.push_back(gen::ErdosRenyi(250, 700, 3, 42));
+  graphs.push_back(IsolatedNodes(40));
+  graphs.push_back(SingleScc(25));
+  for (const Graph& g : graphs) {
+    TwoHopLabeling lab = BuildTwoHopPruned(g, 1, threshold);
+    std::stringstream ss;
+    BinaryWriter w(&ss);
+    lab.SaveMeta(&w);
+    ASSERT_TRUE(w.ok());
+    TwoHopLabeling back;
+    BinaryReader r(&ss);
+    ASSERT_TRUE(back.LoadMeta(&r).ok());
+    ExpectSameLabeling(lab, back, g);
+  }
+}
+
+// Thresholds on both sides of typical code lengths, including 0 (flat
+// only) and effectively-infinite (also flat only, via the other sign).
+INSTANTIATE_TEST_SUITE_P(Thresholds, CodeLayoutRoundTrip,
+                         ::testing::Values(0u, 2u, 128u, 1u << 30));
+
+TEST(CodeLayoutTest, TruncatedMetaIsRejected) {
+  Graph g = gen::RandomDag(60, 1.5, 2, 43);
+  TwoHopLabeling lab = BuildTwoHopPruned(g);
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  lab.SaveMeta(&w);
+  ASSERT_TRUE(w.ok());
+  std::string bytes = ss.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  BinaryReader r(&cut);
+  TwoHopLabeling back;
+  EXPECT_FALSE(back.LoadMeta(&r).ok());
+}
+
+TEST(CodeLayoutTest, CoverSizeInvariantAcrossThresholds) {
+  Graph g = gen::ScaleFree(400, 3, 3, 44);
+  const uint32_t thresholds[] = {0u, 2u, 8u, 128u, 1u << 30};
+  TwoHopLabeling base = BuildTwoHopPruned(g, 1, 0);
+  const uint64_t cover = base.CoverSize();
+  const uint64_t bytes_flat = base.CodeBytes();
+  EXPECT_EQ(base.NumBitmapCodes(), 0u);
+  for (uint32_t t : thresholds) {
+    TwoHopLabeling lab = BuildTwoHopPruned(g, 1, t);
+    EXPECT_EQ(lab.CoverSize(), cover) << "threshold=" << t;
+    // Sidecars only ever add bytes on top of the same arena.
+    EXPECT_GE(lab.CodeBytes(), bytes_flat);
+  }
+  // A small threshold on a scale-free graph must actually create
+  // sidecars (hubs have long codes), and the greedy builder agrees on
+  // the invariance too.
+  TwoHopLabeling hybrid = BuildTwoHopPruned(g, 1, 2);
+  EXPECT_GT(hybrid.NumBitmapCodes(), 0u);
+  EXPECT_EQ(hybrid.CoverSize(), cover);
+}
+
+TEST(CodeLayoutTest, SetBitmapThresholdRebuildsWithoutChangingVerdicts) {
+  Graph g = gen::ScaleFree(300, 4, 2, 45);
+  TwoHopLabeling lab = BuildTwoHopPruned(g, 1, 0);
+  ReachOracle oracle(&g);
+  Rng rng(46);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<bool> expect;
+  for (int i = 0; i < 1500; ++i) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(g.NumNodes()));
+    pairs.emplace_back(u, v);
+    expect.push_back(oracle.Reaches(u, v));
+  }
+  const uint64_t cover = lab.CoverSize();
+  for (uint32_t t : {0u, 2u, 16u, 1u << 30, 0u}) {  // ends back at flat
+    lab.SetBitmapThreshold(t);
+    EXPECT_EQ(lab.bitmap_threshold(), t);
+    EXPECT_EQ(lab.CoverSize(), cover);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(lab.Reaches(pairs[i].first, pairs[i].second), expect[i])
+          << "t=" << t << " u=" << pairs[i].first << " v=" << pairs[i].second;
+    }
+  }
+  EXPECT_EQ(lab.NumBitmapCodes(), 0u);
+}
+
+TEST(CodeLayoutTest, GreedyBuilderRoundTripsToo) {
+  Graph g = gen::RandomDag(80, 1.8, 2, 47);
+  TwoHopLabeling lab = BuildTwoHopGreedy(g, 4);
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  lab.SaveMeta(&w);
+  ASSERT_TRUE(w.ok());
+  TwoHopLabeling back;
+  BinaryReader r(&ss);
+  ASSERT_TRUE(back.LoadMeta(&r).ok());
+  ExpectSameLabeling(lab, back, g);
+}
+
+}  // namespace
+}  // namespace fgpm

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/intersect_kernels.h"
 #include "common/rng.h"
 #include "common/sorted_vector.h"
 #include "common/status.h"
@@ -267,6 +268,142 @@ TEST(HashTest, RowHashDistinguishesRows) {
   EXPECT_NE(h({1, 2, 3}), h({1, 2, 4}));
   EXPECT_NE(h({1, 2}), h({2, 1}));
   EXPECT_EQ(h({1, 2, 3}), h({1, 2, 3}));
+}
+
+// RAII guard restoring the runtime kernel dispatch (so a failing test
+// can't leave a forced kernel behind for later tests).
+struct KernelGuard {
+  ~KernelGuard() { SetIntersectKernel(IntersectKernel::kAuto); }
+};
+
+// Every intersection kernel — the seed merge, the branch-free scalar,
+// SSE and AVX2 — must agree with the plain two-cursor reference on
+// adversarial shapes: sizes straddling the SIMD block widths (4 and 8)
+// and their remainders, dense/sparse universes, subsets, equal inputs.
+// Kernels an old CPU lacks are skipped (SetIntersectKernel refuses).
+TEST(IntersectKernelTest, ForcedKernelsMatchScalarReference) {
+  KernelGuard guard;
+  Rng rng(20240805);
+  auto random_set = [&](size_t n, uint32_t universe) {
+    std::vector<uint32_t> v;
+    for (size_t i = 0; i < n; ++i) v.push_back(rng.NextBounded(universe));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  const size_t sizes[] = {0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 200};
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kSeed, IntersectKernel::kScalar,
+      IntersectKernel::kSse, IntersectKernel::kAvx2};
+  for (IntersectKernel k : kernels) {
+    if (!SetIntersectKernel(k)) {
+      continue;  // ISA not available on this host
+    }
+    SCOPED_TRACE(IntersectKernelName(k));
+    for (size_t na : sizes) {
+      for (size_t nb : sizes) {
+        for (int dense = 0; dense < 2; ++dense) {
+          uint32_t universe =
+              dense ? static_cast<uint32_t>(na + nb + 1) * 2 : 1u << 30;
+          std::vector<uint32_t> a = random_set(na, universe);
+          std::vector<uint32_t> b = random_set(nb, universe);
+          std::vector<uint32_t> expect = ScalarIntersect(a, b);
+          EXPECT_EQ(IntersectsU32(a.data(), a.size(), b.data(), b.size()),
+                    !expect.empty())
+              << "na=" << a.size() << " nb=" << b.size();
+          std::vector<uint32_t> got(std::min(a.size(), b.size()) +
+                                    kIntersectPad);
+          got.resize(
+              IntersectU32(a.data(), a.size(), b.data(), b.size(),
+                           got.data()));
+          EXPECT_EQ(got, expect) << "na=" << a.size() << " nb=" << b.size();
+          // Aliased input: intersect with itself is identity.
+          got.assign(a.size() + kIntersectPad, 0);
+          got.resize(
+              IntersectU32(a.data(), a.size(), a.data(), a.size(),
+                           got.data()));
+          EXPECT_EQ(got, a);
+        }
+      }
+    }
+  }
+}
+
+// Single-element overlap at every alignment within the SIMD blocks: the
+// match can sit in any lane of any block-pair combination.
+TEST(IntersectKernelTest, SingleMatchEveryLane) {
+  KernelGuard guard;
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kSeed, IntersectKernel::kScalar,
+      IntersectKernel::kSse, IntersectKernel::kAvx2};
+  for (IntersectKernel k : kernels) {
+    if (!SetIntersectKernel(k)) continue;
+    SCOPED_TRACE(IntersectKernelName(k));
+    for (size_t n = 1; n <= 24; ++n) {
+      for (size_t pa = 0; pa < n; ++pa) {
+        for (size_t pb = 0; pb < n; ++pb) {
+          // a = evens, b = odds — disjoint — except one planted match.
+          std::vector<uint32_t> a, b;
+          for (size_t i = 0; i < n; ++i) a.push_back(2 * i);
+          for (size_t i = 0; i < n; ++i) b.push_back(2 * i + 1);
+          uint32_t match = a[pa];
+          b[pb] = match;
+          std::sort(b.begin(), b.end());
+          b.erase(std::unique(b.begin(), b.end()), b.end());
+          EXPECT_TRUE(IntersectsU32(a.data(), a.size(), b.data(), b.size()))
+              << "n=" << n << " pa=" << pa << " pb=" << pb;
+          std::vector<uint32_t> got(std::min(a.size(), b.size()) +
+                                    kIntersectPad);
+          got.resize(IntersectU32(a.data(), a.size(), b.data(), b.size(),
+                                  got.data()));
+          EXPECT_EQ(got, std::vector<uint32_t>{match});
+        }
+      }
+    }
+  }
+}
+
+// The kernel switch itself: forcing reports the active kernel, kAuto
+// restores hardware dispatch.
+TEST(IntersectKernelTest, ForceAndRestore) {
+  KernelGuard guard;
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kScalar));
+  EXPECT_EQ(ActiveIntersectKernel(), IntersectKernel::kScalar);
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kSeed));
+  EXPECT_EQ(ActiveIntersectKernel(), IntersectKernel::kSeed);
+  ASSERT_TRUE(SetIntersectKernel(IntersectKernel::kAuto));
+  EXPECT_NE(ActiveIntersectKernel(), IntersectKernel::kSeed);
+}
+
+// The high-level SortedIntersects/SortedIntersectInto entry points ride
+// the dispatched kernels for uint32 and must agree with the scalar
+// reference under every forced kernel (this is the path the reachability
+// probes and the HPSJ filter take).
+TEST(IntersectKernelTest, SortedVectorEntryPointsUnderForcedKernels) {
+  KernelGuard guard;
+  Rng rng(5150);
+  auto random_set = [&](size_t n, uint32_t universe) {
+    std::vector<uint32_t> v;
+    for (size_t i = 0; i < n; ++i) v.push_back(rng.NextBounded(universe));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kSeed, IntersectKernel::kScalar,
+      IntersectKernel::kSse, IntersectKernel::kAvx2};
+  for (IntersectKernel k : kernels) {
+    if (!SetIntersectKernel(k)) continue;
+    SCOPED_TRACE(IntersectKernelName(k));
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<uint32_t> a = random_set(rng.NextBounded(300), 500);
+      std::vector<uint32_t> b = random_set(rng.NextBounded(300), 500);
+      EXPECT_EQ(SortedIntersects(a, b), ScalarIntersects(a, b));
+      std::vector<uint32_t> out;
+      SortedIntersectInto(a, b, &out);
+      EXPECT_EQ(out, ScalarIntersect(a, b));
+    }
+  }
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 //    records identical to the in-memory labeling.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -214,8 +215,9 @@ TEST(ConcurrencyHammer, StripedCodeCacheAgreesWithLabeling) {
         LabelId l = g.label_of(v);
         GraphCodeRecord rec;
         Status s = db.GetCodes(v, l, &rec);
-        if (!s.ok() || rec.node != v || rec.in != db.labeling().InCode(v) ||
-            rec.out != db.labeling().OutCode(v)) {
+        if (!s.ok() || rec.node != v ||
+            !std::ranges::equal(rec.in, db.labeling().InCode(v)) ||
+            !std::ranges::equal(rec.out, db.labeling().OutCode(v))) {
           mismatches.fetch_add(1);
         }
       }

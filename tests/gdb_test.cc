@@ -113,8 +113,8 @@ TEST_F(GdbFixture, GetRetrievesCorrectCodes) {
     GraphCodeRecord rec;
     ASSERT_TRUE(db_->table(graph_->label_of(v)).Get(v, &rec).ok());
     EXPECT_EQ(rec.node, v);
-    EXPECT_EQ(rec.in, lab.InCode(v));
-    EXPECT_EQ(rec.out, lab.OutCode(v));
+    EXPECT_TRUE(std::ranges::equal(rec.in, lab.InCode(v)));
+    EXPECT_TRUE(std::ranges::equal(rec.out, lab.OutCode(v)));
   }
 }
 

@@ -3,6 +3,7 @@
 // like a database rebuilt from scratch on the updated graph.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "common/rng.h"
@@ -58,7 +59,7 @@ TEST(IncrementalDbTest, SingleInsertReflectedEverywhere) {
   EXPECT_TRUE(db.labeling().Reaches(a, c));
   GraphCodeRecord rec;
   ASSERT_TRUE(db.table(0).Get(a, &rec).ok());
-  EXPECT_EQ(rec.out, db.labeling().OutCode(a));
+  EXPECT_TRUE(std::ranges::equal(rec.out, db.labeling().OutCode(a)));
   ASSERT_TRUE(db.wtable().Lookup(0, 2, &centers).ok());
   EXPECT_FALSE(centers.empty());
   EXPECT_GE(db.catalog().Stats(0, 2).est_pairs, 1u);
@@ -171,8 +172,10 @@ TEST(IncrementalDbTest, ScanSkipsSupersededVersions) {
     ASSERT_TRUE(db.table(l)
                     .Scan([&](const GraphCodeRecord& rec) {
                       ++count;
-                      EXPECT_EQ(rec.in, db.labeling().InCode(rec.node));
-                      EXPECT_EQ(rec.out, db.labeling().OutCode(rec.node));
+                      EXPECT_TRUE(std::ranges::equal(
+                          rec.in, db.labeling().InCode(rec.node)));
+                      EXPECT_TRUE(std::ranges::equal(
+                          rec.out, db.labeling().OutCode(rec.node)));
                     })
                     .ok());
     EXPECT_EQ(count, g.Extent(l).size());
