@@ -4,13 +4,17 @@
 #   make test         - regular build + full ctest suite
 #   make bench-codes  - build + run the code-layout A/B bench
 #                       (writes BENCH_codes.json in the repo root)
+#   make bench-exec   - build + run the eager-vs-factorized
+#                       materialization bench
+#                       (writes BENCH_materialization.json)
 #   make verify-tsan  - ThreadSanitizer pass over the concurrency +
-#                       reach-labeled tests
+#                       reach + exec labeled tests
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
-# `concurrency` and `reach` ctest labels (buffer-pool / code-cache
-# hammer tests, code-layout round-trips and the multi-threaded probe
+# `concurrency`, `reach` and `exec` ctest labels (buffer-pool /
+# code-cache hammer tests, code-layout round-trips, the multi-threaded
+# probe differentials and the eager-vs-factorized materialization
 # differentials): each maintains a separate instrumented tree
 # (./build-tsan, ./build-asan) so the regular build is never polluted
 # with -fsanitize flags.
@@ -20,7 +24,7 @@ TSAN_BUILD_DIR ?= build-tsan
 ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test bench-codes verify-tsan verify-asan
+.PHONY: build test bench-codes bench-exec verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -33,12 +37,16 @@ bench-codes: build
 	cd $(BUILD_DIR)/bench && ./bench_codes
 	cp $(BUILD_DIR)/bench/BENCH_codes.json BENCH_codes.json
 
+bench-exec: build
+	cd $(BUILD_DIR)/bench && ./bench_materialization
+	cp $(BUILD_DIR)/bench/BENCH_materialization.json BENCH_materialization.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec' --output-on-failure

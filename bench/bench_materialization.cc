@@ -1,0 +1,344 @@
+// Eager vs factorized intermediate representation (ISSUE 4):
+//
+// Runs fig5-style path and tree patterns over layered synthetic DAGs
+// whose per-edge fanout is exact (each pattern edge joins two disjoint
+// node groups wired with f random edges per source node), so the
+// intermediate-table profile is controlled: rows grow geometrically
+// along the fetch chain, peak at the last wide fetch, then collapse at
+// a sparse final leaf that only a small fraction of the penultimate
+// group connects to. Late pruning after a high-fanout peak is exactly
+// the regime factorized tables target — eager execution re-widens the
+// peak intermediate row by row, factorized appends (parent, value)
+// pairs and materializes once at output.
+//
+// Both modes run the SAME hand-built left-deep plan (HPSJ base join,
+// then filter+fetch per node in breadth-first pattern order), so
+// results must be row-identical in identical order; the bench checks
+// that for every (workload, thread count) cell. Times are best-of-N.
+//
+// Results go to BENCH_materialization.json.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "exec/plan.h"
+
+namespace fgpm {
+namespace {
+
+struct GroupSpec {
+  std::string label;
+  uint32_t width = 0;
+};
+
+// One pattern edge plus its data wiring: every source-group node is an
+// edge source with probability `density`, and each source gets `fanout`
+// distinct random targets in the target group.
+struct EdgeSpec {
+  std::string from, to;
+  uint32_t fanout = 1;
+  double density = 1.0;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<GroupSpec> groups;
+  std::vector<EdgeSpec> edges;  // binding order: from is always bound first
+
+  std::string PatternText() const {
+    std::string s;
+    for (const EdgeSpec& e : edges) {
+      if (!s.empty()) s += "; ";
+      s += e.from + "->" + e.to;
+    }
+    return s;
+  }
+};
+
+Graph BuildLayeredGraph(const Workload& w, uint64_t seed) {
+  Graph g;
+  Rng rng(seed);
+  std::vector<std::vector<NodeId>> ids(w.groups.size());
+  for (size_t gi = 0; gi < w.groups.size(); ++gi) {
+    ids[gi].reserve(w.groups[gi].width);
+    for (uint32_t i = 0; i < w.groups[gi].width; ++i) {
+      ids[gi].push_back(g.AddNode(w.groups[gi].label));
+    }
+  }
+  auto group_of = [&](const std::string& label) -> size_t {
+    for (size_t gi = 0; gi < w.groups.size(); ++gi) {
+      if (w.groups[gi].label == label) return gi;
+    }
+    FGPM_CHECK(false);
+    return 0;
+  };
+  for (const EdgeSpec& e : w.edges) {
+    const auto& src = ids[group_of(e.from)];
+    const auto& dst = ids[group_of(e.to)];
+    FGPM_CHECK(dst.size() >= e.fanout);
+    bool any = false;
+    for (size_t i = 0; i < src.size(); ++i) {
+      // Always keep at least one source so the join is never empty.
+      if (!rng.NextBernoulli(e.density) && !(i + 1 == src.size() && !any)) {
+        continue;
+      }
+      any = true;
+      std::vector<NodeId> targets;
+      while (targets.size() < e.fanout) {
+        NodeId v = dst[rng.NextBounded(dst.size())];
+        if (std::find(targets.begin(), targets.end(), v) == targets.end()) {
+          targets.push_back(v);
+        }
+      }
+      for (NodeId v : targets) FGPM_CHECK(g.AddEdge(src[i], v).ok());
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+// The canonical left-deep plan for a workload: HPSJ on the first edge,
+// then filter + fetch per remaining edge in spec order (the source
+// endpoint is always bound by then). Identical for both modes, so the
+// measured difference is purely the intermediate representation.
+Plan BuildPlan(const Workload& w, const Pattern& p) {
+  auto node_of = [&](const std::string& label) -> PatternNodeId {
+    for (PatternNodeId i = 0; i < p.num_nodes(); ++i) {
+      if (p.label(i) == label) return i;
+    }
+    FGPM_CHECK(false);
+    return 0;
+  };
+  auto edge_of = [&](const EdgeSpec& e) -> uint32_t {
+    PatternNodeId f = node_of(e.from), t = node_of(e.to);
+    for (uint32_t i = 0; i < p.edges().size(); ++i) {
+      if (p.edges()[i].from == f && p.edges()[i].to == t) return i;
+    }
+    FGPM_CHECK(false);
+    return 0;
+  };
+  Plan plan;
+  plan.steps.push_back(PlanStep::HpsjBase(edge_of(w.edges[0])));
+  for (size_t i = 1; i < w.edges.size(); ++i) {
+    uint32_t e = edge_of(w.edges[i]);
+    plan.steps.push_back(PlanStep::Filter({{e, /*bound_is_source=*/true}}));
+    plan.steps.push_back(PlanStep::Fetch(e, /*bound_is_source=*/true));
+  }
+  FGPM_CHECK(plan.Validate(p).ok());
+  return plan;
+}
+
+// fig5-style path: a six-step fetch chain with fanout f, pruned by a
+// sparse final leaf (only `density` of the penultimate group connects).
+Workload PathWorkload(uint32_t f, double leaf_density) {
+  Workload w;
+  w.name = "fig5_path";
+  w.groups = {{"P0", 32},  {"P1", 256}, {"P2", 256}, {"P3", 256},
+              {"P4", 256}, {"P5", 256}, {"P6", 64}};
+  for (int i = 0; i + 1 < 6; ++i) {
+    w.edges.push_back({"P" + std::to_string(i), "P" + std::to_string(i + 1),
+                       f, 1.0});
+  }
+  w.edges.push_back({"P5", "P6", 2, leaf_density});
+  return w;
+}
+
+// fig5-style tree: fanout-1 attribute leaves off the root keep the
+// intermediate WIDE while a fanout-f chain makes it TALL; the sparse
+// leaf prunes after the peak. Eager execution copies the full width at
+// every fetch of the chain; factorized copies two ids per row.
+Workload TreeWorkload(uint32_t f, double leaf_density) {
+  Workload w;
+  w.name = "fig5_tree";
+  w.groups = {{"T0", 32},  {"A1", 64},  {"A2", 64},  {"A3", 64},
+              {"A4", 64},  {"C1", 256}, {"C2", 256}, {"C3", 256},
+              {"C4", 256}, {"C5", 256}, {"S", 64}};
+  for (int i = 1; i <= 4; ++i) {
+    w.edges.push_back({"T0", "A" + std::to_string(i), 1, 1.0});
+  }
+  w.edges.push_back({"T0", "C1", f, 1.0});
+  for (int i = 1; i <= 4; ++i) {
+    w.edges.push_back({"C" + std::to_string(i), "C" + std::to_string(i + 1),
+                       f, 1.0});
+  }
+  w.edges.push_back({"C5", "S", 2, leaf_density});
+  return w;
+}
+
+struct Cell {
+  unsigned threads = 0;
+  double eager_ms = 0;
+  double factorized_ms = 0;
+  double speedup = 0;
+  uint64_t rows = 0;
+  uint64_t peak_rows = 0;            // max intermediate (from step_rows)
+  uint64_t copy_bytes_avoided = 0;   // factorized run
+  uint64_t eager_materialized = 0;   // rows written row-major by eager
+};
+
+struct WorkloadResult {
+  Workload w;
+  std::string pattern;
+  size_t nodes = 0, edges = 0;
+  std::vector<Cell> cells;
+};
+
+WorkloadResult RunWorkload(const Workload& w, uint64_t seed, int reps) {
+  WorkloadResult out;
+  out.w = w;
+  out.pattern = w.PatternText();
+
+  Graph g = BuildLayeredGraph(w, seed);
+  out.nodes = g.NumNodes();
+  out.edges = g.NumEdges();
+  GraphDatabase db;
+  FGPM_CHECK(db.Build(g).ok());
+
+  auto p = Pattern::Parse(out.pattern);
+  FGPM_CHECK(p.ok());
+  Plan plan = BuildPlan(w, *p);
+
+  std::printf("%s: %zu nodes, %zu edges, pattern %zu nodes / %zu edges\n",
+              w.name.c_str(), out.nodes, out.edges, (size_t)p->num_nodes(),
+              p->edges().size());
+
+  for (unsigned threads : {1u, 4u, 8u}) {
+    Cell cell;
+    cell.threads = threads;
+    std::vector<std::vector<NodeId>> eager_rows;
+    for (Materialization mode :
+         {Materialization::kEager, Materialization::kFactorized}) {
+      Executor exec(&db, ExecOptions{.num_threads = threads,
+                                     .materialization = mode});
+      double best = 1e300;
+      for (int rep = 0; rep < reps; ++rep) {
+        auto r = exec.Execute(*p, plan);
+        FGPM_CHECK(r.ok());
+        best = std::min(best, r->stats.elapsed_ms);
+        if (rep == 0) {
+          cell.rows = r->rows.size();
+          for (uint64_t sr : r->stats.step_rows) {
+            cell.peak_rows = std::max(cell.peak_rows, sr);
+          }
+          if (mode == Materialization::kEager) {
+            cell.eager_materialized = r->stats.operators.rows_materialized;
+            eager_rows = std::move(r->rows);
+          } else {
+            cell.copy_bytes_avoided = r->stats.operators.copy_bytes_avoided;
+            // Same plan, same database: identical rows in identical
+            // ORDER (the operator contract), not just as sets.
+            FGPM_CHECK(r->rows == eager_rows);
+          }
+        }
+      }
+      (mode == Materialization::kEager ? cell.eager_ms
+                                       : cell.factorized_ms) = best;
+    }
+    cell.speedup =
+        cell.factorized_ms > 0 ? cell.eager_ms / cell.factorized_ms : 0;
+    std::printf(
+        "  %u thread%s: eager %8.2f ms, factorized %8.2f ms  %5.2fx   "
+        "(%llu rows, peak %llu, %.1f MB copies avoided)\n",
+        threads, threads == 1 ? " " : "s", cell.eager_ms, cell.factorized_ms,
+        cell.speedup, (unsigned long long)cell.rows,
+        (unsigned long long)cell.peak_rows,
+        double(cell.copy_bytes_avoided) / (1024.0 * 1024.0));
+    std::fflush(stdout);
+    out.cells.push_back(cell);
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace fgpm
+
+int main(int argc, char** argv) {
+  using namespace fgpm;
+  uint32_t fanout = 8;
+  double leaf_density = 0.05;
+  int reps = 3;
+  uint64_t seed = 0xfac70;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--fanout=", 0) == 0) fanout = std::stoul(arg.substr(9));
+    if (arg.rfind("--leaf-density=", 0) == 0) {
+      leaf_density = std::stod(arg.substr(15));
+    }
+    if (arg.rfind("--reps=", 0) == 0) reps = std::stoi(arg.substr(7));
+    if (arg.rfind("--seed=", 0) == 0) seed = std::stoull(arg.substr(7));
+  }
+
+  bench::PrintHeader(
+      "Materialization A/B — eager vs factorized temporal tables",
+      "same fixed plan per workload; row-identical results required; "
+      "best-of-N elapsed ms per (mode, threads)",
+      1.0);
+  std::printf("fanout %u, leaf density %.3f, %d reps\n\n", fanout,
+              leaf_density, reps);
+
+  std::vector<WorkloadResult> results;
+  results.push_back(RunWorkload(PathWorkload(fanout, leaf_density), seed,
+                                reps));
+  results.push_back(RunWorkload(TreeWorkload(fanout, leaf_density), seed + 1,
+                                reps));
+
+  double tree_min = 1e300, tree_max = 0, path_min = 1e300;
+  for (const WorkloadResult& r : results) {
+    for (const Cell& c : r.cells) {
+      if (r.w.name == "fig5_tree") {
+        tree_min = std::min(tree_min, c.speedup);
+        tree_max = std::max(tree_max, c.speedup);
+      } else {
+        path_min = std::min(path_min, c.speedup);
+      }
+    }
+  }
+  std::printf("\ntree speedup: %.2fx-%.2fx across thread counts; "
+              "path min: %.2fx\n",
+              tree_min, tree_max, path_min);
+
+  FILE* f = std::fopen("BENCH_materialization.json", "w");
+  FGPM_CHECK(f != nullptr);
+  std::fprintf(f,
+               "{\n  \"bench\": \"materialization\",\n"
+               "  \"fanout\": %u,\n  \"leaf_density\": %.3f,\n"
+               "  \"reps\": %d,\n  \"identical_rows\": true,\n"
+               "  \"workloads\": [\n",
+               fanout, leaf_density, reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"pattern\": \"%s\",\n"
+                 "     \"graph_nodes\": %zu, \"graph_edges\": %zu,\n"
+                 "     \"cells\": [\n",
+                 r.w.name.c_str(), r.pattern.c_str(), r.nodes, r.edges);
+    for (size_t j = 0; j < r.cells.size(); ++j) {
+      const Cell& c = r.cells[j];
+      std::fprintf(
+          f,
+          "      {\"threads\": %u, \"eager_ms\": %.3f, "
+          "\"factorized_ms\": %.3f, \"speedup\": %.3f,\n"
+          "       \"rows\": %llu, \"peak_intermediate_rows\": %llu, "
+          "\"copy_bytes_avoided\": %llu, "
+          "\"eager_rows_materialized\": %llu}%s\n",
+          c.threads, c.eager_ms, c.factorized_ms, c.speedup,
+          (unsigned long long)c.rows, (unsigned long long)c.peak_rows,
+          (unsigned long long)c.copy_bytes_avoided,
+          (unsigned long long)c.eager_materialized,
+          j + 1 < r.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "     ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"speedups\": {\"tree_min\": %.3f, "
+               "\"tree_max\": %.3f, \"path_min\": %.3f}\n}\n",
+               tree_min, tree_max, path_min);
+  std::fclose(f);
+  std::printf("wrote BENCH_materialization.json\n");
+  return 0;
+}

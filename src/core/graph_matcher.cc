@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/timer.h"
 
 #include "exec/naive_matcher.h"
@@ -50,17 +51,48 @@ Result<std::unique_ptr<GraphMatcher>> GraphMatcher::FromDatabase(
 }
 
 Result<Plan> GraphMatcher::MakePlan(const Pattern& pattern, Engine engine) const {
+  // Cost the plan for the representation it will actually run under:
+  // factorized execution writes delta pairs instead of full-width rows,
+  // so wide intermediates stop dominating the estimates.
+  CostParams params;
+  params.factorized =
+      executor_.options().materialization == Materialization::kFactorized;
   switch (engine) {
     case Engine::kDps:
-      return OptimizeDps(pattern, db_->catalog());
+      return OptimizeDps(pattern, db_->catalog(), params);
     case Engine::kDp:
-      return OptimizeDp(pattern, db_->catalog());
+      return OptimizeDp(pattern, db_->catalog(), params);
     case Engine::kCanonical:
       return MakeCanonicalPlan(pattern);
     default:
       return Status::InvalidArgument(
           "planning is only meaningful for DPS/DP/CANONICAL");
   }
+}
+
+const Plan* GraphMatcher::LookupPlan(const std::string& key) {
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    ++plan_cache_misses_;
+    return nullptr;
+  }
+  ++plan_cache_hits_;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
+  return &it->second.plan;
+}
+
+const Plan* GraphMatcher::CachePlan(const std::string& key, Plan plan) {
+  const size_t capacity = executor_.options().plan_cache_capacity;
+  FGPM_CHECK(capacity > 0);  // callers skip the cache when disabled
+  while (plan_cache_.size() >= capacity) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+  }
+  plan_lru_.push_front(key);
+  auto [it, inserted] =
+      plan_cache_.emplace(key, CachedPlan{std::move(plan), plan_lru_.begin()});
+  FGPM_CHECK(inserted);  // callers look up before inserting
+  return &it->second.plan;
 }
 
 Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
@@ -84,14 +116,12 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
       if (options.use_plan_cache) {
         cache_key = std::string(EngineName(options.engine)) + "|" +
                     effective->ToString();
-        auto it = plan_cache_.find(cache_key);
-        if (it != plan_cache_.end()) plan = &it->second;
+        plan = LookupPlan(cache_key);
       }
       if (plan == nullptr) {
         FGPM_ASSIGN_OR_RETURN(fresh, MakePlan(*effective, options.engine));
-        if (options.use_plan_cache) {
-          plan = &plan_cache_.emplace(cache_key, std::move(fresh))
-                      .first->second;
+        if (options.use_plan_cache && plan_cache_capacity() > 0) {
+          plan = CachePlan(cache_key, std::move(fresh));
         } else {
           plan = &fresh;
         }

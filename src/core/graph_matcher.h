@@ -17,6 +17,7 @@
 #ifndef FGPM_CORE_GRAPH_MATCHER_H_
 #define FGPM_CORE_GRAPH_MATCHER_H_
 
+#include <list>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -98,18 +99,45 @@ class GraphMatcher {
                                      const Pattern& pattern,
                                      const MatchOptions& options);
 
+  // Caches a freshly optimized plan, evicting the least recently used
+  // entry when over capacity (must be > 0). Returns the cached plan
+  // (stable address: unordered_map never moves mapped values on rehash
+  // or other-entry erase).
+  const fgpm::Plan* CachePlan(const std::string& key, fgpm::Plan plan);
+  // Cache lookup; refreshes recency on hit and bumps the hit/miss
+  // counters.
+  const fgpm::Plan* LookupPlan(const std::string& key);
+
   const Graph* graph_;
   std::unique_ptr<GraphDatabase> db_;
   Executor executor_;
   std::unique_ptr<IntDpEngine> intdp_;           // lazy
   std::unique_ptr<TsdEngine> tsd_;               // lazy; DAG data only
-  // Plan cache keyed by "<engine>|<pattern text>".
-  std::unordered_map<std::string, fgpm::Plan> plan_cache_;
+  // Bounded LRU plan cache keyed by "<engine>|<pattern text>". The list
+  // holds keys in recency order (front = most recent); entries point at
+  // their list position for O(1) refresh.
+  struct CachedPlan {
+    fgpm::Plan plan;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::list<std::string> plan_lru_;
+  std::unordered_map<std::string, CachedPlan> plan_cache_;
+  uint64_t plan_cache_hits_ = 0;
+  uint64_t plan_cache_misses_ = 0;
 
  public:
   // Invalidate cached plans (after ApplyEdgeInsert shifts statistics).
-  void ClearPlanCache() { plan_cache_.clear(); }
+  void ClearPlanCache() {
+    plan_cache_.clear();
+    plan_lru_.clear();
+  }
   size_t plan_cache_size() const { return plan_cache_.size(); }
+  // Capacity comes from ExecOptions::plan_cache_capacity (0 disables).
+  size_t plan_cache_capacity() const {
+    return executor_.options().plan_cache_capacity;
+  }
+  uint64_t plan_cache_hits() const { return plan_cache_hits_; }
+  uint64_t plan_cache_misses() const { return plan_cache_misses_; }
 };
 
 }  // namespace fgpm

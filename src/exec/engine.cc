@@ -42,10 +42,14 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
             result.rows.push_back({rec.node});
           }));
     } else {
-      TemporalTable table;
+      TemporalTable table(options_.materialization);
+      const bool factorized =
+          options_.materialization == Materialization::kFactorized;
       scratch_.BeginQuery();
-      for (const PlanStep& step : plan.steps) {
-        ++result.stats.steps;
+      const std::vector<PlanStep>& steps = plan.steps;
+      for (size_t si = 0; si < steps.size(); ++si) {
+        const PlanStep& step = steps[si];
+        size_t absorbed = 0;
         switch (step.kind) {
           case StepKind::kHpsjBase:
             FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
@@ -64,12 +68,31 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                              &result.stats.operators,
                                              pool_.get(), &scratch_));
             break;
-          case StepKind::kFetch:
+          case StepKind::kFetch: {
+            // Fuse the consecutive selects that touch the node this
+            // fetch binds (their other endpoint is bound already —
+            // plans validate selects): the predicates run on candidates
+            // inside the expansion loop, before anything is appended.
+            std::vector<uint32_t> fused;
+            if (factorized) {
+              const PatternEdge& e = pattern.edges()[step.edge];
+              PatternNodeId nn = step.bound_is_source ? e.to : e.from;
+              size_t j = si + 1;
+              while (j < steps.size() &&
+                     steps[j].kind == StepKind::kSelect) {
+                const PatternEdge& se = pattern.edges()[steps[j].edge];
+                if (se.from != nn && se.to != nn) break;
+                fused.push_back(steps[j].edge);
+                ++j;
+              }
+              absorbed = fused.size();
+            }
             FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
                                             step.edge, step.bound_is_source,
                                             &table, &result.stats.operators,
-                                            pool_.get()));
+                                            pool_.get(), &scratch_, fused));
             break;
+          }
           case StepKind::kSelect:
             FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
                                              step.edge, &table,
@@ -77,11 +100,21 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                              pool_.get(), &scratch_));
             break;
         }
+        // Absorbed selects still count as executed plan steps and
+        // record the (shared) post-fetch row count.
+        result.stats.steps += static_cast<uint32_t>(1 + absorbed);
+        uint64_t nrows = table.NumRows();
+        for (size_t k = 0; k <= absorbed; ++k) {
+          result.stats.step_rows.push_back(nrows);
+        }
+        si += absorbed;
         // An empty intermediate stays empty; skip the remaining steps.
-        if (table.NumRows() == 0) break;
+        if (nrows == 0) break;
       }
 
       // Project to pattern-node order (plans bind labels in plan order).
+      // This is the factorized representation's single materialization
+      // point: each column is gathered once, sequentially.
       if (table.NumColumns() == pattern.num_nodes()) {
         std::vector<size_t> col_of(pattern.num_nodes());
         for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
@@ -89,15 +122,31 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
           FGPM_CHECK(c.has_value());
           col_of[i] = *c;
         }
-        size_t ncols = table.NumColumns();
-        result.rows.reserve(table.NumRows());
-        for (size_t r = 0; r < table.NumRows(); ++r) {
-          std::vector<NodeId> row(pattern.num_nodes());
+        const size_t nrows = table.NumRows();
+        result.rows.reserve(nrows);
+        if (!table.deltas().empty()) {
+          std::vector<std::vector<NodeId>> cols(pattern.num_nodes());
           for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-            row[i] = table.raw_rows()[r * ncols + col_of[i]];
+            table.GatherColumn(col_of[i], &cols[i]);
           }
-          result.rows.push_back(std::move(row));
+          for (size_t r = 0; r < nrows; ++r) {
+            std::vector<NodeId> row(pattern.num_nodes());
+            for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+              row[i] = cols[i][r];
+            }
+            result.rows.push_back(std::move(row));
+          }
+        } else {
+          size_t ncols = table.NumColumns();
+          for (size_t r = 0; r < nrows; ++r) {
+            std::vector<NodeId> row(pattern.num_nodes());
+            for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+              row[i] = table.raw_rows()[r * ncols + col_of[i]];
+            }
+            result.rows.push_back(std::move(row));
+          }
         }
+        result.stats.operators.rows_materialized += nrows;
       }
       // else: execution emptied out before binding all labels — result
       // stays empty, which is correct (an empty intermediate join is

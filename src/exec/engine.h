@@ -23,6 +23,12 @@ struct ExecStats {
   IoSnapshot io;           // delta over the execution
   OperatorStats operators;
   uint32_t steps = 0;
+  // Row count after each plan step, indexed by plan-step position. A
+  // select fused into the preceding fetch records the post-fetch count;
+  // steps skipped because the intermediate emptied out record nothing
+  // (so step_rows.size() <= plan.steps.size()). Explain renders these
+  // against the optimizer's estimates.
+  std::vector<uint64_t> step_rows;
   // Total page I/O under the paper's storage model: buffer-pool accesses
   // for indexes/tables plus disk-resident temporal-table passes. INT-DP
   // fills this with its own list-scan/re-sort estimate.
@@ -39,19 +45,26 @@ struct MatchResult {
   void SortRows();
 };
 
-// Intra-operator parallelism knobs. Result rows are identical for every
-// thread count (see operators.h); elapsed time and memo-affected
+// Intra-operator parallelism + materialization knobs. Result rows are
+// identical for every thread count and both materialization modes (see
+// operators.h / temporal_table.h); elapsed time and memo-affected
 // counters (code_fetches, reach_memo_*) may differ because reachability
 // memos are per-worker. num_threads == 1 keeps the sequential code
 // paths.
 struct ExecOptions {
   unsigned num_threads = 1;  // 0 = one worker per hardware thread
+  // Intermediate-result representation. kFactorized defers row copies
+  // to output via delta columns and enables select fusion into fetch;
+  // kEager is the paper-layout A/B baseline.
+  Materialization materialization = Materialization::kFactorized;
+  // GraphMatcher plan-cache bound (entries). 0 disables caching.
+  size_t plan_cache_capacity = 256;
 };
 
 class Executor {
  public:
   explicit Executor(const GraphDatabase* db, ExecOptions options = {})
-      : db_(db) {
+      : db_(db), options_(options) {
     if (ResolveThreads(options.num_threads) > 1) {
       pool_ = std::make_unique<ThreadPool>(options.num_threads);
     }
@@ -64,9 +77,11 @@ class Executor {
   Result<MatchResult> Execute(const Pattern& pattern, const Plan& plan);
 
   unsigned num_threads() const { return pool_ ? pool_->size() : 1; }
+  const ExecOptions& options() const { return options_; }
 
  private:
   const GraphDatabase* db_;
+  ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // null when single-threaded
   // Per-worker reachability memos + reused probe buffers, threaded
   // through the operators of every Execute call (see ExecScratch).

@@ -5,7 +5,12 @@
 //                  temporal table with shared getCenters fetches
 //                  (Remark 3.1).
 //   ApplyFetch   — Algorithm 2 Fetch: expands pending centers through
-//                  the cluster-based R-join index.
+//                  the cluster-based R-join index. On a factorized
+//                  table the expansion appends a delta column instead
+//                  of re-widening the row block, expands each distinct
+//                  pending-pool entry once, and can evaluate fused
+//                  select edges on candidates *before* they are
+//                  appended (fused_selects).
 //   ApplySelect  — self R-join (Eq. 5): reachability selection between
 //                  two bound columns via graph codes.
 //
@@ -15,15 +20,14 @@
 // filter/fetch/select merge chunks in chunk order, and HPSJ dedups its
 // packed pair set through fixed hash buckets that are sorted + uniqued
 // independently and concatenated in bucket order. Either way the
-// produced table — rows and pending pools — is identical for every
-// thread count, including the sequential pool == nullptr path.
-//
-// OperatorStats are likewise thread-count invariant EXCEPT when an
-// ExecScratch with enabled reachability memos is passed: memo hits are
-// per-worker, so code_fetches / reach_memo_* counters depend on how
-// rows were partitioned. The produced rows never do — a memo only
-// short-circuits a recomputation whose result is a pure function of
-// the probed node pair.
+// produced ROWS — and each row's pending center list CentersFor(r) —
+// are identical for every thread count, including the sequential
+// pool == nullptr path. The internal pending-pool layout may differ
+// with chunking (pools deduplicate per chunk), as may work counters:
+// code_fetches, cluster_fetches and reach_memo_* depend on how rows
+// were partitioned across chunks/workers. The produced rows never do —
+// dedup and memoization only short-circuit recomputations whose result
+// is a pure function of the probed node (pair).
 #ifndef FGPM_EXEC_OPERATORS_H_
 #define FGPM_EXEC_OPERATORS_H_
 
@@ -57,6 +61,11 @@ struct OperatorStats {
   // verdict cache). Zero when no ExecScratch / disabled memos.
   uint64_t reach_memo_probes = 0;
   uint64_t reach_memo_hits = 0;
+  // Materialization accounting: full-width rows written into temporal
+  // storage or the result set, and the NodeId-copy bytes the factorized
+  // representation avoided relative to eager re-widening.
+  uint64_t rows_materialized = 0;
+  uint64_t copy_bytes_avoided = 0;
 };
 
 // Operator-owned scratch the Executor threads through a query: per-
@@ -66,7 +75,7 @@ struct OperatorStats {
 // and fall back to local temporaries.
 struct ExecScratch {
   struct Worker {
-    // ApplySelect: PackPair(u, v) -> reachable verdict (0/1).
+    // ApplySelect + fused fetch selects: PackPair(u, v) -> verdict.
     ReachMemo select_memo;
     // ApplyFilter: (node << 8 | item) -> Xi slot. The memo slot index
     // doubles as the xi_pool index, so cached center lists are bounded
@@ -105,7 +114,8 @@ struct ExecScratch {
   }
 };
 
-// Charged pages for one pass over a temporal table's current contents.
+// Charged pages for one pass over a temporal table's current contents
+// (base block + delta levels + per-row pending center lists).
 uint64_t TemporalTablePages(const TemporalTable& table);
 
 // node_labels[i]: data-graph LabelId for pattern node i. Callers must
@@ -129,10 +139,15 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
                    OperatorStats* stats, ThreadPool* pool = nullptr,
                    ExecScratch* scratch = nullptr);
 
+// `fused_selects` (factorized tables only): pattern edges whose other
+// endpoint is already bound, evaluated per candidate inside the
+// expansion loop — rejected candidates are never appended.
 Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                   const std::vector<LabelId>& node_labels, uint32_t edge,
                   bool bound_is_source, TemporalTable* table,
-                  OperatorStats* stats, ThreadPool* pool = nullptr);
+                  OperatorStats* stats, ThreadPool* pool = nullptr,
+                  ExecScratch* scratch = nullptr,
+                  const std::vector<uint32_t>& fused_selects = {});
 
 Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
                    const std::vector<LabelId>& node_labels, uint32_t edge,

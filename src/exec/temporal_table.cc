@@ -1,5 +1,7 @@
 #include "exec/temporal_table.h"
 
+#include "common/logging.h"
+
 namespace fgpm {
 
 std::optional<size_t> TemporalTable::ColumnOf(PatternNodeId node) const {
@@ -18,6 +20,77 @@ std::optional<size_t> TemporalTable::PendingSlotFor(
     }
   }
   return std::nullopt;
+}
+
+NodeId TemporalTable::At(size_t row, size_t col) const {
+  const size_t bc = base_columns();
+  if (deltas_.empty()) return rows_[row * bc + col];
+  // Walk the parent chain from the deepest level down to the level that
+  // owns `col`. Level k's rows are deltas_[k - 1]; level 0 is the base
+  // block.
+  size_t level = deltas_.size();
+  size_t idx = row;
+  const size_t target_level = col >= bc ? col - bc + 1 : 0;
+  while (level > target_level) {
+    idx = deltas_[level - 1].parent[idx];
+    --level;
+  }
+  if (target_level == 0) return rows_[idx * bc + col];
+  return deltas_[target_level - 1].value[idx];
+}
+
+void TemporalTable::GatherColumn(size_t col, std::vector<NodeId>* out) const {
+  const size_t bc = base_columns();
+  const size_t nrows = NumRows();
+  out->clear();
+  out->resize(nrows);
+  if (deltas_.empty()) {
+    for (size_t r = 0; r < nrows; ++r) (*out)[r] = rows_[r * bc + col];
+    return;
+  }
+  const size_t depth = deltas_.size();
+  const size_t target_level = col >= bc ? col - bc + 1 : 0;
+  if (target_level == depth) {
+    const std::vector<NodeId>& v = deltas_.back().value;
+    std::copy(v.begin(), v.end(), out->begin());
+    return;
+  }
+  // Compose parent arrays: idx[r] = the row's ancestor at `level`.
+  std::vector<uint32_t> idx(deltas_[depth - 1].parent);
+  size_t level = depth - 1;
+  while (level > target_level) {
+    const std::vector<uint32_t>& par = deltas_[level - 1].parent;
+    for (uint32_t& i : idx) i = par[i];
+    --level;
+  }
+  if (target_level == 0) {
+    for (size_t r = 0; r < nrows; ++r) (*out)[r] = rows_[idx[r] * bc + col];
+  } else {
+    const std::vector<NodeId>& v = deltas_[target_level - 1].value;
+    for (size_t r = 0; r < nrows; ++r) (*out)[r] = v[idx[r]];
+  }
+}
+
+void TemporalTable::Flatten() {
+  if (deltas_.empty()) return;
+  const size_t ncols = NumColumns();
+  const size_t nrows = NumRows();
+  std::vector<std::vector<NodeId>> cols(ncols);
+  for (size_t c = 0; c < ncols; ++c) GatherColumn(c, &cols[c]);
+  std::vector<NodeId> flat(nrows * ncols);
+  for (size_t r = 0; r < nrows; ++r) {
+    for (size_t c = 0; c < ncols; ++c) flat[r * ncols + c] = cols[c][r];
+  }
+  rows_ = std::move(flat);
+  deltas_.clear();
+}
+
+uint64_t TemporalTable::ByteSize() const {
+  uint64_t bytes = rows_.size() * 4ull;
+  for (const DeltaColumn& d : deltas_) {
+    bytes += d.parent.size() * 4ull + d.value.size() * 4ull;
+  }
+  return bytes;
 }
 
 }  // namespace fgpm

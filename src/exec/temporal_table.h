@@ -1,6 +1,24 @@
 // Temporal (intermediate) table: rows bind a subset of pattern labels;
 // rows may carry *pending* center sets produced by R-semijoins whose
 // Fetch has not run yet (the separation DPS exploits, Section 4.2).
+//
+// Two row representations share this class:
+//
+//   kEager      — one row-major NodeId block (`rows_`), re-widened and
+//                 fully copied by every fetch. The paper's layout; kept
+//                 as the A/B baseline.
+//   kFactorized — the row-major block holds only the columns bound
+//                 before the first fetch; each fetch appends a
+//                 DeltaColumn of (parent_row, new_node) pairs that
+//                 reference the previous level. A chain of fetches
+//                 forms a factorized prefix tree; full rows exist only
+//                 when GatherColumn / Flatten materializes them (once,
+//                 at output).
+//
+// NumRows() always refers to the deepest level — the logical row count.
+// Filters and selects compact only the deepest level; earlier levels
+// keep unreferenced rows (they are shared prefixes, dropping them would
+// mean rewriting every child level for no semantic gain).
 #ifndef FGPM_EXEC_TEMPORAL_TABLE_H_
 #define FGPM_EXEC_TEMPORAL_TABLE_H_
 
@@ -14,28 +32,92 @@
 
 namespace fgpm {
 
+// Intermediate-result policy, plumbed through ExecOptions.
+enum class Materialization : uint8_t {
+  kEager,       // row-major copies at every join (baseline)
+  kFactorized,  // delta columns, rows materialized at output
+};
+
 class TemporalTable {
  public:
-  // Bound pattern nodes, in binding order; rows_ is row-major with one
-  // NodeId per schema column.
+  TemporalTable() = default;
+  explicit TemporalTable(Materialization mode) : mode_(mode) {}
+
+  Materialization mode() const { return mode_; }
+
+  // One fetch level of the factorized representation: row r of this
+  // level extends row parent[r] of the previous level with value[r]
+  // bound to pattern node `node`.
+  struct DeltaColumn {
+    PatternNodeId node = 0;
+    std::vector<uint32_t> parent;
+    std::vector<NodeId> value;
+  };
+
+  // Bound pattern nodes, in binding order: base columns first, then one
+  // per delta level.
   const std::vector<PatternNodeId>& schema() const { return schema_; }
   size_t NumColumns() const { return schema_.size(); }
-  size_t NumRows() const { return rows_.size() / std::max<size_t>(1, schema_.size()); }
-
-  NodeId At(size_t row, size_t col) const {
-    return rows_[row * schema_.size() + col];
+  size_t base_columns() const { return schema_.size() - deltas_.size(); }
+  size_t NumRows() const {
+    if (!deltas_.empty()) return deltas_.back().value.size();
+    return rows_.size() / std::max<size_t>(1, schema_.size());
   }
+
+  // O(1) on the eager block; O(chain depth) through delta parents.
+  NodeId At(size_t row, size_t col) const;
 
   // Column index of a pattern node, if bound.
   std::optional<size_t> ColumnOf(PatternNodeId node) const;
 
-  // --- construction (used by operators) ---------------------------------
+  // --- eager construction (used by operators) ----------------------------
+  // Base columns/rows; delta levels must not exist yet when appending.
   void AddColumn(PatternNodeId node) { schema_.push_back(node); }
   void AppendRow(const std::vector<NodeId>& row) {
-    rows_.insert(rows_.end(), row.begin(), row.end());
+    AppendRow(row.data(), row.size());
   }
+  // Span-style overload: operators append straight from their buffers
+  // instead of building a scratch vector per emitted row.
+  void AppendRow(const NodeId* row, size_t n) {
+    rows_.insert(rows_.end(), row, row + n);
+  }
+  void Reserve(size_t rows, size_t cols) { rows_.reserve(rows * cols); }
+  // The row-major base block (all columns when no deltas exist).
   std::vector<NodeId>& raw_rows() { return rows_; }
   const std::vector<NodeId>& raw_rows() const { return rows_; }
+
+  // --- factorized construction -------------------------------------------
+  DeltaColumn& AddDeltaColumn(PatternNodeId node) {
+    schema_.push_back(node);
+    deltas_.emplace_back();
+    deltas_.back().node = node;
+    return deltas_.back();
+  }
+  std::vector<DeltaColumn>& deltas() { return deltas_; }
+  const std::vector<DeltaColumn>& deltas() const { return deltas_; }
+
+  // Materializes column `col` for every current (deepest-level) row by
+  // composing parent chains top-down: O(rows * depth), sequential reads.
+  void GatherColumn(size_t col, std::vector<NodeId>* out) const;
+
+  // Rewrites the table as one row-major block (drops all delta levels).
+  // The row order is preserved. For operators that genuinely need
+  // random row access.
+  void Flatten();
+
+  // Bytes of the current representation (base block + delta levels),
+  // excluding pending pools. Basis of the charged temporal-table I/O.
+  uint64_t ByteSize() const;
+
+  // --- sort-order provenance ---------------------------------------------
+  // Nonempty means: the current rows are lexicographically sorted AND
+  // distinct under these columns (so downstream consumers can skip
+  // re-sorting). Set by operators that produce provably sorted output
+  // (single-center HPSJ, fetch over a sorted parent order); cleared
+  // when the property cannot be guaranteed. Filters/selects preserve it
+  // (a subsequence of sorted distinct rows stays sorted and distinct).
+  const std::vector<size_t>& sorted_by() const { return sorted_by_; }
+  void set_sorted_by(std::vector<size_t> cols) { sorted_by_ = std::move(cols); }
 
   // --- pending semijoin state -------------------------------------------
   struct PendingSlot {
@@ -44,7 +126,8 @@ class TemporalTable {
     // The intersections X_i of probed codes with W(X,Y) (Algorithm 2,
     // Filter), deduplicated in a pool: row r's centers are
     // pool[row_index[r]]. Fetch expansions copy only the 4-byte index,
-    // not the vector.
+    // not the vector, and rows whose probed node coincides share one
+    // pool entry, so a fetch can expand each distinct entry once.
     std::vector<std::vector<CenterId>> pool;
     std::vector<uint32_t> row_index;
 
@@ -60,8 +143,11 @@ class TemporalTable {
                                        bool bound_is_source) const;
 
  private:
+  Materialization mode_ = Materialization::kEager;
   std::vector<PatternNodeId> schema_;
   std::vector<NodeId> rows_;
+  std::vector<DeltaColumn> deltas_;
+  std::vector<size_t> sorted_by_;
   std::vector<PendingSlot> pending_;
 };
 

@@ -74,4 +74,9 @@ double CostModel::SelectCost(double rows) const {
   return rows * 2.0 * params_.io_code_probe;
 }
 
+double CostModel::MaterializeCost(double rows, int width) const {
+  double ids = params_.factorized ? std::min(width, 2) : width;
+  return rows * ids * params_.cpu_per_id_copy;
+}
+
 }  // namespace fgpm

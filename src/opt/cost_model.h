@@ -25,6 +25,15 @@ struct CostParams {
   double io_code_probe = 3.0;     // IO_B: B+-tree descent + heap page
   double io_page_scan = 1.0;      // IO_S
   double cpu_per_tuple = 0.001;   // charge for producing an output tuple
+  // Charge per NodeId copied when an operator (re)writes its output
+  // rows into temporal storage. Under eager materialization a step
+  // writing R rows of width W copies R*W ids; a factorized fetch writes
+  // only the (parent, value) delta pair regardless of W.
+  double cpu_per_id_copy = 0.0002;
+  // Executor materialization mode the plan will run under; makes DP/DPS
+  // stop over-charging wide intermediates when fetches append delta
+  // columns instead of re-widening.
+  bool factorized = false;
 };
 
 class CostModel {
@@ -55,6 +64,10 @@ class CostModel {
   double FetchCost(double rows, LabelId x, LabelId y,
                    bool bound_is_source) const;
   double SelectCost(double rows) const;
+  // Cost of writing a step's output rows at `width` bound columns into
+  // temporal storage. Factorized tables write at most 2 ids per row
+  // (the delta pair) however wide the logical row is.
+  double MaterializeCost(double rows, int width) const;
 
  private:
   const Catalog* catalog_;

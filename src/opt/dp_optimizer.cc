@@ -1,5 +1,6 @@
 #include "opt/dp_optimizer.h"
 
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -101,12 +102,14 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
     return bm;
   };
 
-  // Initial states: one HPSJ per edge.
+  // Initial states: one HPSJ per edge. Every step also charges writing
+  // its output rows into temporal storage at the output width (the
+  // factorized representation caps the charged width at the delta pair).
   for (uint32_t e = 0; e < m; ++e) {
     LabelId x = (*labels)[edges[e].from], y = (*labels)[edges[e].to];
     State& s = dp[1u << e];
-    s.cost = model.HpsjBaseCost(x, y);
     s.rows = model.BaseJoinSize(x, y);
+    s.cost = model.HpsjBaseCost(x, y) + model.MaterializeCost(s.rows, 2);
     s.parent_mask = 0;
     s.via_edge = e;
     s.how = 0;
@@ -122,19 +125,23 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
       bool bf = bm & (1u << edges[e].from), bt = bm & (1u << edges[e].to);
       if (!bf && !bt) continue;  // left-deep: must touch the current table
       LabelId x = (*labels)[edges[e].from], y = (*labels)[edges[e].to];
+      const int width = std::popcount(bm);
       double cost, rows;
       uint8_t how;
       if (bf && bt) {
-        cost = dp[mask].cost + model.SelectCost(dp[mask].rows);
         rows = dp[mask].rows * model.SelectSelectivity(x, y);
+        cost = dp[mask].cost + model.SelectCost(dp[mask].rows) +
+               model.MaterializeCost(rows, width);
         how = 3;
       } else {
         bool bound_is_source = bf;
         double survival = model.SemijoinSurvival(x, y, bound_is_source);
         double filtered = dp[mask].rows * survival;
-        cost = dp[mask].cost + model.FilterCost(dp[mask].rows, 1, 1) +
-               model.FetchCost(filtered, x, y, bound_is_source);
         rows = dp[mask].rows * model.ExtendFanout(x, y, bound_is_source);
+        cost = dp[mask].cost + model.FilterCost(dp[mask].rows, 1, 1) +
+               model.MaterializeCost(filtered, width) +
+               model.FetchCost(filtered, x, y, bound_is_source) +
+               model.MaterializeCost(rows, width + 1);
         how = bound_is_source ? 1 : 2;
       }
       uint32_t next = mask | (1u << e);

@@ -1,6 +1,7 @@
 #include "opt/dps_optimizer.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 #include <queue>
 #include <unordered_map>
@@ -112,18 +113,24 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
   };
 
   // --- start moves ---------------------------------------------------------
+  // Every move also charges writing its output rows into temporal
+  // storage at the output width (capped at the delta pair under
+  // factorized execution) — mirrored exactly by ExplainPlan's replay.
   std::vector<uint8_t> st(m, kTodo);
   for (uint32_t e = 0; e < m; ++e) {
     std::vector<uint8_t> s2 = st;
     s2[e] = kDone;
-    relax(StatusKey::Make(s2, 0), model.HpsjBaseCost(edge_x(e), edge_y(e)),
-          model.BaseJoinSize(edge_x(e), edge_y(e)), kNoKey,
-          PlanStep::HpsjBase(e));
+    double rows0 = model.BaseJoinSize(edge_x(e), edge_y(e));
+    relax(StatusKey::Make(s2, 0),
+          model.HpsjBaseCost(edge_x(e), edge_y(e)) +
+              model.MaterializeCost(rows0, 2),
+          rows0, kNoKey, PlanStep::HpsjBase(e));
   }
   for (uint32_t v = 0; v < n; ++v) {
-    relax(StatusKey::Make(st, v + 1), model.ScanBaseCost(labels[v]),
-          static_cast<double>(catalog.ExtentSize(labels[v])), kNoKey,
-          PlanStep::ScanBase(v));
+    double rows0 = static_cast<double>(catalog.ExtentSize(labels[v]));
+    relax(StatusKey::Make(st, v + 1),
+          model.ScanBaseCost(labels[v]) + model.MaterializeCost(rows0, 1),
+          rows0, kNoKey, PlanStep::ScanBase(v));
   }
 
   const uint64_t kGoalStatuses = [&] {
@@ -147,6 +154,7 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
       break;
     }
     uint32_t bm = bound_mask_of(cur, scan);
+    const int width = std::popcount(bm);
     double rows = info.rows;
 
     // select-moves.
@@ -156,9 +164,10 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
         continue;
       std::vector<uint8_t> s2 = cur;
       s2[e] = kDone;
-      relax(StatusKey::Make(s2, scan), cost + model.SelectCost(rows),
-            rows * model.SelectSelectivity(edge_x(e), edge_y(e)), key,
-            PlanStep::Select(e));
+      double out = rows * model.SelectSelectivity(edge_x(e), edge_y(e));
+      relax(StatusKey::Make(s2, scan),
+            cost + model.SelectCost(rows) + model.MaterializeCost(out, width),
+            out, key, PlanStep::Select(e));
     }
 
     // Filter-moves: group ALL eligible semijoins probing one column/side.
@@ -181,7 +190,8 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
         }
         if (items.empty()) continue;
         double fcost = model.FilterCost(rows, /*distinct_columns=*/1,
-                                        static_cast<int>(items.size()));
+                                        static_cast<int>(items.size())) +
+                       model.MaterializeCost(rows * survival, width);
         relax(StatusKey::Make(s2, scan), cost + fcost, rows * survival, key,
               PlanStep::Filter(std::move(items)));
       }
@@ -206,8 +216,11 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
       double growth = std::max(1.0, fanout / std::max(1e-12, survival));
       std::vector<uint8_t> s2 = cur;
       s2[e] = kDone;
+      const int width_after = std::popcount(bm | (1u << nz));
       relax(StatusKey::Make(s2, scan),
-            cost + model.FetchCost(rows, edge_x(e), edge_y(e), bound_is_source),
+            cost +
+                model.FetchCost(rows, edge_x(e), edge_y(e), bound_is_source) +
+                model.MaterializeCost(rows * growth, width_after),
             rows * growth, key, PlanStep::Fetch(e, bound_is_source));
     }
   }

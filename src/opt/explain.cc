@@ -1,6 +1,7 @@
 #include "opt/explain.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 
 namespace fgpm {
@@ -52,6 +53,48 @@ std::string PlanExplanation::ToString() const {
   return out;
 }
 
+std::string PlanExplanation::ToStringWithActuals(const ExecStats& stats) const {
+  std::string out;
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-40s %14s %14s %12s %12s\n", "step",
+                "est. rows", "act. rows", "step cost", "cum. cost");
+  out += buf;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const StepEstimate& s = steps[i];
+    char actual[32];
+    if (i < stats.step_rows.size()) {
+      std::snprintf(actual, sizeof(actual), "%llu",
+                    static_cast<unsigned long long>(stats.step_rows[i]));
+    } else {
+      std::snprintf(actual, sizeof(actual), "-");
+    }
+    std::snprintf(buf, sizeof(buf), "%-40s %14.0f %14s %12.1f %12.1f\n",
+                  s.description.c_str(), s.rows_out, actual, s.step_cost,
+                  s.cumulative_cost);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "total: %.1f page-units, ~%.0f rows est., %llu rows actual\n",
+                total_cost, result_rows,
+                static_cast<unsigned long long>(stats.result_rows));
+  out += buf;
+  const OperatorStats& op = stats.operators;
+  std::snprintf(buf, sizeof(buf),
+                "materialized: %llu rows, copy bytes avoided: %llu\n",
+                static_cast<unsigned long long>(op.rows_materialized),
+                static_cast<unsigned long long>(op.copy_bytes_avoided));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "reach memo: %llu/%llu hits, temporal pages: %llu read, "
+                "%llu written\n",
+                static_cast<unsigned long long>(op.reach_memo_hits),
+                static_cast<unsigned long long>(op.reach_memo_probes),
+                static_cast<unsigned long long>(op.temporal_pages_read),
+                static_cast<unsigned long long>(op.temporal_pages_written));
+  out += buf;
+  return out;
+}
+
 Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
                                     const Catalog& catalog,
                                     CostParams params) {
@@ -77,22 +120,30 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
     return out;
   }
 
+  // Replays the exact charges DP/DPS make per move — including the
+  // materialization charge at the output width (popcount of the running
+  // bound-node set) — so explain totals equal optimizer estimates.
   const auto& edges = pattern.edges();
   double rows = 0, cost = 0;
+  uint32_t bound = 0;
   for (const PlanStep& step : plan.steps) {
     double step_cost = 0;
     switch (step.kind) {
       case StepKind::kHpsjBase: {
         LabelId x = labels[edges[step.edge].from];
         LabelId y = labels[edges[step.edge].to];
-        step_cost = model.HpsjBaseCost(x, y);
         rows = model.BaseJoinSize(x, y);
+        bound |= (1u << edges[step.edge].from) | (1u << edges[step.edge].to);
+        step_cost = model.HpsjBaseCost(x, y) +
+                    model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
       case StepKind::kScanBase: {
         LabelId l = labels[step.scan_node];
-        step_cost = model.ScanBaseCost(l);
         rows = static_cast<double>(catalog.ExtentSize(l));
+        bound |= 1u << step.scan_node;
+        step_cost = model.ScanBaseCost(l) +
+                    model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
       case StepKind::kFilter: {
@@ -101,9 +152,9 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
         double survival = 1.0;
         for (const FilterItem& item : step.filters) {
           const PatternEdge& e = edges[item.edge];
-          PatternNodeId bound = item.bound_is_source ? e.from : e.to;
-          if (std::find(cols.begin(), cols.end(), bound) == cols.end()) {
-            cols.push_back(bound);
+          PatternNodeId bound_node = item.bound_is_source ? e.from : e.to;
+          if (std::find(cols.begin(), cols.end(), bound_node) == cols.end()) {
+            cols.push_back(bound_node);
           }
           survival *= model.SemijoinSurvival(labels[e.from], labels[e.to],
                                              item.bound_is_source);
@@ -111,6 +162,7 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
         step_cost = model.FilterCost(rows, static_cast<int>(cols.size()),
                                      static_cast<int>(step.filters.size()));
         rows *= survival;
+        step_cost += model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
       case StepKind::kFetch: {
@@ -121,12 +173,15 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
             model.SemijoinSurvival(x, y, step.bound_is_source);
         double fanout = model.ExtendFanout(x, y, step.bound_is_source);
         rows *= std::max(1.0, fanout / std::max(1e-12, survival));
+        bound |= 1u << (step.bound_is_source ? e.to : e.from);
+        step_cost += model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
       case StepKind::kSelect: {
         const PatternEdge& e = edges[step.edge];
         step_cost = model.SelectCost(rows);
         rows *= model.SelectSelectivity(labels[e.from], labels[e.to]);
+        step_cost += model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
     }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/engine.h"
 #include "exec/plan.h"
 #include "gdb/catalog.h"
 #include "opt/cost_model.h"
@@ -30,6 +31,13 @@ struct PlanExplanation {
 
   // Multi-line human-readable rendering.
   std::string ToString() const;
+
+  // Estimates side by side with an execution of the same plan: per-step
+  // estimated vs actual rows (ExecStats::step_rows; "-" for steps the
+  // execution never reached because the intermediate emptied out),
+  // followed by the materialization / memo / temporal-I/O counters.
+  // Makes a plan regression diagnosable from one dump.
+  std::string ToStringWithActuals(const ExecStats& stats) const;
 };
 
 // Requires plan.Validate(pattern).ok() and all pattern labels present in

@@ -1,0 +1,316 @@
+// Factorized (late-materialized) temporal tables:
+//  * TemporalTable delta-column mechanics: At / GatherColumn / Flatten,
+//    span-style AppendRow + Reserve, sort-order provenance.
+//  * Fixed-plan exact-row-order equality between kEager and kFactorized
+//    executors (same plan, same database), including fused selects.
+//  * Randomized differential: kFactorized vs kEager vs the naive
+//    matcher over DAG / Erdos-Renyi / scale-free graphs at 1, 4 and 8
+//    threads — row-identical results everywhere.
+//  * Bounded LRU plan cache: eviction order, hit/miss counters,
+//    capacity 0 disables caching.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/graph_matcher.h"
+#include "exec/temporal_table.h"
+#include "graph/generators.h"
+#include "opt/dps_optimizer.h"
+#include "opt/explain.h"
+#include "workload/patterns.h"
+
+namespace fgpm {
+namespace {
+
+TEST(TemporalTableTest, DeltaColumnAccessAndFlatten) {
+  // Base block: two columns, three rows; one delta level fanning row 0
+  // out twice and row 2 once; a second level extending two of those.
+  TemporalTable t(Materialization::kFactorized);
+  t.AddColumn(0);
+  t.AddColumn(1);
+  const NodeId r0[] = {10, 20};
+  const NodeId r1[] = {11, 21};
+  t.AppendRow(r0, 2);
+  t.AppendRow(r1, 2);
+  t.AppendRow(std::vector<NodeId>{12, 22});
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.base_columns(), 2u);
+
+  auto& d1 = t.AddDeltaColumn(2);
+  d1.parent = {0, 0, 2};
+  d1.value = {30, 31, 32};
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.base_columns(), 2u);
+  EXPECT_EQ(t.NumColumns(), 3u);
+
+  auto& d2 = t.AddDeltaColumn(3);
+  d2.parent = {1, 2};
+  d2.value = {40, 41};
+  ASSERT_EQ(t.NumRows(), 2u);
+
+  // Logical rows: (10, 20, 31, 40) and (12, 22, 32, 41).
+  EXPECT_EQ(t.At(0, 0), 10u);
+  EXPECT_EQ(t.At(0, 1), 20u);
+  EXPECT_EQ(t.At(0, 2), 31u);
+  EXPECT_EQ(t.At(0, 3), 40u);
+  EXPECT_EQ(t.At(1, 0), 12u);
+  EXPECT_EQ(t.At(1, 2), 32u);
+
+  std::vector<NodeId> col;
+  t.GatherColumn(0, &col);
+  EXPECT_EQ(col, (std::vector<NodeId>{10, 12}));
+  t.GatherColumn(2, &col);
+  EXPECT_EQ(col, (std::vector<NodeId>{31, 32}));
+  t.GatherColumn(3, &col);
+  EXPECT_EQ(col, (std::vector<NodeId>{40, 41}));
+
+  // ByteSize counts base ids + (parent, value) pairs.
+  EXPECT_EQ(t.ByteSize(), (6 + 3 * 2 + 2 * 2) * 4ull);
+
+  t.Flatten();
+  EXPECT_TRUE(t.deltas().empty());
+  EXPECT_EQ(t.NumRows(), 2u);
+  EXPECT_EQ(t.base_columns(), 4u);
+  EXPECT_EQ(t.raw_rows(),
+            (std::vector<NodeId>{10, 20, 31, 40, 12, 22, 32, 41}));
+  EXPECT_EQ(t.At(1, 3), 41u);  // flat At agrees with the gathered rows
+}
+
+TEST(TemporalTableTest, ReserveAndSortOrder) {
+  TemporalTable t;
+  t.AddColumn(0);
+  t.Reserve(100, 1);
+  EXPECT_GE(t.raw_rows().capacity(), 100u);
+  EXPECT_TRUE(t.sorted_by().empty());
+  t.set_sorted_by({0});
+  EXPECT_EQ(t.sorted_by(), (std::vector<size_t>{0}));
+}
+
+// --- fixed-plan equivalence -----------------------------------------------
+
+class MaterializationFixture : public ::testing::Test {
+ protected:
+  void BuildDb(Graph g) {
+    graph_ = std::make_unique<Graph>(std::move(g));
+    db_ = std::make_unique<GraphDatabase>();
+    ASSERT_TRUE(db_->Build(*graph_).ok());
+  }
+
+  // Same database, same plan, both representations, several thread
+  // counts: rows must be identical in identical ORDER (a stronger
+  // contract than set equality; see operators.h).
+  void ExpectModesAgreeOnPlan(const Pattern& p, const Plan& plan) {
+    std::vector<std::vector<NodeId>> reference;
+    bool have_reference = false;
+    for (unsigned threads : {1u, 4u, 8u}) {
+      for (Materialization mode :
+           {Materialization::kEager, Materialization::kFactorized}) {
+        Executor exec(db_.get(), ExecOptions{.num_threads = threads,
+                                             .materialization = mode});
+        auto r = exec.Execute(p, plan);
+        ASSERT_TRUE(r.ok()) << r.status();
+        if (!have_reference) {
+          reference = r->rows;
+          have_reference = true;
+        } else {
+          EXPECT_EQ(r->rows, reference)
+              << "threads=" << threads << " mode="
+              << (mode == Materialization::kEager ? "eager" : "factorized")
+              << " pattern " << p.ToString();
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<GraphDatabase> db_;
+};
+
+TEST_F(MaterializationFixture, FixedPlansRowOrderIdenticalAcrossModes) {
+  BuildDb(gen::ErdosRenyi(220, 700, 5, 17));
+  // Chain (fetch chain), star, and a diamond whose closing edge forces a
+  // select — the select is fused into the preceding fetch under
+  // factorized execution.
+  for (const char* q :
+       {"L0->L1; L1->L2; L2->L3", "L0->L1; L0->L2; L0->L3",
+        "L0->L1; L1->L3; L0->L2; L2->L3", "L0->L1; L1->L2; L0->L2"}) {
+    auto p = Pattern::Parse(q);
+    ASSERT_TRUE(p.ok());
+    auto plan = OptimizeDps(*p, db_->catalog());
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    ExpectModesAgreeOnPlan(*p, *plan);
+  }
+}
+
+TEST_F(MaterializationFixture, FactorizedAvoidsCopiesOnFetchChains) {
+  BuildDb(gen::RandomDag(300, 3.0, 4, 5));
+  auto p = Pattern::Parse("L0->L1; L1->L2; L2->L3");
+  ASSERT_TRUE(p.ok());
+  auto plan = OptimizeDps(*p, db_->catalog());
+  ASSERT_TRUE(plan.ok());
+
+  Executor fact(db_.get(),
+                ExecOptions{.materialization = Materialization::kFactorized});
+  auto r = fact.Execute(*p, *plan);
+  ASSERT_TRUE(r.ok());
+  if (r->rows.empty()) GTEST_SKIP() << "empty result; nothing to measure";
+  EXPECT_GT(r->stats.operators.copy_bytes_avoided, 0u);
+  // step_rows covers every executed plan step and ends at the result.
+  ASSERT_EQ(r->stats.step_rows.size(), plan->steps.size());
+  EXPECT_EQ(r->stats.step_rows.back(), r->stats.result_rows);
+
+  // The est-vs-actual dump renders without blowing up.
+  auto exp = ExplainPlan(*p, *plan, db_->catalog());
+  ASSERT_TRUE(exp.ok());
+  std::string dump = exp->ToStringWithActuals(r->stats);
+  EXPECT_NE(dump.find("act. rows"), std::string::npos);
+  EXPECT_NE(dump.find("materialized:"), std::string::npos);
+}
+
+// --- randomized differential ----------------------------------------------
+
+enum class GraphKind { kRandomDag, kErdosRenyi, kScaleFree };
+
+const char* GraphKindName(GraphKind k) {
+  switch (k) {
+    case GraphKind::kRandomDag:
+      return "RandomDag";
+    case GraphKind::kErdosRenyi:
+      return "ErdosRenyi";
+    case GraphKind::kScaleFree:
+      return "ScaleFree";
+  }
+  return "?";
+}
+
+Graph MakeGraph(GraphKind kind, uint64_t seed) {
+  switch (kind) {
+    case GraphKind::kRandomDag:
+      return gen::RandomDag(160, 2.6, 5, seed);
+    case GraphKind::kErdosRenyi:
+      return gen::ErdosRenyi(150, 480, 5, seed);
+    case GraphKind::kScaleFree:
+      return gen::ScaleFree(150, 3, 5, seed);
+  }
+  __builtin_unreachable();
+}
+
+using ParamT = std::tuple<GraphKind, uint64_t /*seed*/>;
+
+class MaterializationDifferential : public ::testing::TestWithParam<ParamT> {};
+
+TEST_P(MaterializationDifferential, ModesAgreeWithNaiveAcrossThreadCounts) {
+  auto [kind, seed] = GetParam();
+  Graph g = MakeGraph(kind, seed);
+
+  // One matcher per (mode, thread count) over the same graph.
+  struct Variant {
+    Materialization mode;
+    unsigned threads;
+    std::unique_ptr<GraphMatcher> matcher;
+  };
+  std::vector<Variant> variants;
+  for (Materialization mode :
+       {Materialization::kEager, Materialization::kFactorized}) {
+    for (unsigned t : {1u, 4u, 8u}) {
+      auto m = GraphMatcher::Create(
+          &g, {}, ExecOptions{.num_threads = t, .materialization = mode});
+      ASSERT_TRUE(m.ok()) << m.status();
+      variants.push_back({mode, t, std::move(*m)});
+    }
+  }
+
+  auto patterns = workload::RandomPatterns(g, /*count=*/5, /*nodes=*/3,
+                                           /*extra_edges=*/1, seed * 11 + 3);
+  auto more = workload::RandomPatterns(g, /*count=*/3, /*nodes=*/4,
+                                       /*extra_edges=*/1, seed * 17 + 7);
+  patterns.insert(patterns.end(), more.begin(), more.end());
+  ASSERT_FALSE(patterns.empty());
+
+  for (const auto& p : patterns) {
+    auto expect = variants[0].matcher->Match(p, {.engine = Engine::kNaive});
+    ASSERT_TRUE(expect.ok());
+    expect->SortRows();
+    for (Engine e : {Engine::kDps, Engine::kDp}) {
+      for (auto& v : variants) {
+        auto r = v.matcher->Match(p, {.engine = e});
+        ASSERT_TRUE(r.ok()) << EngineName(e) << ": " << r.status();
+        r->SortRows();
+        EXPECT_EQ(r->rows, expect->rows)
+            << GraphKindName(kind) << " seed " << seed << " engine "
+            << EngineName(e) << " threads " << v.threads << " mode "
+            << (v.mode == Materialization::kEager ? "eager" : "factorized")
+            << " pattern " << p.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsAndSeeds, MaterializationDifferential,
+    ::testing::Combine(::testing::Values(GraphKind::kRandomDag,
+                                         GraphKind::kErdosRenyi,
+                                         GraphKind::kScaleFree),
+                       ::testing::Values(2ull, 5ull)),
+    [](const ::testing::TestParamInfo<ParamT>& info) {
+      return std::string(GraphKindName(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --- LRU plan cache --------------------------------------------------------
+
+TEST(PlanCacheTest, LruEvictionAndCounters) {
+  Graph g = gen::ErdosRenyi(80, 240, 4, 3);
+  auto m = GraphMatcher::Create(&g, {},
+                                ExecOptions{.plan_cache_capacity = 2});
+  ASSERT_TRUE(m.ok());
+  GraphMatcher& matcher = **m;
+  EXPECT_EQ(matcher.plan_cache_capacity(), 2u);
+
+  const char* q0 = "L0->L1";
+  const char* q1 = "L1->L2";
+  const char* q2 = "L2->L3";
+  ASSERT_TRUE(matcher.Match(q0).ok());  // miss -> {q0}
+  ASSERT_TRUE(matcher.Match(q1).ok());  // miss -> {q1, q0}
+  EXPECT_EQ(matcher.plan_cache_size(), 2u);
+  EXPECT_EQ(matcher.plan_cache_hits(), 0u);
+  EXPECT_EQ(matcher.plan_cache_misses(), 2u);
+
+  ASSERT_TRUE(matcher.Match(q0).ok());  // hit, refreshes q0 -> {q0, q1}
+  EXPECT_EQ(matcher.plan_cache_hits(), 1u);
+
+  ASSERT_TRUE(matcher.Match(q2).ok());  // miss, evicts q1 -> {q2, q0}
+  EXPECT_EQ(matcher.plan_cache_size(), 2u);
+  ASSERT_TRUE(matcher.Match(q0).ok());  // still cached
+  EXPECT_EQ(matcher.plan_cache_hits(), 2u);
+  ASSERT_TRUE(matcher.Match(q1).ok());  // evicted above -> miss again
+  EXPECT_EQ(matcher.plan_cache_misses(), 4u);
+  EXPECT_EQ(matcher.plan_cache_size(), 2u);
+
+  matcher.ClearPlanCache();
+  EXPECT_EQ(matcher.plan_cache_size(), 0u);
+}
+
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  Graph g = gen::ErdosRenyi(80, 240, 4, 3);
+  auto m = GraphMatcher::Create(&g, {},
+                                ExecOptions{.plan_cache_capacity = 0});
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE((*m)->Match("L0->L1").ok());
+  ASSERT_TRUE((*m)->Match("L0->L1").ok());
+  EXPECT_EQ((*m)->plan_cache_size(), 0u);
+  EXPECT_EQ((*m)->plan_cache_hits(), 0u);
+}
+
+TEST(PlanCacheTest, DisabledViaMatchOptionsBypassesCache) {
+  Graph g = gen::ErdosRenyi(80, 240, 4, 3);
+  auto m = GraphMatcher::Create(&g);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE((*m)->Match("L0->L1", {.use_plan_cache = false}).ok());
+  EXPECT_EQ((*m)->plan_cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace fgpm
