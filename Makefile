@@ -7,15 +7,18 @@
 #   make bench-exec   - build + run the eager-vs-factorized
 #                       materialization bench
 #                       (writes BENCH_materialization.json)
+#   make bench-obs    - build + run the observability overhead A/B
+#                       (writes BENCH_obs.json)
 #   make verify-tsan  - ThreadSanitizer pass over the concurrency +
-#                       reach + exec labeled tests
+#                       reach + exec + obs labeled tests
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
-# `concurrency`, `reach` and `exec` ctest labels (buffer-pool /
+# `concurrency`, `reach`, `exec` and `obs` ctest labels (buffer-pool /
 # code-cache hammer tests, code-layout round-trips, the multi-threaded
-# probe differentials and the eager-vs-factorized materialization
-# differentials): each maintains a separate instrumented tree
+# probe differentials, the eager-vs-factorized materialization
+# differentials and the metrics/trace suites with their 8-thread
+# exact-total checks): each maintains a separate instrumented tree
 # (./build-tsan, ./build-asan) so the regular build is never polluted
 # with -fsanitize flags.
 
@@ -24,7 +27,7 @@ TSAN_BUILD_DIR ?= build-tsan
 ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test bench-codes bench-exec verify-tsan verify-asan
+.PHONY: build test bench-codes bench-exec bench-obs verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -41,12 +44,16 @@ bench-exec: build
 	cd $(BUILD_DIR)/bench && ./bench_materialization
 	cp $(BUILD_DIR)/bench/BENCH_materialization.json BENCH_materialization.json
 
+bench-obs: build
+	cd $(BUILD_DIR)/bench && ./bench_obs_overhead
+	cp $(BUILD_DIR)/bench/BENCH_obs.json BENCH_obs.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs' --output-on-failure

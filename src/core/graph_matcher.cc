@@ -7,10 +7,44 @@
 #include "common/timer.h"
 
 #include "exec/naive_matcher.h"
+#include "obs/metrics.h"
 #include "opt/dp_optimizer.h"
 #include "opt/dps_optimizer.h"
 
 namespace fgpm {
+
+namespace {
+
+struct MatcherMetrics {
+  obs::Counter* queries;
+  obs::Counter* slow_queries;
+  obs::Counter* plan_cache_hits;
+  obs::Counter* plan_cache_misses;
+  obs::Histogram* latency_usec;
+
+  static const MatcherMetrics& Get() {
+    static const MatcherMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      MatcherMetrics e;
+      e.queries =
+          r.GetCounter("fgpm_match_queries_total", "GraphMatcher::Match calls");
+      e.slow_queries = r.GetCounter(
+          "fgpm_slow_queries_total",
+          "Queries slower than ExecOptions::slow_query_ms");
+      e.plan_cache_hits =
+          r.GetCounter("fgpm_plan_cache_hits_total", "Plan cache hits");
+      e.plan_cache_misses =
+          r.GetCounter("fgpm_plan_cache_misses_total", "Plan cache misses");
+      e.latency_usec =
+          r.GetHistogram("fgpm_match_latency_usec",
+                         "End-to-end match time, optimize + execute (us)");
+      return e;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* EngineName(Engine e) {
   switch (e) {
@@ -74,9 +108,11 @@ const Plan* GraphMatcher::LookupPlan(const std::string& key) {
   auto it = plan_cache_.find(key);
   if (it == plan_cache_.end()) {
     ++plan_cache_misses_;
+    if (obs::Enabled()) MatcherMetrics::Get().plan_cache_misses->Increment();
     return nullptr;
   }
   ++plan_cache_hits_;
+  if (obs::Enabled()) MatcherMetrics::Get().plan_cache_hits->Increment();
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.lru_pos);
   return &it->second.plan;
 }
@@ -95,6 +131,48 @@ const Plan* GraphMatcher::CachePlan(const std::string& key, Plan plan) {
   return &it->second.plan;
 }
 
+Result<const Plan*> GraphMatcher::ResolvePlan(const Pattern& pattern,
+                                              const MatchOptions& options,
+                                              Plan* storage,
+                                              double* optimize_ms) {
+  WallTimer opt_timer;
+  std::string cache_key;
+  const Plan* plan = nullptr;
+  if (options.use_plan_cache) {
+    cache_key =
+        std::string(EngineName(options.engine)) + "|" + pattern.ToString();
+    plan = LookupPlan(cache_key);
+  }
+  if (plan == nullptr) {
+    FGPM_ASSIGN_OR_RETURN(*storage, MakePlan(pattern, options.engine));
+    if (options.use_plan_cache && plan_cache_capacity() > 0) {
+      plan = CachePlan(cache_key, std::move(*storage));
+    } else {
+      plan = storage;
+    }
+  }
+  *optimize_ms = opt_timer.ElapsedMillis();
+  return plan;
+}
+
+void GraphMatcher::RecordQuery(const Pattern& pattern, Engine engine,
+                               const ExecStats& stats) {
+  if (obs::Enabled()) {
+    const MatcherMetrics& m = MatcherMetrics::Get();
+    m.queries->Increment();
+    m.latency_usec->Observe(static_cast<uint64_t>(stats.elapsed_ms * 1e3));
+    const double threshold = executor_.options().slow_query_ms;
+    if (threshold >= 0 && stats.elapsed_ms >= threshold) {
+      m.slow_queries->Increment();
+      if (slow_queries_.size() >= kSlowLogCapacity) {
+        slow_queries_.pop_front();
+      }
+      slow_queries_.push_back({pattern.ToString(), engine, stats.elapsed_ms,
+                               stats.optimize_ms, stats.result_rows});
+    }
+  }
+}
+
 Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
                                         MatchOptions options) {
   FGPM_RETURN_IF_ERROR(pattern.Validate());
@@ -105,35 +183,28 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
     effective = &reduced;
   }
 
+  // Shared postlude: metrics + slow-query log, then projection.
+  auto finish = [&](MatchResult result) {
+    RecordQuery(*effective, options.engine, result.stats);
+    return Project(std::move(result), *effective, options);
+  };
+
   switch (options.engine) {
     case Engine::kDps:
     case Engine::kDp:
     case Engine::kCanonical: {
-      WallTimer opt_timer;
-      std::string cache_key;
-      const fgpm::Plan* plan = nullptr;
-      fgpm::Plan fresh;
-      if (options.use_plan_cache) {
-        cache_key = std::string(EngineName(options.engine)) + "|" +
-                    effective->ToString();
-        plan = LookupPlan(cache_key);
-      }
-      if (plan == nullptr) {
-        FGPM_ASSIGN_OR_RETURN(fresh, MakePlan(*effective, options.engine));
-        if (options.use_plan_cache && plan_cache_capacity() > 0) {
-          plan = CachePlan(cache_key, std::move(fresh));
-        } else {
-          plan = &fresh;
-        }
-      }
-      double optimize_ms = opt_timer.ElapsedMillis();
+      fgpm::Plan storage;
+      double optimize_ms = 0;
+      FGPM_ASSIGN_OR_RETURN(
+          const fgpm::Plan* plan,
+          ResolvePlan(*effective, options, &storage, &optimize_ms));
       FGPM_ASSIGN_OR_RETURN(MatchResult result,
                             executor_.Execute(*effective, *plan));
       // Like the paper, reported elapsed time covers optimization AND
       // processing.
       result.stats.optimize_ms = optimize_ms;
       result.stats.elapsed_ms += optimize_ms;
-      return Project(std::move(result), *effective, options);
+      return finish(std::move(result));
     }
     case Engine::kIntDp: {
       if (graph_ == nullptr) {
@@ -145,7 +216,7 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
         intdp_ = std::make_unique<IntDpEngine>(graph_, &db_->catalog());
       }
       FGPM_ASSIGN_OR_RETURN(MatchResult result, intdp_->Match(*effective));
-      return Project(std::move(result), *effective, options);
+      return finish(std::move(result));
     }
     case Engine::kTsd: {
       if (graph_ == nullptr) {
@@ -157,7 +228,7 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
         FGPM_ASSIGN_OR_RETURN(tsd_, TsdEngine::Create(graph_));
       }
       FGPM_ASSIGN_OR_RETURN(MatchResult result, tsd_->Match(*effective));
-      return Project(std::move(result), *effective, options);
+      return finish(std::move(result));
     }
     case Engine::kNaive: {
       if (graph_ == nullptr) {
@@ -166,10 +237,63 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
       }
       FGPM_ASSIGN_OR_RETURN(MatchResult result,
                             NaiveMatch(*graph_, *effective));
-      return Project(std::move(result), *effective, options);
+      return finish(std::move(result));
     }
   }
   return Status::InvalidArgument("unknown engine");
+}
+
+Result<ExplainAnalyzeResult> GraphMatcher::ExplainAnalyze(
+    const Pattern& pattern, MatchOptions options, int trace_level) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  if (options.engine != Engine::kDps && options.engine != Engine::kDp &&
+      options.engine != Engine::kCanonical) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE needs a planned engine (DPS/DP/CANONICAL)");
+  }
+  const Pattern* effective = &pattern;
+  Pattern reduced;
+  if (options.transitive_reduction) {
+    reduced = pattern.TransitiveReduction();
+    effective = &reduced;
+  }
+
+  fgpm::Plan storage;
+  double optimize_ms = 0;
+  FGPM_ASSIGN_OR_RETURN(
+      const fgpm::Plan* plan,
+      ResolvePlan(*effective, options, &storage, &optimize_ms));
+
+  // Explain with the exact CostParams the optimizer planned under, so
+  // est-vs-actual deltas expose model error, not a configuration skew.
+  CostParams params;
+  params.factorized =
+      executor_.options().materialization == Materialization::kFactorized;
+  ExplainAnalyzeResult out;
+  FGPM_ASSIGN_OR_RETURN(
+      out.explanation,
+      ExplainPlan(*effective, *plan, db_->catalog(), params));
+
+  FGPM_ASSIGN_OR_RETURN(
+      out.result,
+      executor_.Execute(*effective, *plan, std::max(1, trace_level)));
+  out.result.stats.optimize_ms = optimize_ms;
+  out.result.stats.elapsed_ms += optimize_ms;
+  RecordQuery(*effective, options.engine, out.result.stats);
+
+  out.report = out.explanation.ToStringWithActuals(out.result.stats);
+  if (out.result.stats.trace) {
+    out.chrome_trace_json = out.result.stats.trace->ToChromeJson();
+  }
+  FGPM_ASSIGN_OR_RETURN(out.result,
+                        Project(std::move(out.result), *effective, options));
+  return out;
+}
+
+Result<ExplainAnalyzeResult> GraphMatcher::ExplainAnalyze(
+    std::string_view pattern_text, MatchOptions options, int trace_level) {
+  FGPM_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(pattern_text));
+  return ExplainAnalyze(p, options, trace_level);
 }
 
 Result<MatchResult> GraphMatcher::Project(MatchResult result,

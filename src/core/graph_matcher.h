@@ -17,6 +17,7 @@
 #ifndef FGPM_CORE_GRAPH_MATCHER_H_
 #define FGPM_CORE_GRAPH_MATCHER_H_
 
+#include <deque>
 #include <list>
 #include <memory>
 #include <string>
@@ -31,6 +32,7 @@
 #include "exec/plan.h"
 #include "gdb/database.h"
 #include "graph/graph.h"
+#include "opt/explain.h"
 #include "query/pattern.h"
 
 namespace fgpm {
@@ -58,6 +60,26 @@ struct MatchOptions {
   bool use_plan_cache = true;
 };
 
+// One entry of the matcher's slow-query log (ExecOptions::slow_query_ms).
+struct SlowQuery {
+  std::string pattern_text;
+  Engine engine = Engine::kDps;
+  double elapsed_ms = 0;   // optimize + execute
+  double optimize_ms = 0;
+  uint64_t result_rows = 0;
+};
+
+// EXPLAIN ANALYZE: the optimizer's estimates, the actual execution, and
+// the combined per-step profile report. `chrome_trace_json` is a Chrome
+// trace_event dump of the per-step spans (empty when obs is compiled
+// out).
+struct ExplainAnalyzeResult {
+  PlanExplanation explanation;
+  MatchResult result;
+  std::string report;  // explanation.ToStringWithActuals(result.stats)
+  std::string chrome_trace_json;
+};
+
 class GraphMatcher {
  public:
   // Builds the graph database (2-hop cover, base tables, R-join index,
@@ -81,6 +103,18 @@ class GraphMatcher {
   Result<MatchResult> Match(std::string_view pattern_text,
                             MatchOptions options = {});
 
+  // Plans, explains and executes in one call (kDps/kDp/kCanonical only):
+  // the optimizer's per-step estimates lined up with the actual per-step
+  // rows, wall time and cost-model error of the same plan. The execution
+  // runs at span granularity — `trace_level` below 1 is promoted to 1 so
+  // a level-0 matcher still gets per-step timings here.
+  Result<ExplainAnalyzeResult> ExplainAnalyze(const Pattern& pattern,
+                                              MatchOptions options = {},
+                                              int trace_level = 1);
+  Result<ExplainAnalyzeResult> ExplainAnalyze(std::string_view pattern_text,
+                                              MatchOptions options = {},
+                                              int trace_level = 1);
+
   // Plans a pattern without executing (kDps/kDp/kCanonical only).
   Result<fgpm::Plan> MakePlan(const Pattern& pattern, Engine engine) const;
 
@@ -98,6 +132,20 @@ class GraphMatcher {
   static Result<MatchResult> Project(MatchResult result,
                                      const Pattern& pattern,
                                      const MatchOptions& options);
+
+  // Common postlude for every successful Match: bumps the matcher-level
+  // registry metrics and appends to the slow-query log when the query's
+  // total elapsed time crosses ExecOptions::slow_query_ms.
+  void RecordQuery(const Pattern& pattern, Engine engine,
+                   const ExecStats& stats);
+
+  // Plan resolution shared by Match and ExplainAnalyze: cache lookup,
+  // optimize on miss, insert when caching is on. `storage` must outlive
+  // the returned pointer (holds the plan on cache bypass).
+  Result<const fgpm::Plan*> ResolvePlan(const Pattern& pattern,
+                                        const MatchOptions& options,
+                                        fgpm::Plan* storage,
+                                        double* optimize_ms);
 
   // Caches a freshly optimized plan, evicting the least recently used
   // entry when over capacity (must be > 0). Returns the cached plan
@@ -124,8 +172,16 @@ class GraphMatcher {
   std::unordered_map<std::string, CachedPlan> plan_cache_;
   uint64_t plan_cache_hits_ = 0;
   uint64_t plan_cache_misses_ = 0;
+  // Ring of the most recent slow queries (kSlowLogCapacity newest kept).
+  std::deque<SlowQuery> slow_queries_;
 
  public:
+  static constexpr size_t kSlowLogCapacity = 64;
+  // Most recent queries whose elapsed time (optimize + execute) crossed
+  // ExecOptions::slow_query_ms, oldest first. Empty when the threshold
+  // is negative (the default).
+  const std::deque<SlowQuery>& slow_queries() const { return slow_queries_; }
+  void ClearSlowQueries() { slow_queries_.clear(); }
   // Invalidate cached plans (after ApplyEdgeInsert shifts statistics).
   void ClearPlanCache() {
     plan_cache_.clear();

@@ -5,17 +5,124 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "exec/temporal_table.h"
+#include "obs/metrics.h"
 
 namespace fgpm {
+
+namespace {
+
+// Registry handles resolved once per process; the per-query fold below
+// is a handful of relaxed adds on thread-sharded cells.
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* result_rows;
+  obs::Counter* steps;
+  obs::Counter* code_fetches;
+  obs::Counter* cluster_fetches;
+  obs::Counter* wtable_lookups;
+  obs::Counter* reach_memo_probes;
+  obs::Counter* reach_memo_hits;
+  obs::Counter* rows_materialized;
+  obs::Histogram* latency_usec;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      EngineMetrics e;
+      e.queries = r.GetCounter("fgpm_exec_queries_total",
+                               "Plans executed by the R-join engine");
+      e.result_rows =
+          r.GetCounter("fgpm_exec_result_rows_total", "Result rows produced");
+      e.steps = r.GetCounter("fgpm_exec_steps_total", "Plan steps executed");
+      e.code_fetches = r.GetCounter("fgpm_exec_code_fetches_total",
+                                    "getCenters graph-code retrievals");
+      e.cluster_fetches = r.GetCounter("fgpm_exec_cluster_fetches_total",
+                                       "R-join index getF/getT reads");
+      e.wtable_lookups =
+          r.GetCounter("fgpm_exec_wtable_lookups_total", "W-table lookups");
+      e.reach_memo_probes = r.GetCounter("fgpm_exec_reach_memo_probes_total",
+                                         "Reachability memo probes");
+      e.reach_memo_hits = r.GetCounter("fgpm_exec_reach_memo_hits_total",
+                                       "Reachability memo hits");
+      e.rows_materialized = r.GetCounter("fgpm_exec_rows_materialized_total",
+                                         "Full-width rows materialized");
+      e.latency_usec = r.GetHistogram("fgpm_exec_query_latency_usec",
+                                      "Plan execution wall time (us)");
+      return e;
+    }();
+    return m;
+  }
+};
+
+IoSnapshot IoDelta(const IoSnapshot& after, const IoSnapshot& before) {
+  IoSnapshot d;
+  d.page_reads = after.page_reads - before.page_reads;
+  d.page_writes = after.page_writes - before.page_writes;
+  d.pool_hits = after.pool_hits - before.pool_hits;
+  d.pool_misses = after.pool_misses - before.pool_misses;
+  d.code_cache_hits = after.code_cache_hits - before.code_cache_hits;
+  d.code_cache_misses = after.code_cache_misses - before.code_cache_misses;
+  return d;
+}
+
+// The span side of the stats-delta protocol: operators fold their
+// call-local stats exactly once (operators.h), so after-minus-before
+// around one step is that step's delta. Only nonzero deltas become args
+// to keep traces compact; rows_in/rows_out are always attached.
+void AttachSpanArgs(QueryTrace* trace, uint32_t span, uint64_t rows_in,
+                    uint64_t rows_out, const OperatorStats& before,
+                    const OperatorStats& after, const IoSnapshot& io) {
+  trace->AddArg(span, "rows_in", rows_in);
+  trace->AddArg(span, "rows_out", rows_out);
+  auto delta = [&](const char* key, uint64_t b, uint64_t a) {
+    if (a != b) trace->AddArg(span, key, a - b);
+  };
+  delta("rows_scanned", before.rows_scanned, after.rows_scanned);
+  delta("rows_pruned", before.rows_pruned, after.rows_pruned);
+  delta("pairs_emitted", before.pairs_emitted, after.pairs_emitted);
+  delta("code_fetches", before.code_fetches, after.code_fetches);
+  delta("cluster_fetches", before.cluster_fetches, after.cluster_fetches);
+  delta("wtable_lookups", before.wtable_lookups, after.wtable_lookups);
+  delta("reach_memo_probes", before.reach_memo_probes,
+        after.reach_memo_probes);
+  delta("reach_memo_hits", before.reach_memo_hits, after.reach_memo_hits);
+  delta("rows_materialized", before.rows_materialized,
+        after.rows_materialized);
+  delta("temporal_pages_read", before.temporal_pages_read,
+        after.temporal_pages_read);
+  delta("temporal_pages_written", before.temporal_pages_written,
+        after.temporal_pages_written);
+  delta("pool_hits", 0, io.pool_hits);
+  delta("pool_misses", 0, io.pool_misses);
+  delta("code_cache_hits", 0, io.code_cache_hits);
+  delta("code_cache_misses", 0, io.code_cache_misses);
+  delta("page_reads", 0, io.page_reads);
+}
+
+}  // namespace
 
 void MatchResult::SortRows() { std::sort(rows.begin(), rows.end()); }
 
 Result<MatchResult> Executor::Execute(const Pattern& pattern,
-                                      const Plan& plan) {
+                                      const Plan& plan,
+                                      int trace_level_override) {
   FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+
+  const int trace_level =
+      obs::kCompiledIn
+          ? (trace_level_override >= 0 ? trace_level_override
+                                       : options_.trace_level)
+          : 0;
 
   WallTimer timer;
   IoSnapshot io_before = db_->Io();
+
+  std::shared_ptr<QueryTrace> trace;
+  uint32_t query_span = 0;
+  if (trace_level >= 1) {
+    trace = std::make_shared<QueryTrace>();
+    query_span = trace->BeginSpan(pattern.ToString(), "query");
+  }
 
   MatchResult result;
   for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
@@ -50,6 +157,36 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
       for (size_t si = 0; si < steps.size(); ++si) {
         const PlanStep& step = steps[si];
         size_t absorbed = 0;
+        std::vector<uint32_t> fused;
+        if (factorized && step.kind == StepKind::kFetch) {
+          // Fuse the consecutive selects that touch the node this fetch
+          // binds (their other endpoint is bound already — plans
+          // validate selects): the predicates run on candidates inside
+          // the expansion loop, before anything is appended.
+          const PatternEdge& e = pattern.edges()[step.edge];
+          PatternNodeId nn = step.bound_is_source ? e.to : e.from;
+          size_t j = si + 1;
+          while (j < steps.size() && steps[j].kind == StepKind::kSelect) {
+            const PatternEdge& se = pattern.edges()[steps[j].edge];
+            if (se.from != nn && se.to != nn) break;
+            fused.push_back(steps[j].edge);
+            ++j;
+          }
+          absorbed = fused.size();
+        }
+
+        const uint64_t rows_in = table.NumRows();
+        uint32_t span = 0;
+        OperatorStats ops_before;
+        IoSnapshot io_before_step;
+        if (trace) {
+          span = trace->BeginSpan(StepLabel(pattern, step), "operator",
+                                  static_cast<int32_t>(query_span));
+          ops_before = result.stats.operators;
+          io_before_step = db_->Io();
+        }
+        WallTimer step_timer;
+
         switch (step.kind) {
           case StepKind::kHpsjBase:
             FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
@@ -68,31 +205,12 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                              &result.stats.operators,
                                              pool_.get(), &scratch_));
             break;
-          case StepKind::kFetch: {
-            // Fuse the consecutive selects that touch the node this
-            // fetch binds (their other endpoint is bound already —
-            // plans validate selects): the predicates run on candidates
-            // inside the expansion loop, before anything is appended.
-            std::vector<uint32_t> fused;
-            if (factorized) {
-              const PatternEdge& e = pattern.edges()[step.edge];
-              PatternNodeId nn = step.bound_is_source ? e.to : e.from;
-              size_t j = si + 1;
-              while (j < steps.size() &&
-                     steps[j].kind == StepKind::kSelect) {
-                const PatternEdge& se = pattern.edges()[steps[j].edge];
-                if (se.from != nn && se.to != nn) break;
-                fused.push_back(steps[j].edge);
-                ++j;
-              }
-              absorbed = fused.size();
-            }
+          case StepKind::kFetch:
             FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
                                             step.edge, step.bound_is_source,
                                             &table, &result.stats.operators,
                                             pool_.get(), &scratch_, fused));
             break;
-          }
           case StepKind::kSelect:
             FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
                                              step.edge, &table,
@@ -100,12 +218,35 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                              pool_.get(), &scratch_));
             break;
         }
+
+        const double step_ms = step_timer.ElapsedMillis();
         // Absorbed selects still count as executed plan steps and
-        // record the (shared) post-fetch row count.
+        // record the (shared) post-fetch row count; their time is
+        // inside the fetch's entry.
         result.stats.steps += static_cast<uint32_t>(1 + absorbed);
         uint64_t nrows = table.NumRows();
         for (size_t k = 0; k <= absorbed; ++k) {
           result.stats.step_rows.push_back(nrows);
+          result.stats.step_wall_ms.push_back(k == 0 ? step_ms : 0.0);
+          result.stats.step_absorbed.push_back(k == 0 ? 0 : 1);
+        }
+        if (trace) {
+          trace->EndSpan(span);
+          AttachSpanArgs(trace.get(), span, rows_in, nrows, ops_before,
+                         result.stats.operators,
+                         IoDelta(db_->Io(), io_before_step));
+          // Fused selects become child spans mirroring the fetch's
+          // interval — parent/child links make the absorption visible
+          // in chrome://tracing instead of the steps just vanishing.
+          const TraceSpan& parent = trace->spans()[span];
+          for (size_t k = 0; k < absorbed; ++k) {
+            uint32_t child = trace->AddCompleteSpan(
+                StepLabel(pattern, steps[si + 1 + k]), "operator",
+                static_cast<int32_t>(span), parent.start_us, parent.wall_us,
+                0);
+            trace->AddArg(child, "fused_into_fetch", 1);
+            trace->AddArg(child, "rows_out", nrows);
+          }
         }
         si += absorbed;
         // An empty intermediate stays empty; skip the remaining steps.
@@ -156,19 +297,39 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
 
   result.stats.result_rows = result.rows.size();
   result.stats.elapsed_ms = timer.ElapsedMillis();
-  IoSnapshot io_after = db_->Io();
-  result.stats.io.page_reads = io_after.page_reads - io_before.page_reads;
-  result.stats.io.page_writes = io_after.page_writes - io_before.page_writes;
-  result.stats.io.pool_hits = io_after.pool_hits - io_before.pool_hits;
-  result.stats.io.pool_misses = io_after.pool_misses - io_before.pool_misses;
-  result.stats.io.code_cache_hits =
-      io_after.code_cache_hits - io_before.code_cache_hits;
-  result.stats.io.code_cache_misses =
-      io_after.code_cache_misses - io_before.code_cache_misses;
+  result.stats.io = IoDelta(db_->Io(), io_before);
   result.stats.modeled_io_pages =
       result.stats.io.pool_hits + result.stats.io.pool_misses +
       result.stats.operators.temporal_pages_read +
       result.stats.operators.temporal_pages_written;
+
+  if (trace) {
+    trace->EndSpan(query_span);
+    trace->AddArg(query_span, "result_rows", result.stats.result_rows);
+    trace->AddArg(query_span, "pool_hits", result.stats.io.pool_hits);
+    trace->AddArg(query_span, "pool_misses", result.stats.io.pool_misses);
+    trace->AddArg(query_span, "code_cache_hits",
+                  result.stats.io.code_cache_hits);
+    trace->AddArg(query_span, "code_cache_misses",
+                  result.stats.io.code_cache_misses);
+    result.stats.trace = std::move(trace);
+  }
+
+  if (obs::kCompiledIn && obs::Enabled()) {
+    const EngineMetrics& m = EngineMetrics::Get();
+    const OperatorStats& op = result.stats.operators;
+    m.queries->Increment();
+    m.result_rows->Increment(result.stats.result_rows);
+    m.steps->Increment(result.stats.steps);
+    m.code_fetches->Increment(op.code_fetches);
+    m.cluster_fetches->Increment(op.cluster_fetches);
+    m.wtable_lookups->Increment(op.wtable_lookups);
+    m.reach_memo_probes->Increment(op.reach_memo_probes);
+    m.reach_memo_hits->Increment(op.reach_memo_hits);
+    m.rows_materialized->Increment(op.rows_materialized);
+    m.latency_usec->Observe(
+        static_cast<uint64_t>(result.stats.elapsed_ms * 1e3));
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "exec/operators.h"
 #include "exec/plan.h"
 #include "gdb/database.h"
+#include "obs/trace.h"
 #include "query/pattern.h"
 
 namespace fgpm {
@@ -29,10 +30,19 @@ struct ExecStats {
   // (so step_rows.size() <= plan.steps.size()). Explain renders these
   // against the optimizer's estimates.
   std::vector<uint64_t> step_rows;
+  // Wall time of each executed plan step, aligned with step_rows. A
+  // select absorbed into the preceding fused fetch records 0 here (its
+  // time is inside the fetch's entry) and 1 in step_absorbed.
+  std::vector<double> step_wall_ms;
+  std::vector<uint8_t> step_absorbed;
   // Total page I/O under the paper's storage model: buffer-pool accesses
   // for indexes/tables plus disk-resident temporal-table passes. INT-DP
   // fills this with its own list-scan/re-sort estimate.
   uint64_t modeled_io_pages = 0;
+  // Per-step spans (operator kind, wall/CPU time, stats deltas) when the
+  // query ran at trace_level >= 1; null otherwise. Shared so projecting
+  // or copying stats keeps the trace alive.
+  std::shared_ptr<const QueryTrace> trace;
 };
 
 struct MatchResult {
@@ -59,6 +69,15 @@ struct ExecOptions {
   Materialization materialization = Materialization::kFactorized;
   // GraphMatcher plan-cache bound (entries). 0 disables caching.
   size_t plan_cache_capacity = 256;
+  // Observability. trace_level 0 keeps only the always-on aggregates
+  // (ExecStats counters + registry metrics — the <3% overhead budget);
+  // trace_level >= 1 records a QueryTrace span per plan step carrying
+  // wall/CPU time plus the step's OperatorStats and buffer-pool /
+  // code-cache deltas. Forced to 0 when built with FGPM_OBS=OFF.
+  int trace_level = 0;
+  // GraphMatcher-level slow-query log threshold in milliseconds
+  // (elapsed = optimize + execute). Negative disables the log.
+  double slow_query_ms = -1;
 };
 
 class Executor {
@@ -74,7 +93,10 @@ class Executor {
 
   // Validates and runs `plan` for `pattern`. A pattern label absent from
   // the database yields an empty (not erroneous) result.
-  Result<MatchResult> Execute(const Pattern& pattern, const Plan& plan);
+  // `trace_level_override` >= 0 replaces ExecOptions::trace_level for
+  // this call (EXPLAIN ANALYZE forces spans on a level-0 executor).
+  Result<MatchResult> Execute(const Pattern& pattern, const Plan& plan,
+                              int trace_level_override = -1);
 
   unsigned num_threads() const { return pool_ ? pool_->size() : 1; }
   const ExecOptions& options() const { return options_; }

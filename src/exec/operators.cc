@@ -70,10 +70,20 @@ uint64_t TemporalTablePages(const TemporalTable& table) {
   return (bytes + 8191) / 8192;
 }
 
-Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
-                const std::vector<LabelId>& node_labels,
-                PatternNodeId scan_node, TemporalTable* out,
-                OperatorStats* stats) {
+namespace {
+
+// Single fold point of the stats-delta protocol (see operators.h):
+// operator bodies below write a call-local OperatorStats which lands in
+// the caller's struct in exactly one Add, and only on success.
+Status FoldStats(Status s, OperatorStats* stats, const OperatorStats& local) {
+  if (s.ok()) stats->Add(local);
+  return s;
+}
+
+Status ScanBaseImpl(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels,
+                    PatternNodeId scan_node, TemporalTable* out,
+                    OperatorStats* stats) {
   (void)pattern;
   out->AddColumn(scan_node);
   out->Reserve(db.catalog().ExtentSize(node_labels[scan_node]), 1);
@@ -89,10 +99,10 @@ Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
   return Status::OK();
 }
 
-Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
-                    const std::vector<LabelId>& node_labels, uint32_t edge,
-                    TemporalTable* out, OperatorStats* stats,
-                    ThreadPool* pool, ExecScratch* scratch) {
+Status HpsjBaseJoinImpl(const GraphDatabase& db, const Pattern& pattern,
+                        const std::vector<LabelId>& node_labels, uint32_t edge,
+                        TemporalTable* out, OperatorStats* stats,
+                        ThreadPool* pool, ExecScratch* scratch) {
   const PatternEdge& e = pattern.edges()[edge];
   LabelId x = node_labels[e.from], y = node_labels[e.to];
 
@@ -256,11 +266,11 @@ Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
   return Status::OK();
 }
 
-Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
-                   const std::vector<LabelId>& node_labels,
-                   const std::vector<FilterItem>& items, TemporalTable* table,
-                   OperatorStats* stats, ThreadPool* pool,
-                   ExecScratch* scratch) {
+Status ApplyFilterImpl(const GraphDatabase& db, const Pattern& pattern,
+                       const std::vector<LabelId>& node_labels,
+                       const std::vector<FilterItem>& items,
+                       TemporalTable* table, OperatorStats* stats,
+                       ThreadPool* pool, ExecScratch* scratch) {
   if (items.empty()) return Status::InvalidArgument("empty filter");
   stats->temporal_pages_read += TemporalTablePages(*table);
   const auto& edges = pattern.edges();
@@ -517,8 +527,6 @@ Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
   stats->temporal_pages_written += TemporalTablePages(*table);
   return Status::OK();
 }
-
-namespace {
 
 // Eager fetch: re-widen the row block, copying the full prefix per
 // emitted row — the paper's layout and the A/B baseline.
@@ -868,14 +876,12 @@ Status FetchFactorized(const GraphDatabase& db, const Pattern& pattern,
   return Status::OK();
 }
 
-}  // namespace
-
-Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
-                  const std::vector<LabelId>& node_labels, uint32_t edge,
-                  bool bound_is_source, TemporalTable* table,
-                  OperatorStats* stats, ThreadPool* pool,
-                  ExecScratch* scratch,
-                  const std::vector<uint32_t>& fused_selects) {
+Status ApplyFetchImpl(const GraphDatabase& db, const Pattern& pattern,
+                      const std::vector<LabelId>& node_labels, uint32_t edge,
+                      bool bound_is_source, TemporalTable* table,
+                      OperatorStats* stats, ThreadPool* pool,
+                      ExecScratch* scratch,
+                      const std::vector<uint32_t>& fused_selects) {
   auto slot_idx = table->PendingSlotFor(edge, bound_is_source);
   if (!slot_idx) return Status::InvalidArgument("fetch without filter");
   const bool factorized = table->mode() == Materialization::kFactorized;
@@ -895,10 +901,10 @@ Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
                     pool, *slot_idx);
 }
 
-Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
-                   const std::vector<LabelId>& node_labels, uint32_t edge,
-                   TemporalTable* table, OperatorStats* stats,
-                   ThreadPool* pool, ExecScratch* scratch) {
+Status ApplySelectImpl(const GraphDatabase& db, const Pattern& pattern,
+                       const std::vector<LabelId>& node_labels, uint32_t edge,
+                       TemporalTable* table, OperatorStats* stats,
+                       ThreadPool* pool, ExecScratch* scratch) {
   const PatternEdge& e = pattern.edges()[edge];
   auto cx = table->ColumnOf(e.from), cy = table->ColumnOf(e.to);
   if (!cx || !cy) return Status::InvalidArgument("select columns not bound");
@@ -1045,6 +1051,62 @@ Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
   table->pending() = std::move(new_pending);
   stats->temporal_pages_written += TemporalTablePages(*table);
   return Status::OK();
+}
+
+}  // namespace
+
+Status ScanBase(const GraphDatabase& db, const Pattern& pattern,
+                const std::vector<LabelId>& node_labels,
+                PatternNodeId scan_node, TemporalTable* out,
+                OperatorStats* stats) {
+  OperatorStats local;
+  return FoldStats(
+      ScanBaseImpl(db, pattern, node_labels, scan_node, out, &local), stats,
+      local);
+}
+
+Status HpsjBaseJoin(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels, uint32_t edge,
+                    TemporalTable* out, OperatorStats* stats,
+                    ThreadPool* pool, ExecScratch* scratch) {
+  OperatorStats local;
+  return FoldStats(HpsjBaseJoinImpl(db, pattern, node_labels, edge, out,
+                                    &local, pool, scratch),
+                   stats, local);
+}
+
+Status ApplyFilter(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels,
+                   const std::vector<FilterItem>& items, TemporalTable* table,
+                   OperatorStats* stats, ThreadPool* pool,
+                   ExecScratch* scratch) {
+  OperatorStats local;
+  return FoldStats(ApplyFilterImpl(db, pattern, node_labels, items, table,
+                                   &local, pool, scratch),
+                   stats, local);
+}
+
+Status ApplyFetch(const GraphDatabase& db, const Pattern& pattern,
+                  const std::vector<LabelId>& node_labels, uint32_t edge,
+                  bool bound_is_source, TemporalTable* table,
+                  OperatorStats* stats, ThreadPool* pool,
+                  ExecScratch* scratch,
+                  const std::vector<uint32_t>& fused_selects) {
+  OperatorStats local;
+  return FoldStats(
+      ApplyFetchImpl(db, pattern, node_labels, edge, bound_is_source, table,
+                     &local, pool, scratch, fused_selects),
+      stats, local);
+}
+
+Status ApplySelect(const GraphDatabase& db, const Pattern& pattern,
+                   const std::vector<LabelId>& node_labels, uint32_t edge,
+                   TemporalTable* table, OperatorStats* stats,
+                   ThreadPool* pool, ExecScratch* scratch) {
+  OperatorStats local;
+  return FoldStats(ApplySelectImpl(db, pattern, node_labels, edge, table,
+                                   &local, pool, scratch),
+                   stats, local);
 }
 
 }  // namespace fgpm

@@ -66,6 +66,28 @@ struct OperatorStats {
   // representation avoided relative to eager re-widening.
   uint64_t rows_materialized = 0;
   uint64_t copy_bytes_avoided = 0;
+
+  // Stats-delta protocol: every operator accumulates into a call-local
+  // OperatorStats and folds it into the caller's struct exactly once,
+  // on success (worker chunks fold into the call-local struct on the
+  // calling thread after the parallel region joins). So the caller's
+  // struct only ever changes by one Add per operator call — the
+  // executor snapshots it around each plan step to attribute deltas to
+  // that step's trace span, race-free at any thread count.
+  void Add(const OperatorStats& o) {
+    rows_scanned += o.rows_scanned;
+    rows_pruned += o.rows_pruned;
+    pairs_emitted += o.pairs_emitted;
+    code_fetches += o.code_fetches;
+    cluster_fetches += o.cluster_fetches;
+    wtable_lookups += o.wtable_lookups;
+    temporal_pages_read += o.temporal_pages_read;
+    temporal_pages_written += o.temporal_pages_written;
+    reach_memo_probes += o.reach_memo_probes;
+    reach_memo_hits += o.reach_memo_hits;
+    rows_materialized += o.rows_materialized;
+    copy_bytes_avoided += o.copy_bytes_avoided;
+  }
 };
 
 // Operator-owned scratch the Executor threads through a query: per-

@@ -119,6 +119,32 @@ Status Plan::Validate(const Pattern& pattern) const {
   return Status::OK();
 }
 
+std::string StepLabel(const Pattern& pattern, const PlanStep& step) {
+  const auto& edges = pattern.edges();
+  auto edge_str = [&](uint32_t e) {
+    return pattern.label(edges[e].from) + "->" + pattern.label(edges[e].to);
+  };
+  switch (step.kind) {
+    case StepKind::kHpsjBase:
+      return "HPSJ(" + edge_str(step.edge) + ")";
+    case StepKind::kScanBase:
+      return "SCAN(" + pattern.label(step.scan_node) + ")";
+    case StepKind::kFilter: {
+      std::string out = "FILTER(";
+      for (size_t i = 0; i < step.filters.size(); ++i) {
+        if (i) out += ", ";
+        out += edge_str(step.filters[i].edge);
+      }
+      return out + ")";
+    }
+    case StepKind::kFetch:
+      return "FETCH(" + edge_str(step.edge) + ")";
+    case StepKind::kSelect:
+      return "SELECT(" + edge_str(step.edge) + ")";
+  }
+  return "?";
+}
+
 std::string Plan::ToString(const Pattern& pattern) const {
   const auto& edges = pattern.edges();
   auto edge_str = [&](uint32_t e) {

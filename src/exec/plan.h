@@ -64,6 +64,11 @@ struct PlanStep {
   }
 };
 
+// Canonical one-step label ("FETCH(C->D)", "FILTER(A->B, A->C)") shared
+// by EXPLAIN output and trace span names, so a span in a Chrome trace
+// matches its row in the profile report by string equality.
+std::string StepLabel(const Pattern& pattern, const PlanStep& step);
+
 struct Plan {
   std::vector<PlanStep> steps;
   double estimated_cost = 0.0;

@@ -183,6 +183,11 @@ GraphDatabase::GraphDatabase(GraphDatabaseOptions options)
         std::max<size_t>(1, options_.code_cache_capacity / num_stripes_);
     stripes_ = std::make_unique<CacheStripe[]>(num_stripes_);
   }
+  auto& reg = obs::MetricsRegistry::Default();
+  m_cache_hits_ = reg.GetCounter("fgpm_codecache_hits_total",
+                                 "Graph-code cache stripe hits");
+  m_cache_misses_ = reg.GetCounter("fgpm_codecache_misses_total",
+                                   "Graph-code cache stripe misses");
 }
 
 Status GraphDatabase::Build(const Graph& g) {
@@ -233,12 +238,14 @@ Status GraphDatabase::GetCodes(NodeId v, LabelId label,
       auto it = st.map.find(v);
       if (it != st.map.end()) {
         st.hits.fetch_add(1, std::memory_order_relaxed);
+        m_cache_hits_->Increment();
         it->second.referenced.store(true, std::memory_order_relaxed);
         *rec = it->second.rec;
         return Status::OK();
       }
     }
     st.misses.fetch_add(1, std::memory_order_relaxed);
+    m_cache_misses_->Increment();
   }
   FGPM_RETURN_IF_ERROR(tables_[label]->Get(v, rec));
   if (cache_enabled_) {

@@ -18,6 +18,7 @@
 #include "gdb/rjoin_index.h"
 #include "gdb/wtable.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
 #include "reach/two_hop.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -175,6 +176,10 @@ class GraphDatabase {
   size_t num_stripes_ = 0;
   size_t stripe_mask_ = 0;
   size_t stripe_capacity_ = 0;
+  // Process-wide registry counters mirroring the per-stripe atomics;
+  // no-ops when obs is compiled out or disabled.
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
 };
 
 }  // namespace fgpm

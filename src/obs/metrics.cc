@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace fgpm::obs {
+
+namespace {
+
+// Fixed-format double: trims to %.6g so exported text is stable across
+// platforms for the integral values metrics overwhelmingly hold.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double Histogram::Snapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the target sample (1-based); ceil so p=1 hits the last one.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] < rank) {
+      seen += counts[b];
+      continue;
+    }
+    // Target falls in bucket b: interpolate between its bounds by the
+    // fraction of the bucket's samples below the rank.
+    double lower = b == 0 ? 0 : static_cast<double>(uint64_t{1} << (b - 1));
+    double upper = static_cast<double>(BucketUpper(b));
+    double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(counts[b]);
+    return lower + (upper - lower) * frac;
+  }
+  return static_cast<double>(BucketUpper(kBuckets - 1));
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(std::string_view name,
+                                                      std::string_view help,
+                                                      Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    FGPM_CHECK(it->second.kind == kind);  // one name, one metric kind
+    return &it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = std::string(help);
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &metrics_.emplace(std::string(name), std::move(e)).first->second;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  return FindOrCreate(name, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  return FindOrCreate(name, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help) {
+  return FindOrCreate(name, help, Kind::kHistogram)->histogram.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->Reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->Reset();
+        break;
+    }
+  }
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : metrics_) {
+    if (!e.help.empty()) {
+      out += "# HELP " + name + " " + e.help + "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + FormatU64(e.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatDouble(e.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        Histogram::Snapshot s = e.histogram->Snap();
+        int last = 0;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.counts[b] != 0) last = b;
+        }
+        uint64_t cum = 0;
+        for (int b = 0; b <= last; ++b) {
+          cum += s.counts[b];
+          out += name + "_bucket{le=\"" +
+                 FormatU64(Histogram::BucketUpper(b)) + "\"} " +
+                 FormatU64(cum) + "\n";
+        }
+        out += name + "_bucket{le=\"+Inf\"} " + FormatU64(s.count) + "\n";
+        out += name + "_sum " + FormatU64(s.sum) + "\n";
+        out += name + "_count " + FormatU64(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        AppendJsonString(&counters, name);
+        counters += ": " + FormatU64(e.counter->Value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        AppendJsonString(&gauges, name);
+        gauges += ": " + FormatDouble(e.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms += ", ";
+        Histogram::Snapshot s = e.histogram->Snap();
+        AppendJsonString(&histograms, name);
+        histograms += ": {\"count\": " + FormatU64(s.count) +
+                      ", \"sum\": " + FormatU64(s.sum) +
+                      ", \"p50\": " + FormatDouble(s.Percentile(0.50)) +
+                      ", \"p95\": " + FormatDouble(s.Percentile(0.95)) +
+                      ", \"p99\": " + FormatDouble(s.Percentile(0.99)) +
+                      ", \"buckets\": [";
+        bool first = true;
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          if (s.counts[b] == 0) continue;
+          if (!first) histograms += ", ";
+          first = false;
+          histograms += "[" + FormatU64(Histogram::BucketUpper(b)) + ", " +
+                        FormatU64(s.counts[b]) + "]";
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+}  // namespace fgpm::obs

@@ -1,0 +1,232 @@
+// Metrics registry: named counters, gauges and log-scale histograms
+// with per-thread sharded cells, aggregated only when read. An
+// increment is one relaxed fetch_add on a cache-line-private cell the
+// calling thread hashes to, so hot paths (buffer-pool fetches, code
+// cache probes, per-query folds) never contend on a shared line; reads
+// (Value(), the Prometheus/JSON exporters) sum the cells and are
+// allowed to be moment-in-time approximations under concurrent writers
+// — exact once writers are quiescent, which is what the exact-total
+// tests assert.
+//
+// Registration is by name through a registry (one process-wide Default()
+// plus freely constructible instances for tests). Metrics live as long
+// as their registry and are never unregistered, so a pointer obtained
+// once (typically a function-local static or a constructor-resolved
+// member) stays valid for the process lifetime — the idiom every
+// instrumented layer uses to keep name lookups off the hot path.
+//
+// With FGPM_OBS=OFF (see obs/obs.h) the write paths compile to nothing;
+// exporters render whatever was (never) recorded, i.e. zeros.
+#ifndef FGPM_OBS_METRICS_H_
+#define FGPM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fgpm::obs {
+
+// Number of per-thread cells per metric. Threads hash to cells by a
+// process-unique thread slot, so up to kCells writers proceed without
+// sharing a line; more threads than cells just share politely.
+inline constexpr size_t kCells = 16;
+
+// Stable small thread index for cell sharding (assigned on first use,
+// round-robin — NOT the OS tid).
+inline size_t CellIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kCells - 1);
+}
+
+// Monotonic counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+#if FGPM_OBS_ENABLED
+    if (!Enabled()) return;
+    cells_[CellIndex()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+  void Reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kCells> cells_;
+};
+
+// Last-written-wins point-in-time value (no cell sharding: gauges are
+// set at query rate, not per-probe).
+class Gauge {
+ public:
+  void Set(double v) {
+#if FGPM_OBS_ENABLED
+    if (!Enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void Add(double d) {
+#if FGPM_OBS_ENABLED
+    if (!Enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+#else
+    (void)d;
+#endif
+  }
+
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Log-scale (power-of-two) histogram of non-negative integer samples.
+// Bucket i holds samples whose bit width is i: bucket 0 is exactly {0},
+// bucket i >= 1 covers [2^(i-1), 2^i - 1]. 65 buckets span uint64_t, so
+// there is no overflow bucket to mis-size; percentiles interpolate
+// linearly inside a bucket, giving a relative error bounded by the
+// bucket width (factor of 2) — plenty for latency attribution.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void Observe(uint64_t sample) {
+#if FGPM_OBS_ENABLED
+    if (!Enabled()) return;
+    Cell& c = cells_[CellIndex()];
+    c.counts[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    c.sum.fetch_add(sample, std::memory_order_relaxed);
+#else
+    (void)sample;
+#endif
+  }
+
+  static int BucketOf(uint64_t sample) {
+    int b = 0;
+    while (sample != 0) {
+      sample >>= 1;
+      ++b;
+    }
+    return b;
+  }
+  // Inclusive upper bound of bucket b (the Prometheus "le" boundary).
+  static uint64_t BucketUpper(int b) {
+    return b >= 64 ? ~0ull : (uint64_t{1} << b) - 1;
+  }
+
+  // Aggregated view; cheap enough to rebuild per read.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+
+    // p in [0, 1]; linear interpolation within the chosen bucket.
+    // Returns 0 for an empty histogram.
+    double Percentile(double p) const;
+  };
+  Snapshot Snap() const {
+    Snapshot s;
+    for (const Cell& c : cells_) {
+      for (int b = 0; b < kBuckets; ++b) {
+        s.counts[b] += c.counts[b].load(std::memory_order_relaxed);
+      }
+      s.sum += c.sum.load(std::memory_order_relaxed);
+    }
+    for (uint64_t n : s.counts) s.count += n;
+    return s;
+  }
+
+  void Reset() {
+    for (Cell& c : cells_) {
+      for (auto& n : c.counts) n.store(0, std::memory_order_relaxed);
+      c.sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::array<std::atomic<uint64_t>, kBuckets> counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Cell, kCells> cells_;
+};
+
+// Name -> metric registry. Get* registers on first use and returns the
+// existing metric afterwards (the kind must match — a name registered
+// as a counter stays a counter). Thread-safe; returned pointers are
+// stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+
+  // Prometheus text exposition (metrics sorted by name; histogram
+  // buckets are cumulative with power-of-two "le" bounds, rendered up
+  // to the last non-empty bucket plus +Inf).
+  std::string ToPrometheusText() const;
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {name: {count, sum, p50, p95, p99, buckets: [[le, n]]}}}.
+  std::string ToJson() const;
+
+  // Zeroes every registered metric (pointers stay valid). Tests/benches.
+  void Reset();
+
+  size_t size() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreate(std::string_view name, std::string_view help,
+                      Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_;  // sorted export
+};
+
+}  // namespace fgpm::obs
+
+#endif  // FGPM_OBS_METRICS_H_

@@ -1,0 +1,42 @@
+// Observability configuration. The whole subsystem (metrics registry +
+// query tracing) compiles to no-ops when the tree is configured with
+// -DFGPM_OBS=OFF (which defines FGPM_OBS_ENABLED=0); a runtime kill
+// switch additionally lets one binary A/B the instrumented hot paths
+// against "off" without rebuilding (bench_obs_overhead uses it).
+#ifndef FGPM_OBS_OBS_H_
+#define FGPM_OBS_OBS_H_
+
+#include <atomic>
+
+#ifndef FGPM_OBS_ENABLED
+#define FGPM_OBS_ENABLED 1
+#endif
+
+namespace fgpm::obs {
+
+// True when the subsystem is compiled in. Instrumented layers branch on
+// this constant so dead instrumentation folds away under FGPM_OBS=OFF.
+inline constexpr bool kCompiledIn = FGPM_OBS_ENABLED != 0;
+
+namespace internal {
+inline std::atomic<bool> g_runtime_enabled{true};
+}  // namespace internal
+
+// Runtime kill switch (process-wide). Metric increments become loads of
+// one shared atomic + a predicted-not-taken branch when disabled; spans
+// are never recorded. Defaults to enabled.
+inline bool Enabled() {
+#if FGPM_OBS_ENABLED
+  return internal::g_runtime_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+inline void SetEnabled(bool on) {
+  internal::g_runtime_enabled.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace fgpm::obs
+
+#endif  // FGPM_OBS_OBS_H_

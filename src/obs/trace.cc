@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+
+namespace fgpm {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+QueryTrace::QueryTrace() {
+  epoch_steady_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double QueryTrace::NowUs() const {
+  uint64_t now_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now_ns - epoch_steady_ns_) * 1e-3;
+}
+
+double QueryTrace::CpuNowUs() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e6 +
+           static_cast<double>(ts.tv_nsec) * 1e-3;
+  }
+#endif
+  return 0;
+}
+
+uint32_t QueryTrace::BeginSpan(std::string name, std::string category,
+                               int32_t parent) {
+  TraceSpan s;
+  s.id = static_cast<uint32_t>(spans_.size());
+  s.parent = parent;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start_us = NowUs();
+  spans_.push_back(std::move(s));
+  cpu_at_begin_.push_back(CpuNowUs());
+  return spans_.back().id;
+}
+
+void QueryTrace::EndSpan(uint32_t id) {
+  TraceSpan& s = spans_[id];
+  s.wall_us = NowUs() - s.start_us;
+  s.cpu_us = CpuNowUs() - cpu_at_begin_[id];
+}
+
+uint32_t QueryTrace::AddCompleteSpan(std::string name, std::string category,
+                                     int32_t parent, double start_us,
+                                     double wall_us, double cpu_us) {
+  TraceSpan s;
+  s.id = static_cast<uint32_t>(spans_.size());
+  s.parent = parent;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.start_us = start_us;
+  s.wall_us = wall_us;
+  s.cpu_us = cpu_us;
+  spans_.push_back(std::move(s));
+  cpu_at_begin_.push_back(0);
+  return spans_.back().id;
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char buf[128];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": \"";
+    AppendEscaped(&out, s.name);
+    out += "\", \"cat\": \"";
+    AppendEscaped(&out, s.category);
+    std::snprintf(buf, sizeof(buf), "\", \"ts\": %.3f, \"dur\": %.3f",
+                  s.start_us, s.wall_us);
+    out += buf;
+    out += ", \"args\": {";
+    std::snprintf(buf, sizeof(buf), "\"cpu_us\": %.3f", s.cpu_us);
+    out += buf;
+    for (const auto& [k, v] : s.args) {
+      out += ", \"";
+      AppendEscaped(&out, k);
+      std::snprintf(buf, sizeof(buf), "\": %" PRIu64, v);
+      out += buf;
+    }
+    out += "}}";
+    out += i + 1 < spans_.size() ? ",\n" : "\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string QueryTrace::ToString() const {
+  // Depth = number of parent hops (spans are appended after parents, so
+  // one forward pass suffices).
+  std::vector<int> depth(spans_.size(), 0);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent >= 0) {
+      depth[i] = depth[static_cast<size_t>(spans_[i].parent)] + 1;
+    }
+  }
+  std::string out;
+  char buf[160];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    std::string name(static_cast<size_t>(depth[i]) * 2, ' ');
+    name += s.name;
+    std::snprintf(buf, sizeof(buf), "%-44s %10.3f ms wall %10.3f ms cpu",
+                  name.c_str(), s.wall_us * 1e-3, s.cpu_us * 1e-3);
+    out += buf;
+    for (const auto& [k, v] : s.args) {
+      std::snprintf(buf, sizeof(buf), " %s=%" PRIu64, k.c_str(), v);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fgpm

@@ -7,30 +7,21 @@
 namespace fgpm {
 namespace {
 
-std::string StepLabel(const Pattern& pattern, const PlanStep& step) {
-  const auto& edges = pattern.edges();
-  auto edge_str = [&](uint32_t e) {
-    return pattern.label(edges[e].from) + "->" + pattern.label(edges[e].to);
-  };
-  switch (step.kind) {
-    case StepKind::kHpsjBase:
-      return "HPSJ(" + edge_str(step.edge) + ")";
-    case StepKind::kScanBase:
-      return "SCAN(" + pattern.label(step.scan_node) + ")";
-    case StepKind::kFilter: {
-      std::string out = "FILTER(";
-      for (size_t i = 0; i < step.filters.size(); ++i) {
-        if (i) out += ", ";
-        out += edge_str(step.filters[i].edge);
-      }
-      return out + ")";
-    }
-    case StepKind::kFetch:
-      return "FETCH(" + edge_str(step.edge) + ")";
-    case StepKind::kSelect:
-      return "SELECT(" + edge_str(step.edge) + ")";
+// Cost-model error as "estimated / actual". The two degenerate cases
+// the naive division mishandles: a step the execution never reached
+// (no actual at all) renders "-", and an actual of zero rows renders
+// "1.00x" when the estimate also rounds to zero (both agree on
+// "empty") or "inf" when the model predicted survivors that never
+// materialized.
+void FormatErrRatio(char* buf, size_t n, double est, uint64_t act,
+                    bool executed) {
+  if (!executed) {
+    std::snprintf(buf, n, "-");
+  } else if (act == 0) {
+    std::snprintf(buf, n, est < 0.5 ? "1.00x" : "inf");
+  } else {
+    std::snprintf(buf, n, "%.2fx", est / static_cast<double>(act));
   }
-  return "?";
 }
 
 }  // namespace
@@ -55,28 +46,50 @@ std::string PlanExplanation::ToString() const {
 
 std::string PlanExplanation::ToStringWithActuals(const ExecStats& stats) const {
   std::string out;
-  char buf[200];
-  std::snprintf(buf, sizeof(buf), "%-40s %14s %14s %12s %12s\n", "step",
-                "est. rows", "act. rows", "step cost", "cum. cost");
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-40s %14s %14s %8s %12s %12s %12s\n",
+                "step", "est. rows", "act. rows", "err", "time (ms)",
+                "step cost", "cum. cost");
   out += buf;
   for (size_t i = 0; i < steps.size(); ++i) {
     const StepEstimate& s = steps[i];
-    char actual[32];
-    if (i < stats.step_rows.size()) {
+    // step_rows / step_wall_ms / step_absorbed are aligned and only as
+    // long as the execution got (an emptied intermediate skips the
+    // tail); missing entries render "-" across the actual columns.
+    const bool executed = i < stats.step_rows.size();
+    const bool absorbed =
+        i < stats.step_absorbed.size() && stats.step_absorbed[i] != 0;
+    char actual[32], err[32], time_ms[32];
+    if (executed) {
       std::snprintf(actual, sizeof(actual), "%llu",
                     static_cast<unsigned long long>(stats.step_rows[i]));
     } else {
       std::snprintf(actual, sizeof(actual), "-");
     }
-    std::snprintf(buf, sizeof(buf), "%-40s %14.0f %14s %12.1f %12.1f\n",
-                  s.description.c_str(), s.rows_out, actual, s.step_cost,
+    FormatErrRatio(err, sizeof(err), s.rows_out,
+                   executed ? stats.step_rows[i] : 0, executed);
+    if (absorbed || !executed || i >= stats.step_wall_ms.size()) {
+      // An absorbed select's time is inside its fetch's entry.
+      std::snprintf(time_ms, sizeof(time_ms), "-");
+    } else {
+      std::snprintf(time_ms, sizeof(time_ms), "%.3f", stats.step_wall_ms[i]);
+    }
+    std::string desc = s.description;
+    if (absorbed) desc += " [fused]";
+    std::snprintf(buf, sizeof(buf), "%-40s %14.0f %14s %8s %12s %12.1f %12.1f\n",
+                  desc.c_str(), s.rows_out, actual, err, time_ms, s.step_cost,
                   s.cumulative_cost);
     out += buf;
   }
+  char total_err[32];
+  FormatErrRatio(total_err, sizeof(total_err), result_rows, stats.result_rows,
+                 true);
   std::snprintf(buf, sizeof(buf),
-                "total: %.1f page-units, ~%.0f rows est., %llu rows actual\n",
+                "total: %.1f page-units, ~%.0f rows est., %llu rows actual "
+                "(err %s), %.3f ms (optimize %.3f ms)\n",
                 total_cost, result_rows,
-                static_cast<unsigned long long>(stats.result_rows));
+                static_cast<unsigned long long>(stats.result_rows), total_err,
+                stats.elapsed_ms, stats.optimize_ms);
   out += buf;
   const OperatorStats& op = stats.operators;
   std::snprintf(buf, sizeof(buf),
@@ -91,6 +104,15 @@ std::string PlanExplanation::ToStringWithActuals(const ExecStats& stats) const {
                 static_cast<unsigned long long>(op.reach_memo_probes),
                 static_cast<unsigned long long>(op.temporal_pages_read),
                 static_cast<unsigned long long>(op.temporal_pages_written));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "buffer pool: %llu hits, %llu misses; code cache: %llu hits, "
+                "%llu misses; page reads: %llu\n",
+                static_cast<unsigned long long>(stats.io.pool_hits),
+                static_cast<unsigned long long>(stats.io.pool_misses),
+                static_cast<unsigned long long>(stats.io.code_cache_hits),
+                static_cast<unsigned long long>(stats.io.code_cache_misses),
+                static_cast<unsigned long long>(stats.io.page_reads));
   out += buf;
   return out;
 }

@@ -32,11 +32,15 @@ struct PlanExplanation {
   // Multi-line human-readable rendering.
   std::string ToString() const;
 
-  // Estimates side by side with an execution of the same plan: per-step
-  // estimated vs actual rows (ExecStats::step_rows; "-" for steps the
-  // execution never reached because the intermediate emptied out),
-  // followed by the materialization / memo / temporal-I/O counters.
-  // Makes a plan regression diagnosable from one dump.
+  // EXPLAIN ANALYZE rendering: estimates side by side with an execution
+  // of the same plan — per-step estimated vs actual rows with the
+  // cost-model error ratio (est/act, divide-guarded: "-" for steps the
+  // execution never reached, "inf" when the model predicted survivors
+  // but none materialized), per-step wall time (ExecStats::step_wall_ms;
+  // a select absorbed into a fused fetch shows "[fused]" and "-" since
+  // its time is inside the fetch's entry), followed by the
+  // materialization / memo / temporal-I/O and buffer-pool / code-cache
+  // counters. Makes a plan regression diagnosable from one dump.
   std::string ToStringWithActuals(const ExecStats& stats) const;
 };
 

@@ -61,6 +61,13 @@ void PageGuard::Release() {
 
 BufferPool::BufferPool(DiskManager* disk, const BufferPoolOptions& options)
     : disk_(disk) {
+  auto& reg = obs::MetricsRegistry::Default();
+  m_hits_ = reg.GetCounter("fgpm_bufferpool_hits_total",
+                           "Buffer pool fetches served from a resident frame");
+  m_misses_ = reg.GetCounter("fgpm_bufferpool_misses_total",
+                             "Buffer pool fetches that read from disk");
+  m_evictions_ = reg.GetCounter("fgpm_bufferpool_evictions_total",
+                                "Frames evicted to make room");
   latch_across_io_ = options.latch_across_io;
   num_frames_ = std::max<size_t>(4, options.pool_bytes / kPageSize);
   frames_ = std::make_unique<Frame[]>(num_frames_);
@@ -116,6 +123,7 @@ Result<size_t> BufferPool::GrabFrame(Shard& sh) {
   }
   Frame& fr = frames_[victim];
   sh.evictions.fetch_add(1, std::memory_order_relaxed);
+  m_evictions_->Increment();
   if (fr.dirty.load(std::memory_order_relaxed)) {
     FGPM_RETURN_IF_ERROR(disk_->WritePage(fr.id, fr.page));
     fr.dirty.store(false, std::memory_order_relaxed);
@@ -138,6 +146,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
   auto it = sh.page_table.find(id);
   if (it != sh.page_table.end()) {
     sh.hits.fetch_add(1, std::memory_order_relaxed);
+    m_hits_->Increment();
     size_t f = it->second;
     Frame& fr = frames_[f];
     fr.pin_count.fetch_add(1, std::memory_order_relaxed);
@@ -152,6 +161,7 @@ Result<PageGuard> BufferPool::Fetch(PageId id) {
     return PageGuard(this, f, id);
   }
   sh.misses.fetch_add(1, std::memory_order_relaxed);
+  m_misses_->Increment();
   if (id >= disk_->NumPages()) {
     return Status::OutOfRange("Fetch: page id out of range");
   }

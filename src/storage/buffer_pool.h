@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -173,6 +174,12 @@ class BufferPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   size_t shard_mask_ = 0;
   bool latch_across_io_ = false;
+  // Process-wide registry counters (summed over every pool instance);
+  // resolved once at construction, incremented alongside the per-shard
+  // atomics. Increment is a no-op when obs is compiled out or disabled.
+  obs::Counter* m_hits_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
 };
 
 }  // namespace fgpm
