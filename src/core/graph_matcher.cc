@@ -161,15 +161,20 @@ void GraphMatcher::RecordQuery(const Pattern& pattern, Engine engine,
     const MatcherMetrics& m = MatcherMetrics::Get();
     m.queries->Increment();
     m.latency_usec->Observe(static_cast<uint64_t>(stats.elapsed_ms * 1e3));
-    const double threshold = executor_.options().slow_query_ms;
-    if (threshold >= 0 && stats.elapsed_ms >= threshold) {
-      m.slow_queries->Increment();
-      if (slow_queries_.size() >= kSlowLogCapacity) {
-        slow_queries_.pop_front();
-      }
-      slow_queries_.push_back({pattern.ToString(), engine, stats.elapsed_ms,
-                               stats.optimize_ms, stats.result_rows});
+  }
+  // The slow-query log is a diagnostic feature gated only on the
+  // slow_query_ms threshold — it works even with obs disabled or
+  // compiled out; only the registry counter depends on obs.
+  const double threshold = executor_.options().slow_query_ms;
+  if (threshold >= 0 && stats.elapsed_ms >= threshold) {
+    if (obs::Enabled()) {
+      MatcherMetrics::Get().slow_queries->Increment();
     }
+    if (slow_queries_.size() >= kSlowLogCapacity) {
+      slow_queries_.pop_front();
+    }
+    slow_queries_.push_back({pattern.ToString(), engine, stats.elapsed_ms,
+                             stats.optimize_ms, stats.result_rows});
   }
 }
 

@@ -108,8 +108,10 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                       int trace_level_override) {
   FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
 
+  // The runtime kill switch suppresses span recording too, not just
+  // metric writes (obs.h documents "spans are never recorded").
   const int trace_level =
-      obs::kCompiledIn
+      obs::kCompiledIn && obs::Enabled()
           ? (trace_level_override >= 0 ? trace_level_override
                                        : options_.trace_level)
           : 0;
@@ -238,11 +240,14 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
           // Fused selects become child spans mirroring the fetch's
           // interval — parent/child links make the absorption visible
           // in chrome://tracing instead of the steps just vanishing.
-          const TraceSpan& parent = trace->spans()[span];
+          // Copy the interval: AddCompleteSpan grows spans_ and would
+          // invalidate a reference held across iterations.
+          const double parent_start_us = trace->spans()[span].start_us;
+          const double parent_wall_us = trace->spans()[span].wall_us;
           for (size_t k = 0; k < absorbed; ++k) {
             uint32_t child = trace->AddCompleteSpan(
                 StepLabel(pattern, steps[si + 1 + k]), "operator",
-                static_cast<int32_t>(span), parent.start_us, parent.wall_us,
+                static_cast<int32_t>(span), parent_start_us, parent_wall_us,
                 0);
             trace->AddArg(child, "fused_into_fetch", 1);
             trace->AddArg(child, "rows_out", nrows);

@@ -5,6 +5,8 @@
 // back to the query totals at any thread count).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -54,6 +56,53 @@ TEST(TraceIntegrationTest, SpanPerExecutedStep) {
   // step_wall_ms / step_absorbed stay aligned with step_rows.
   EXPECT_EQ(r->stats.step_wall_ms.size(), r->stats.step_rows.size());
   EXPECT_EQ(r->stats.step_absorbed.size(), r->stats.step_rows.size());
+}
+
+TEST(TraceIntegrationTest, MultiFusedSelectChildSpansShareFetchInterval) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "FGPM_OBS=OFF";
+  // 4-clique: the last node bound by a fetch has two remaining edges
+  // into already-bound nodes, so the factorized engine absorbs >=2
+  // selects into one fetch. Regression: emitting the second child span
+  // used to read the parent's interval through a reference invalidated
+  // by the first AddCompleteSpan's push_back (heap use-after-free).
+  constexpr const char* kClique4 =
+      "L0->L1; L0->L2; L0->L3; L1->L2; L1->L3; L2->L3";
+  ExecOptions opts;
+  opts.trace_level = 1;
+  auto m = MakeMatcher(opts);
+  auto r = m->Match(kClique4);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r->stats.trace, nullptr);
+  const auto& spans = r->stats.trace->spans();
+  // Group fused children by parent fetch; every child mirrors its
+  // parent's interval exactly.
+  size_t max_children_of_one_fetch = 0;
+  std::map<int32_t, size_t> children;
+  for (const TraceSpan& s : spans) {
+    if (s.FindArg("fused_into_fetch") == nullptr) continue;
+    ASSERT_GE(s.parent, 0);
+    const TraceSpan& parent = spans[static_cast<size_t>(s.parent)];
+    EXPECT_EQ(s.start_us, parent.start_us);
+    EXPECT_EQ(s.wall_us, parent.wall_us);
+    max_children_of_one_fetch =
+        std::max(max_children_of_one_fetch, ++children[s.parent]);
+  }
+  EXPECT_GE(max_children_of_one_fetch, 2u)
+      << "plan no longer fuses two selects into one fetch; "
+         "the regression scenario is not exercised";
+}
+
+TEST(TraceIntegrationTest, KillSwitchSuppressesSpans) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "FGPM_OBS=OFF";
+  ExecOptions opts;
+  opts.trace_level = 1;
+  auto m = MakeMatcher(opts);
+  obs::SetEnabled(false);
+  auto r = m->Match(kTriangle);
+  obs::SetEnabled(true);
+  ASSERT_TRUE(r.ok());
+  // obs.h: when disabled, spans are never recorded.
+  EXPECT_EQ(r->stats.trace, nullptr);
 }
 
 TEST(TraceIntegrationTest, LevelZeroRecordsNoTrace) {
@@ -194,6 +243,22 @@ TEST(SlowQueryLogTest, ThresholdZeroLogsEveryQuery) {
   EXPECT_GT(m->slow_queries()[0].elapsed_ms, 0.0);
   m->ClearSlowQueries();
   EXPECT_TRUE(m->slow_queries().empty());
+}
+
+TEST(SlowQueryLogTest, WorksWithObsDisabled) {
+  // The slow log is a diagnostic gated only on slow_query_ms: it must
+  // fill even with the runtime kill switch off or FGPM_OBS=OFF (only
+  // the fgpm_match_slow_queries_total counter depends on obs).
+  ExecOptions opts;
+  opts.slow_query_ms = 0.0;
+  auto m = MakeMatcher(opts);
+  obs::SetEnabled(false);
+  auto ok = m->Match(kTriangle).ok();
+  obs::SetEnabled(true);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(m->slow_queries().size(), 1u);
+  EXPECT_EQ(m->slow_queries()[0].pattern_text,
+            Pattern::Parse(kTriangle)->ToString());
 }
 
 TEST(SlowQueryLogTest, DisabledByDefault) {
