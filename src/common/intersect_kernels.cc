@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/sorted_vector.h"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #define FGPM_X86 1
 #include <immintrin.h>
@@ -310,6 +312,112 @@ bool IntersectsU32(const uint32_t* a, size_t na, const uint32_t* b,
 size_t IntersectU32(const uint32_t* a, size_t na, const uint32_t* b,
                     size_t nb, uint32_t* out) {
   return Active()->intersect(a, na, b, nb, out);
+}
+
+// --- k-way intersection -----------------------------------------------------
+
+void BuildChunkedBitmap(const uint32_t* data, size_t n,
+                        std::vector<uint32_t>* chunk_ids,
+                        std::vector<uint64_t>* words) {
+  uint32_t cur = 0;
+  bool open = false;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t v = data[i];
+    const uint32_t chunk = v >> 8;
+    if (!open || chunk != cur) {
+      chunk_ids->push_back(chunk);
+      words->insert(words->end(), 4, 0);
+      cur = chunk;
+      open = true;
+    }
+    words->at(words->size() - 4 + ((v >> 6) & 3)) |= uint64_t{1}
+                                                     << (v & 63);
+  }
+}
+
+bool ChunkedBitmapContains(const SortedSetView& s, uint32_t v) {
+  const uint32_t chunk = v >> 8;
+  // Branchless-ish binary search over the sorted chunk-id list.
+  size_t lo = 0, hi = s.num_chunks;
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (s.chunk_ids[mid] < chunk) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == s.num_chunks || s.chunk_ids[lo] != chunk) return false;
+  const uint64_t w = s.chunk_words[lo * 4 + ((v >> 6) & 3)];
+  return (w >> (v & 63)) & 1;
+}
+
+namespace {
+
+// One pruning pass: keeps the survivors of `cur` that are also in `s`.
+// Membership and gallop modes compact in place (writes trail reads);
+// the balanced SIMD kernel stores whole blocks past the write cursor, so
+// it must target a buffer distinct from `cur`.
+size_t PruneAgainst(const uint32_t* cur, size_t n, const SortedSetView& s,
+                    uint32_t* dst) {
+  // Sidecar membership probes win once the set dwarfs the survivor
+  // list — each probe is a chunk lookup instead of a merge step.
+  if (s.has_bitmap() && s.size >= 2 * n) {
+    size_t w = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (ChunkedBitmapContains(s, cur[j])) dst[w++] = cur[j];
+    }
+    return w;
+  }
+  if (s.size > kGallopRatio * (n + 1)) {
+    size_t w = 0, pos = 0;
+    for (size_t j = 0; j < n; ++j) {
+      pos = gallop_internal::GallopLowerBound(s.data, pos, s.size, cur[j]);
+      if (pos == s.size) break;
+      if (s.data[pos] == cur[j]) dst[w++] = cur[j];
+    }
+    return w;
+  }
+  return IntersectU32(cur, n, s.data, s.size, dst);
+}
+
+}  // namespace
+
+size_t IntersectKWayU32(const SortedSetView* sets, size_t k, uint32_t* out,
+                        uint32_t* tmp, KWayStats* stats) {
+  if (k == 0) return 0;
+  // Order by ascending size so the smallest set drives and each pass
+  // shrinks the survivor list as fast as possible.
+  size_t order[64];
+  size_t ko = 0;
+  for (size_t i = 0; i < k && ko < 64; ++i) order[ko++] = i;
+  for (size_t i = 1; i < ko; ++i) {
+    const size_t oi = order[i];
+    size_t j = i;
+    while (j > 0 && sets[order[j - 1]].size > sets[oi].size) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = oi;
+  }
+  const SortedSetView& first = sets[order[0]];
+  if (first.size == 0) return 0;  // empty input: nothing survives any set
+  const uint32_t* cur = first.data;
+  size_t n = first.size;
+  for (size_t i = 1; i < ko && n > 0; ++i) {
+    const SortedSetView& s = sets[order[i]];
+    if (stats) stats->probes += n;
+    // The SIMD kernel cannot compact in place; ping-pong between the
+    // caller's two buffers (the borrowed input set is never a target).
+    uint32_t* dst = (cur == out) ? tmp : out;
+    n = PruneAgainst(cur, n, s, dst);
+    cur = dst;
+  }
+  if (cur != out) {
+    for (size_t j = 0; j < n; ++j) out[j] = cur[j];
+  }
+  if (stats) stats->hits += n;
+  return n;
 }
 
 }  // namespace fgpm

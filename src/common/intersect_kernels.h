@@ -27,6 +27,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace fgpm {
 
@@ -57,6 +58,53 @@ bool IntersectsU32(const uint32_t* a, size_t na, const uint32_t* b,
 inline constexpr size_t kIntersectPad = 8;
 size_t IntersectU32(const uint32_t* a, size_t na, const uint32_t* b,
                     size_t nb, uint32_t* out);
+
+// --- k-way intersection (WCOJ vertex binding) ----------------------------
+//
+// One input of a k-way intersection: a strictly increasing uint32 array,
+// optionally carrying a chunked-bitmap sidecar in the hub-code layout of
+// reach/two_hop.h — a sorted list of the non-empty 256-value chunks
+// (chunk id = value >> 8), four uint64 words per chunk. When present, the
+// sidecar enables O(1) membership probes instead of merging the array.
+struct SortedSetView {
+  const uint32_t* data = nullptr;
+  size_t size = 0;
+  const uint32_t* chunk_ids = nullptr;   // sorted, one per non-empty chunk
+  const uint64_t* chunk_words = nullptr;  // 4 words per chunk
+  size_t num_chunks = 0;                  // 0 => no sidecar
+  bool has_bitmap() const { return num_chunks != 0; }
+};
+
+// Builds the chunked-bitmap sidecar for a strictly increasing array.
+// Appends to the output vectors (callers pool many sidecars in two flat
+// arenas); the new sidecar is the trailing chunk_ids->size() - old_size
+// chunks.
+void BuildChunkedBitmap(const uint32_t* data, size_t n,
+                        std::vector<uint32_t>* chunk_ids,
+                        std::vector<uint64_t>* words);
+
+// Membership probe against a view's sidecar (requires has_bitmap()).
+bool ChunkedBitmapContains(const SortedSetView& s, uint32_t v);
+
+// Work counters for IntersectKWayU32: `probes` counts candidate elements
+// tested against a non-smallest set (summed over the k-1 pruning
+// passes), `hits` the elements that survive all sets.
+struct KWayStats {
+  uint64_t probes = 0;
+  uint64_t hits = 0;
+};
+
+// Intersection of k >= 1 strictly increasing uint32 sets, driven by the
+// smallest set: survivors of the sets seen so far are pruned against the
+// remaining sets in ascending size order. Per set the cheapest kernel is
+// chosen adaptively — bitmap membership probes when the set carries a
+// sidecar and dwarfs the survivor list, galloping when merely lopsided,
+// the SIMD block kernels when balanced. Returns the number of survivors
+// written to `out`; output is strictly increasing. `out` and `tmp` must
+// each have room for min-size + kIntersectPad elements (the SIMD stage
+// ping-pongs between them). Empty inputs short-circuit to 0.
+size_t IntersectKWayU32(const SortedSetView* sets, size_t k, uint32_t* out,
+                        uint32_t* tmp, KWayStats* stats = nullptr);
 
 }  // namespace fgpm
 

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "opt/dp_optimizer.h"
 #include "opt/dps_optimizer.h"
+#include "opt/wcoj_planner.h"
 
 namespace fgpm {
 
@@ -91,11 +92,20 @@ Result<Plan> GraphMatcher::MakePlan(const Pattern& pattern, Engine engine) const
   CostParams params;
   params.factorized =
       executor_.options().materialization == Materialization::kFactorized;
+  const JoinStrategy strategy = executor_.options().join_strategy;
+  // kWcoj forces a pure bind-per-vertex plan; kHybrid hands bind-moves
+  // to the cost-based searches, which mix them freely with binary
+  // R-join moves (and never use them on acyclic patterns).
+  if (strategy == JoinStrategy::kWcoj &&
+      (engine == Engine::kDps || engine == Engine::kDp ||
+       engine == Engine::kCanonical)) {
+    return MakeWcojPlan(pattern, db_->catalog(), params);
+  }
   switch (engine) {
     case Engine::kDps:
-      return OptimizeDps(pattern, db_->catalog(), params);
+      return OptimizeDps(pattern, db_->catalog(), params, strategy);
     case Engine::kDp:
-      return OptimizeDp(pattern, db_->catalog(), params);
+      return OptimizeDp(pattern, db_->catalog(), params, strategy);
     case Engine::kCanonical:
       return MakeCanonicalPlan(pattern);
     default:
@@ -139,8 +149,15 @@ Result<const Plan*> GraphMatcher::ResolvePlan(const Pattern& pattern,
   std::string cache_key;
   const Plan* plan = nullptr;
   if (options.use_plan_cache) {
-    cache_key =
-        std::string(EngineName(options.engine)) + "|" + pattern.ToString();
+    // The key must cover everything MakePlan's output depends on: the
+    // engine, the join strategy, and the materialization mode (both
+    // change which plan is optimal for the same pattern text).
+    const ExecOptions& eo = executor_.options();
+    cache_key = std::string(EngineName(options.engine)) + "|" +
+                JoinStrategyName(eo.join_strategy) + "|" +
+                (eo.materialization == Materialization::kFactorized ? "F"
+                                                                    : "E") +
+                "|" + pattern.ToString();
     plan = LookupPlan(cache_key);
   }
   if (plan == nullptr) {

@@ -182,6 +182,13 @@ class GraphMatcher {
   // is negative (the default).
   const std::deque<SlowQuery>& slow_queries() const { return slow_queries_; }
   void ClearSlowQueries() { slow_queries_.clear(); }
+  // Switch the join strategy for subsequent planning. No cache flush
+  // needed: plan-cache keys include the strategy, so plans built under
+  // another strategy can never be served by mistake.
+  void set_join_strategy(JoinStrategy s) { executor_.set_join_strategy(s); }
+  JoinStrategy join_strategy() const {
+    return executor_.options().join_strategy;
+  }
   // Invalidate cached plans (after ApplyEdgeInsert shifts statistics).
   void ClearPlanCache() {
     plan_cache_.clear();

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "exec/temporal_table.h"
+#include "exec/wcoj.h"
 #include "obs/metrics.h"
 
 namespace fgpm {
@@ -23,6 +24,10 @@ struct EngineMetrics {
   obs::Counter* reach_memo_probes;
   obs::Counter* reach_memo_hits;
   obs::Counter* rows_materialized;
+  obs::Counter* wcoj_binds;
+  obs::Counter* wcoj_kway_probes;
+  obs::Counter* wcoj_kway_hits;
+  obs::Counter* wcoj_reach_pruned;
   obs::Histogram* latency_usec;
 
   static const EngineMetrics& Get() {
@@ -46,6 +51,16 @@ struct EngineMetrics {
                                        "Reachability memo hits");
       e.rows_materialized = r.GetCounter("fgpm_exec_rows_materialized_total",
                                          "Full-width rows materialized");
+      e.wcoj_binds = r.GetCounter("fgpm_exec_wcoj_binds_total",
+                                  "WCOJ vertex-bind steps executed");
+      e.wcoj_kway_probes =
+          r.GetCounter("fgpm_exec_wcoj_kway_probes_total",
+                       "k-way intersection candidate probes");
+      e.wcoj_kway_hits = r.GetCounter("fgpm_exec_wcoj_kway_hits_total",
+                                      "k-way intersection survivors");
+      e.wcoj_reach_pruned =
+          r.GetCounter("fgpm_exec_wcoj_reach_pruned_total",
+                       "WCOJ candidates pruned by reachability probes");
       e.latency_usec = r.GetHistogram("fgpm_exec_query_latency_usec",
                                       "Plan execution wall time (us)");
       return e;
@@ -88,6 +103,12 @@ void AttachSpanArgs(QueryTrace* trace, uint32_t span, uint64_t rows_in,
   delta("reach_memo_hits", before.reach_memo_hits, after.reach_memo_hits);
   delta("rows_materialized", before.rows_materialized,
         after.rows_materialized);
+  delta("kway_intersect_probes", before.kway_intersect_probes,
+        after.kway_intersect_probes);
+  delta("kway_intersect_hits", before.kway_intersect_hits,
+        after.kway_intersect_hits);
+  delta("wcoj_reach_pruned", before.wcoj_reach_pruned,
+        after.wcoj_reach_pruned);
   delta("temporal_pages_read", before.temporal_pages_read,
         after.temporal_pages_read);
   delta("temporal_pages_written", before.temporal_pages_written,
@@ -127,6 +148,7 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
   }
 
   MatchResult result;
+  uint64_t wcoj_binds = 0;
   for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
     result.column_labels.push_back(pattern.label(i));
   }
@@ -218,6 +240,13 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                              step.edge, &table,
                                              &result.stats.operators,
                                              pool_.get(), &scratch_));
+            break;
+          case StepKind::kWcojBind:
+            ++wcoj_binds;
+            FGPM_RETURN_IF_ERROR(ApplyWcojBind(*db_, pattern, node_labels,
+                                               step, &table,
+                                               &result.stats.operators,
+                                               pool_.get(), &scratch_));
             break;
         }
 
@@ -332,6 +361,10 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
     m.reach_memo_probes->Increment(op.reach_memo_probes);
     m.reach_memo_hits->Increment(op.reach_memo_hits);
     m.rows_materialized->Increment(op.rows_materialized);
+    m.wcoj_binds->Increment(wcoj_binds);
+    m.wcoj_kway_probes->Increment(op.kway_intersect_probes);
+    m.wcoj_kway_hits->Increment(op.kway_intersect_hits);
+    m.wcoj_reach_pruned->Increment(op.wcoj_reach_pruned);
     m.latency_usec->Observe(
         static_cast<uint64_t>(result.stats.elapsed_ms * 1e3));
   }

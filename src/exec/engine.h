@@ -78,6 +78,10 @@ struct ExecOptions {
   // GraphMatcher-level slow-query log threshold in milliseconds
   // (elapsed = optimize + execute). Negative disables the log.
   double slow_query_ms = -1;
+  // Which join operators the planner may use (see plan.h). kHybrid lets
+  // the cost model mix WCOJ vertex binds over a pattern's cyclic core
+  // with binary R-join steps; acyclic patterns keep binary plans.
+  JoinStrategy join_strategy = JoinStrategy::kHybrid;
 };
 
 class Executor {
@@ -100,6 +104,10 @@ class Executor {
 
   unsigned num_threads() const { return pool_ ? pool_->size() : 1; }
   const ExecOptions& options() const { return options_; }
+  // Retargets the planner between queries (plans themselves execute
+  // under whatever strategy built them). GraphMatcher's plan-cache key
+  // includes the strategy, so toggling never replays a stale plan.
+  void set_join_strategy(JoinStrategy s) { options_.join_strategy = s; }
 
  private:
   const GraphDatabase* db_;

@@ -66,6 +66,13 @@ struct OperatorStats {
   // representation avoided relative to eager re-widening.
   uint64_t rows_materialized = 0;
   uint64_t copy_bytes_avoided = 0;
+  // WCOJ bind accounting: k-way intersection work (candidates tested
+  // against a non-driver set / candidates surviving every set) and
+  // candidates that survived the set intersection but were dropped by a
+  // per-candidate reachability probe.
+  uint64_t kway_intersect_probes = 0;
+  uint64_t kway_intersect_hits = 0;
+  uint64_t wcoj_reach_pruned = 0;
 
   // Stats-delta protocol: every operator accumulates into a call-local
   // OperatorStats and folds it into the caller's struct exactly once,
@@ -87,6 +94,9 @@ struct OperatorStats {
     reach_memo_hits += o.reach_memo_hits;
     rows_materialized += o.rows_materialized;
     copy_bytes_avoided += o.copy_bytes_avoided;
+    kway_intersect_probes += o.kway_intersect_probes;
+    kway_intersect_hits += o.kway_intersect_hits;
+    wcoj_reach_pruned += o.wcoj_reach_pruned;
   }
 };
 

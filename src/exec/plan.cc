@@ -103,6 +103,49 @@ Status Plan::Validate(const Pattern& pattern) const {
         evaluated.insert(step.edge);
         break;
       }
+      case StepKind::kWcojBind: {
+        if (step.scan_node >= pattern.num_nodes()) {
+          return Status::InvalidArgument("bind vertex out of range");
+        }
+        if (bound.count(step.scan_node)) {
+          return Status::InvalidArgument("bind of an already-bound label");
+        }
+        if (step.wcoj_edges.empty()) {
+          return Status::InvalidArgument("bind step without constraints");
+        }
+        for (const auto& [pe, pd] : pending) {
+          const PatternEdge& e = edges[pe];
+          if ((pd ? e.to : e.from) == step.scan_node) {
+            return Status::InvalidArgument(
+                "bind would orphan a pending filter on the same label");
+          }
+        }
+        for (uint32_t ce : step.wcoj_edges) {
+          if (ce >= edges.size()) {
+            return Status::InvalidArgument("edge index out of range");
+          }
+          if (evaluated.count(ce)) {
+            return Status::InvalidArgument("edge evaluated twice");
+          }
+          if (pending.count({ce, false}) || pending.count({ce, true})) {
+            return Status::InvalidArgument("bind on a filtered edge");
+          }
+          const PatternEdge& e = edges[ce];
+          const PatternNodeId other =
+              e.from == step.scan_node ? e.to : e.from;
+          if (e.from != step.scan_node && e.to != step.scan_node) {
+            return Status::InvalidArgument(
+                "bind constraint does not touch the bound vertex");
+          }
+          if (!bound.count(other)) {
+            return Status::InvalidArgument(
+                "bind constraint endpoint is unbound");
+          }
+          evaluated.insert(ce);
+        }
+        bound.insert(step.scan_node);
+        break;
+      }
     }
   }
   // A pending filter whose edge was later evaluated as a select is a
@@ -141,6 +184,26 @@ std::string StepLabel(const Pattern& pattern, const PlanStep& step) {
       return "FETCH(" + edge_str(step.edge) + ")";
     case StepKind::kSelect:
       return "SELECT(" + edge_str(step.edge) + ")";
+    case StepKind::kWcojBind: {
+      std::string out = "BIND(" + pattern.label(step.scan_node) + " | ";
+      for (size_t i = 0; i < step.wcoj_edges.size(); ++i) {
+        if (i) out += ", ";
+        out += edge_str(step.wcoj_edges[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+const char* JoinStrategyName(JoinStrategy s) {
+  switch (s) {
+    case JoinStrategy::kBinary:
+      return "binary";
+    case JoinStrategy::kWcoj:
+      return "wcoj";
+    case JoinStrategy::kHybrid:
+      return "hybrid";
   }
   return "?";
 }
@@ -175,6 +238,9 @@ std::string Plan::ToString(const Pattern& pattern) const {
         break;
       case StepKind::kSelect:
         out += "SELECT(" + edge_str(step.edge) + ")";
+        break;
+      case StepKind::kWcojBind:
+        out += StepLabel(pattern, step);
         break;
     }
   }

@@ -29,7 +29,19 @@ enum class StepKind : uint8_t {
   kFilter,
   kFetch,
   kSelect,
+  kWcojBind,  // worst-case-optimal vertex binding: extend every row by
+              // one pattern vertex whose candidates are the k-way
+              // intersection of the per-edge reachable sets
 };
+
+// Which join operators the planner may use. kBinary restricts plans to
+// the paper's R-join/R-semijoin pipeline; kWcoj forces a pure
+// vertex-at-a-time plan (scan + WCOJ binds); kHybrid (the default) lets
+// the cost model mix both — WCOJ binds over the pattern's cyclic core,
+// binary steps for acyclic appendages — and degrades to kBinary on
+// acyclic patterns.
+enum class JoinStrategy : uint8_t { kBinary, kWcoj, kHybrid };
+const char* JoinStrategyName(JoinStrategy s);
 
 // One R-semijoin inside a kFilter step.
 struct FilterItem {
@@ -44,23 +56,28 @@ struct PlanStep {
   uint32_t edge = 0;             // kHpsjBase / kFetch / kSelect
   bool bound_is_source = false;  // kFetch: which endpoint was bound
   std::vector<FilterItem> filters;  // kFilter only
-  PatternNodeId scan_node = 0;      // kScanBase only
+  PatternNodeId scan_node = 0;      // kScanBase / kWcojBind: the vertex
+  std::vector<uint32_t> wcoj_edges;  // kWcojBind: constraint edges, all
+                                     // between scan_node and bound labels
 
   static PlanStep HpsjBase(uint32_t edge) {
-    return {StepKind::kHpsjBase, edge, false, {}, 0};
+    return {StepKind::kHpsjBase, edge, false, {}, 0, {}};
   }
   static PlanStep ScanBase(PatternNodeId node) {
-    PlanStep s{StepKind::kScanBase, 0, false, {}, node};
+    PlanStep s{StepKind::kScanBase, 0, false, {}, node, {}};
     return s;
   }
   static PlanStep Filter(std::vector<FilterItem> items) {
-    return {StepKind::kFilter, 0, false, std::move(items), 0};
+    return {StepKind::kFilter, 0, false, std::move(items), 0, {}};
   }
   static PlanStep Fetch(uint32_t edge, bool bound_is_source) {
-    return {StepKind::kFetch, edge, bound_is_source, {}, 0};
+    return {StepKind::kFetch, edge, bound_is_source, {}, 0, {}};
   }
   static PlanStep Select(uint32_t edge) {
-    return {StepKind::kSelect, edge, false, {}, 0};
+    return {StepKind::kSelect, edge, false, {}, 0, {}};
+  }
+  static PlanStep WcojBind(PatternNodeId node, std::vector<uint32_t> edges) {
+    return {StepKind::kWcojBind, 0, false, {}, node, std::move(edges)};
   }
 };
 

@@ -74,6 +74,23 @@ double CostModel::SelectCost(double rows) const {
   return rows * 2.0 * params_.io_code_probe;
 }
 
+double CostModel::WcojBindCost(double rows, int k, LabelId dx, LabelId dy,
+                               bool driver_forward, double rows_out) const {
+  const PairStats& ps = catalog_->Stats(dx, dy);
+  const double per_center_pages =
+      (driver_forward ? ps.avg_t_pages : ps.avg_f_pages) *
+      params_.io_page_scan;
+  const double centers = AvgCentersPerRow(dx, dy, driver_forward);
+  const double fanout = ExtendFanout(dx, dy, driver_forward);
+  const double code_io =
+      rows * params_.io_code_probe * k * params_.wcoj_memo_miss;
+  const double expand_io =
+      rows * centers * per_center_pages * params_.wcoj_memo_miss;
+  const double intersect = rows * fanout * std::max(0, k - 1) *
+                           params_.cpu_per_intersect_probe;
+  return code_io + expand_io + intersect + rows_out * params_.cpu_per_tuple;
+}
+
 double CostModel::MaterializeCost(double rows, int width) const {
   double ids = params_.factorized ? std::min(width, 2) : width;
   return rows * ids * params_.cpu_per_id_copy;

@@ -34,6 +34,13 @@ struct CostParams {
   // stop over-charging wide intermediates when fetches append delta
   // columns instead of re-widening.
   bool factorized = false;
+  // WCOJ vertex binds: CPU charged per driver candidate tested against
+  // another constraint set (the k-way intersection / reach probes), and
+  // the expected fraction of per-row expansion work that misses the
+  // chunk-local expansion memo (rows repeating a bound node share one
+  // code probe + cluster expansion).
+  double cpu_per_intersect_probe = 0.0002;
+  double wcoj_memo_miss = 0.25;
 };
 
 class CostModel {
@@ -64,6 +71,14 @@ class CostModel {
   double FetchCost(double rows, LabelId x, LabelId y,
                    bool bound_is_source) const;
   double SelectCost(double rows) const;
+  // WCOJ bind of one vertex over k constraint edges, driven by the
+  // cheapest constraint (labels dx -> dy, driver_forward: the bound
+  // endpoint is the edge source). Per row: k memo-discounted code
+  // probes, the driver expansion's cluster pages, one intersection
+  // probe per driver candidate per other constraint, plus the output
+  // tuples.
+  double WcojBindCost(double rows, int k, LabelId dx, LabelId dy,
+                      bool driver_forward, double rows_out) const;
   // Cost of writing a step's output rows at `width` bound columns into
   // temporal storage. Factorized tables write at most 2 ids per row
   // (the delta pair) however wide the logical row is.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "opt/wcoj_planner.h"
 
 namespace fgpm {
 namespace {
@@ -67,7 +68,7 @@ Result<Plan> MakeCanonicalPlan(const Pattern& pattern) {
 }
 
 Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
-                        CostParams params) {
+                        CostParams params, JoinStrategy strategy) {
   FGPM_RETURN_IF_ERROR(pattern.Validate());
   if (pattern.num_edges() == 0) return Plan{};
   if (pattern.num_edges() > 20) {
@@ -79,7 +80,10 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
   CostModel model(&catalog, params);
   const auto& edges = pattern.edges();
   const uint32_t m = static_cast<uint32_t>(edges.size());
+  const uint32_t n = pattern.num_nodes();
   const uint32_t full = (1u << m) - 1;
+  const bool allow_bind =
+      strategy != JoinStrategy::kBinary && FindCyclicCore(pattern).has_core();
 
   struct State {
     double cost = std::numeric_limits<double>::infinity();
@@ -87,7 +91,8 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
     uint32_t parent_mask = 0;
     uint32_t via_edge = kNoEdge;
     // How the edge was applied: 0 HPSJ base, 1 filter+fetch (src bound),
-    // 2 filter+fetch (tgt bound), 3 select.
+    // 2 filter+fetch (tgt bound), 3 select, 4 WCOJ bind (via_edge is the
+    // bound VERTEX; consumed edges = mask ^ parent_mask).
     uint8_t how = 0;
   };
   std::vector<State> dp(1u << m);
@@ -149,6 +154,56 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
         dp[next] = {cost, rows, mask, e, how};
       }
     }
+
+    // WCOJ bind-moves: bind one unbound vertex v, consuming every
+    // remaining edge between v and the bound set in a single k-way
+    // intersection. Transitions only add edge bits, so next > mask and
+    // the increasing-mask sweep still visits states in a valid order.
+    if (allow_bind) {
+      for (uint32_t v = 0; v < n; ++v) {
+        if (bm & (1u << v)) continue;
+        uint32_t consumed = 0;
+        double sel = 1.0;
+        double min_fanout = std::numeric_limits<double>::infinity();
+        LabelId dx = 0, dy = 0;
+        bool dfwd = false;
+        int k = 0;
+        for (uint32_t e = 0; e < m; ++e) {
+          if (mask & (1u << e)) continue;
+          bool fwd;
+          if (edges[e].to == v && (bm & (1u << edges[e].from))) {
+            fwd = true;
+          } else if (edges[e].from == v && (bm & (1u << edges[e].to))) {
+            fwd = false;
+          } else {
+            continue;
+          }
+          consumed |= 1u << e;
+          ++k;
+          LabelId x = (*labels)[edges[e].from], y = (*labels)[edges[e].to];
+          sel *= model.SelectSelectivity(x, y);
+          double f = model.ExtendFanout(x, y, fwd);
+          if (f < min_fanout) {
+            min_fanout = f;
+            dx = x;
+            dy = y;
+            dfwd = fwd;
+          }
+        }
+        if (k < 2) continue;  // a 1-edge bind is a costlier fetch
+        double out = dp[mask].rows *
+                     static_cast<double>(catalog.ExtentSize((*labels)[v])) *
+                     sel;
+        const int width_after = std::popcount(bm | (1u << v));
+        double cost = dp[mask].cost +
+                      model.WcojBindCost(dp[mask].rows, k, dx, dy, dfwd, out) +
+                      model.MaterializeCost(out, width_after);
+        uint32_t next = mask | consumed;
+        if (cost < dp[next].cost) {
+          dp[next] = {cost, out, mask, v, 4};
+        }
+      }
+    }
   }
 
   FGPM_CHECK(std::isfinite(dp[full].cost));
@@ -166,6 +221,16 @@ Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
         bool bound_is_source = (s.how == 1);
         rev.push_back(PlanStep::Fetch(s.via_edge, bound_is_source));
         rev.push_back(PlanStep::Filter({{s.via_edge, bound_is_source}}));
+        break;
+      }
+      case 4: {
+        std::vector<uint32_t> cons;
+        uint32_t diff = mask ^ s.parent_mask;
+        for (uint32_t e = 0; e < m; ++e) {
+          if (diff & (1u << e)) cons.push_back(e);
+        }
+        rev.push_back(PlanStep::WcojBind(
+            static_cast<PatternNodeId>(s.via_edge), std::move(cons)));
         break;
       }
       default:

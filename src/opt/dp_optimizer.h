@@ -16,8 +16,12 @@ namespace fgpm {
 
 // Cost-based DP plan. Falls back to MakeCanonicalPlan when some pattern
 // label does not exist in the catalog (the result is empty either way).
+// Under kWcoj/kHybrid the DP additionally considers WCOJ bind-moves
+// (consuming >= 2 edges into one new vertex at once) when the pattern
+// has a cyclic core; kBinary reproduces the original search exactly.
 Result<Plan> OptimizeDp(const Pattern& pattern, const Catalog& catalog,
-                        CostParams params = {});
+                        CostParams params = {},
+                        JoinStrategy strategy = JoinStrategy::kBinary);
 
 // Deterministic non-cost-based plan: HPSJ on the first edge, then each
 // remaining edge (in a connectivity-respecting order) as filter+fetch or

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "opt/dp_optimizer.h"
+#include "opt/wcoj_planner.h"
 
 namespace fgpm {
 namespace {
@@ -53,7 +54,7 @@ struct StateInfo {
 }  // namespace
 
 Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
-                         CostParams params) {
+                         CostParams params, JoinStrategy strategy) {
   FGPM_RETURN_IF_ERROR(pattern.Validate());
   if (pattern.num_edges() == 0) return Plan{};
   if (pattern.num_edges() > 20 || pattern.num_nodes() > 24) {
@@ -70,6 +71,11 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
   const auto& edges = pattern.edges();
   const size_t m = edges.size();
   const size_t n = pattern.num_nodes();
+  // WCOJ bind-moves are only worth exploring when the pattern has a
+  // cyclic core — on trees/paths every vertex has at most one edge into
+  // the bound set, so a bind degenerates to a fetch at higher cost.
+  const bool allow_bind =
+      strategy != JoinStrategy::kBinary && FindCyclicCore(pattern).has_core();
 
   auto edge_x = [&](size_t e) { return labels[edges[e].from]; };
   auto edge_y = [&](size_t e) { return labels[edges[e].to]; };
@@ -222,6 +228,60 @@ Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
                 model.FetchCost(rows, edge_x(e), edge_y(e), bound_is_source) +
                 model.MaterializeCost(rows * growth, width_after),
             rows * growth, key, PlanStep::Fetch(e, bound_is_source));
+    }
+
+    // Bind-moves (WCOJ): bind an unbound vertex v by k-way intersecting
+    // the candidate sets of all kTodo edges between v and the bound set.
+    if (allow_bind) {
+      for (uint32_t v = 0; v < n; ++v) {
+        if (bm & (1u << v)) continue;
+        // Binding v must not orphan a pending edge waiting to bind v.
+        bool orphan = false;
+        for (uint32_t e = 0; e < m && !orphan; ++e) {
+          if (cur[e] == kPendingSrc && edges[e].to == v) orphan = true;
+          if (cur[e] == kPendingTgt && edges[e].from == v) orphan = true;
+        }
+        if (orphan) continue;
+        std::vector<uint32_t> cons;
+        std::vector<uint8_t> s2 = cur;
+        double sel = 1.0;
+        double min_fanout = std::numeric_limits<double>::infinity();
+        LabelId dx = 0, dy = 0;
+        bool dfwd = false;
+        for (uint32_t e = 0; e < m; ++e) {
+          if (cur[e] != kTodo) continue;
+          bool fwd;
+          if (edges[e].to == v && (bm & (1u << edges[e].from))) {
+            fwd = true;
+          } else if (edges[e].from == v && (bm & (1u << edges[e].to))) {
+            fwd = false;
+          } else {
+            continue;
+          }
+          cons.push_back(e);
+          s2[e] = kDone;
+          sel *= model.SelectSelectivity(edge_x(e), edge_y(e));
+          double f = model.ExtendFanout(edge_x(e), edge_y(e), fwd);
+          if (f < min_fanout) {
+            min_fanout = f;
+            dx = edge_x(e);
+            dy = edge_y(e);
+            dfwd = fwd;
+          }
+        }
+        // A 1-edge bind is a strictly costlier fetch; require a real
+        // intersection.
+        if (cons.size() < 2) continue;
+        double out =
+            rows * static_cast<double>(catalog.ExtentSize(labels[v])) * sel;
+        const int width_after = std::popcount(bm | (1u << v));
+        relax(StatusKey::Make(s2, scan),
+              cost +
+                  model.WcojBindCost(rows, static_cast<int>(cons.size()), dx,
+                                     dy, dfwd, out) +
+                  model.MaterializeCost(out, width_after),
+              out, key, PlanStep::WcojBind(v, std::move(cons)));
+      }
     }
   }
 

@@ -9,7 +9,12 @@
 //                     label column on one side, sharing a single scan and
 //                     one getCenters per row (Remark 3.1);
 //   * Fetch-move    — complete a pending R-join via the cluster index;
-//   * select-move   — evaluate an edge whose labels are both bound.
+//   * select-move   — evaluate an edge whose labels are both bound;
+//   * bind-move     — WCOJ: bind one unbound vertex by intersecting the
+//                     candidate sets of >= 2 edges into the bound set
+//                     (offered only under kWcoj/kHybrid and only when
+//                     the pattern has a cyclic core, so acyclic patterns
+//                     keep pure binary plans).
 // The search minimizes estimated I/O cost (Dijkstra over the status DAG).
 #ifndef FGPM_OPT_DPS_OPTIMIZER_H_
 #define FGPM_OPT_DPS_OPTIMIZER_H_
@@ -23,7 +28,8 @@
 namespace fgpm {
 
 Result<Plan> OptimizeDps(const Pattern& pattern, const Catalog& catalog,
-                         CostParams params = {});
+                         CostParams params = {},
+                         JoinStrategy strategy = JoinStrategy::kBinary);
 
 }  // namespace fgpm
 

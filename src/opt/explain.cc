@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <limits>
 
 namespace fgpm {
 namespace {
@@ -80,6 +81,25 @@ std::string PlanExplanation::ToStringWithActuals(const ExecStats& stats) const {
                   desc.c_str(), s.rows_out, actual, err, time_ms, s.step_cost,
                   s.cumulative_cost);
     out += buf;
+    if (s.is_bind) {
+      // Per-vertex candidate sizes: estimated vs actual surviving
+      // candidates per input row for this bind's k-way intersection.
+      // An unreached step or an emptied input renders "-" (zero-row
+      // divide guard).
+      char act_fan[32];
+      const bool have_in = i > 0 && i - 1 < stats.step_rows.size() &&
+                           stats.step_rows[i - 1] != 0;
+      if (executed && have_in) {
+        std::snprintf(act_fan, sizeof(act_fan), "%.2f",
+                      static_cast<double>(stats.step_rows[i]) /
+                          static_cast<double>(stats.step_rows[i - 1]));
+      } else {
+        std::snprintf(act_fan, sizeof(act_fan), "-");
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "  cands/row: est %.2f, act %s\n", s.est_fanout, act_fan);
+      out += buf;
+    }
   }
   char total_err[32];
   FormatErrRatio(total_err, sizeof(total_err), result_rows, stats.result_rows,
@@ -105,6 +125,18 @@ std::string PlanExplanation::ToStringWithActuals(const ExecStats& stats) const {
                 static_cast<unsigned long long>(op.temporal_pages_read),
                 static_cast<unsigned long long>(op.temporal_pages_written));
   out += buf;
+  const bool any_bind =
+      std::any_of(steps.begin(), steps.end(),
+                  [](const StepEstimate& s) { return s.is_bind; });
+  if (any_bind || op.kway_intersect_probes != 0 || op.wcoj_reach_pruned != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "wcoj: %llu/%llu k-way probes survived, %llu candidates "
+                  "pruned by reach\n",
+                  static_cast<unsigned long long>(op.kway_intersect_hits),
+                  static_cast<unsigned long long>(op.kway_intersect_probes),
+                  static_cast<unsigned long long>(op.wcoj_reach_pruned));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "buffer pool: %llu hits, %llu misses; code cache: %llu hits, "
                 "%llu misses; page reads: %llu\n",
@@ -150,6 +182,8 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
   uint32_t bound = 0;
   for (const PlanStep& step : plan.steps) {
     double step_cost = 0;
+    double est_fanout = 0;
+    bool is_bind = false;
     switch (step.kind) {
       case StepKind::kHpsjBase: {
         LabelId x = labels[edges[step.edge].from];
@@ -206,9 +240,45 @@ Result<PlanExplanation> ExplainPlan(const Pattern& pattern, const Plan& plan,
         step_cost += model.MaterializeCost(rows, std::popcount(bound));
         break;
       }
+      case StepKind::kWcojBind: {
+        // Mirrors the DP/DPS bind-move charge exactly: selectivity is
+        // the product over all consumed edges, the driver is the
+        // minimum-fanout constraint.
+        double sel = 1.0;
+        double min_fanout = std::numeric_limits<double>::infinity();
+        LabelId dx = 0, dy = 0;
+        bool dfwd = false;
+        for (uint32_t e : step.wcoj_edges) {
+          const PatternEdge& pe = edges[e];
+          bool fwd = (pe.to == step.scan_node);
+          LabelId x = labels[pe.from], y = labels[pe.to];
+          sel *= model.SelectSelectivity(x, y);
+          double f = model.ExtendFanout(x, y, fwd);
+          if (f < min_fanout) {
+            min_fanout = f;
+            dx = x;
+            dy = y;
+            dfwd = fwd;
+          }
+        }
+        const double rows_in = rows;
+        est_fanout =
+            static_cast<double>(catalog.ExtentSize(labels[step.scan_node])) *
+            sel;
+        is_bind = true;
+        rows = rows_in * est_fanout;
+        bound |= 1u << step.scan_node;
+        step_cost =
+            model.WcojBindCost(rows_in,
+                               static_cast<int>(step.wcoj_edges.size()), dx,
+                               dy, dfwd, rows) +
+            model.MaterializeCost(rows, std::popcount(bound));
+        break;
+      }
     }
     cost += step_cost;
-    out.steps.push_back({StepLabel(pattern, step), rows, step_cost, cost});
+    out.steps.push_back(
+        {StepLabel(pattern, step), rows, step_cost, cost, est_fanout, is_bind});
   }
   out.total_cost = cost;
   out.result_rows = rows;

@@ -22,6 +22,11 @@ struct StepEstimate {
   double rows_out = 0;        // estimated rows after the step
   double step_cost = 0;       // estimated cost of the step (page units)
   double cumulative_cost = 0;
+  // WCOJ bind steps only: estimated surviving candidates per input row
+  // (the k-way intersection size). ToStringWithActuals compares this
+  // against the actual rows_out / rows_in ratio per bound vertex.
+  double est_fanout = 0;
+  bool is_bind = false;
 };
 
 struct PlanExplanation {

@@ -1,0 +1,191 @@
+#include "opt/wcoj_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "opt/dp_optimizer.h"
+
+namespace fgpm {
+
+PatternCore FindCyclicCore(const Pattern& pattern) {
+  PatternCore core;
+  const auto& edges = pattern.edges();
+  const size_t n = pattern.num_nodes();
+  const size_t m = edges.size();
+  std::vector<uint32_t> degree(n, 0);
+  std::vector<uint8_t> edge_alive(m, 1);
+  for (const PatternEdge& e : edges) {
+    ++degree[e.from];
+    ++degree[e.to];
+  }
+  // Peel degree <= 1 vertices until fixpoint; self-loops and duplicate
+  // edges are rejected by Pattern, so degrees are simple counts.
+  bool changed = true;
+  std::vector<uint8_t> peeled(n, 0);
+  while (changed) {
+    changed = false;
+    for (size_t v = 0; v < n; ++v) {
+      if (peeled[v] || degree[v] > 1) continue;
+      peeled[v] = 1;
+      changed = true;
+      for (size_t e = 0; e < m; ++e) {
+        if (!edge_alive[e]) continue;
+        if (edges[e].from == v || edges[e].to == v) {
+          edge_alive[e] = 0;
+          --degree[edges[e].from];
+          --degree[edges[e].to];
+        }
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!peeled[v]) core.core_nodes.push_back(static_cast<PatternNodeId>(v));
+  }
+  for (size_t e = 0; e < m; ++e) {
+    if (edge_alive[e]) {
+      core.core_edges.push_back(static_cast<uint32_t>(e));
+    } else {
+      core.appendage_edges.push_back(static_cast<uint32_t>(e));
+    }
+  }
+  return core;
+}
+
+std::vector<PatternNodeId> OrderWcojVertices(const Pattern& pattern,
+                                             const Catalog& catalog) {
+  const auto& edges = pattern.edges();
+  const size_t n = pattern.num_nodes();
+  const PatternCore core = FindCyclicCore(pattern);
+  std::vector<uint8_t> in_core(n, 0);
+  for (PatternNodeId v : core.core_nodes) in_core[v] = 1;
+
+  std::vector<uint32_t> degree(n, 0);
+  for (const PatternEdge& e : edges) {
+    ++degree[e.from];
+    ++degree[e.to];
+  }
+  std::vector<double> extent(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    auto l = catalog.FindLabel(pattern.label(v));
+    extent[v] = l ? static_cast<double>(catalog.ExtentSize(*l)) : 0.0;
+  }
+
+  std::vector<PatternNodeId> order;
+  std::vector<uint8_t> chosen(n, 0);
+  // Start: max-degree core vertex (max-degree overall when acyclic);
+  // smaller extent, then smaller id break ties deterministically.
+  size_t start = 0;
+  bool have = false;
+  for (size_t v = 0; v < n; ++v) {
+    if (core.has_core() && !in_core[v]) continue;
+    if (!have || degree[v] > degree[start] ||
+        (degree[v] == degree[start] && extent[v] < extent[start])) {
+      start = v;
+      have = true;
+    }
+  }
+  order.push_back(static_cast<PatternNodeId>(start));
+  chosen[start] = 1;
+
+  while (order.size() < n) {
+    size_t best = n;
+    uint32_t best_conn = 0;
+    for (size_t v = 0; v < n; ++v) {
+      if (chosen[v]) continue;
+      uint32_t conn = 0;
+      for (const PatternEdge& e : edges) {
+        if ((e.from == v && chosen[e.to]) || (e.to == v && chosen[e.from])) {
+          ++conn;
+        }
+      }
+      if (conn == 0) continue;  // connected extension only
+      auto better = [&] {
+        if (best == n) return true;
+        if (in_core[v] != in_core[best]) return in_core[v] > in_core[best];
+        if (conn != best_conn) return conn > best_conn;
+        if (degree[v] != degree[best]) return degree[v] > degree[best];
+        if (extent[v] != extent[best]) return extent[v] < extent[best];
+        return v < best;
+      };
+      if (better()) {
+        best = v;
+        best_conn = conn;
+      }
+    }
+    FGPM_CHECK(best < n);  // Pattern::Validate guarantees connectivity
+    order.push_back(static_cast<PatternNodeId>(best));
+    chosen[best] = 1;
+  }
+  return order;
+}
+
+Result<Plan> MakeWcojPlan(const Pattern& pattern, const Catalog& catalog,
+                          CostParams params) {
+  FGPM_RETURN_IF_ERROR(pattern.Validate());
+  if (pattern.num_edges() == 0) return Plan{};
+  std::vector<LabelId> labels(pattern.num_nodes());
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = catalog.FindLabel(pattern.label(i));
+    if (!l) return MakeCanonicalPlan(pattern);
+    labels[i] = *l;
+  }
+
+  const auto& edges = pattern.edges();
+  const std::vector<PatternNodeId> order = OrderWcojVertices(pattern, catalog);
+  CostModel model(&catalog, params);
+
+  Plan plan;
+  plan.steps.push_back(PlanStep::ScanBase(order[0]));
+  double rows = static_cast<double>(catalog.ExtentSize(labels[order[0]]));
+  plan.estimated_cost =
+      model.ScanBaseCost(labels[order[0]]) + model.MaterializeCost(rows, 1);
+
+  std::vector<uint8_t> bound(pattern.num_nodes(), 0);
+  bound[order[0]] = 1;
+  std::vector<uint8_t> consumed(edges.size(), 0);
+  for (size_t i = 1; i < order.size(); ++i) {
+    const PatternNodeId v = order[i];
+    std::vector<uint32_t> cons;
+    double sel = 1.0;
+    double min_fanout = std::numeric_limits<double>::infinity();
+    LabelId dx = 0, dy = 0;
+    bool dfwd = false;
+    for (uint32_t e = 0; e < edges.size(); ++e) {
+      if (consumed[e]) continue;
+      bool fwd;
+      if (edges[e].to == v && bound[edges[e].from]) {
+        fwd = true;
+      } else if (edges[e].from == v && bound[edges[e].to]) {
+        fwd = false;
+      } else {
+        continue;
+      }
+      cons.push_back(e);
+      consumed[e] = 1;
+      const LabelId lx = labels[edges[e].from], ly = labels[edges[e].to];
+      sel *= model.SelectSelectivity(lx, ly);
+      const double f = model.ExtendFanout(lx, ly, fwd);
+      if (f < min_fanout) {
+        min_fanout = f;
+        dx = lx;
+        dy = ly;
+        dfwd = fwd;
+      }
+    }
+    FGPM_CHECK(!cons.empty());  // connected order: >= 1 edge into bound set
+    const double out =
+        rows * static_cast<double>(catalog.ExtentSize(labels[v])) * sel;
+    plan.estimated_cost +=
+        model.WcojBindCost(rows, static_cast<int>(cons.size()), dx, dy, dfwd,
+                           out) +
+        model.MaterializeCost(out, static_cast<int>(i) + 1);
+    rows = out;
+    bound[v] = 1;
+    plan.steps.push_back(PlanStep::WcojBind(v, std::move(cons)));
+  }
+  FGPM_RETURN_IF_ERROR(plan.Validate(pattern));
+  return plan;
+}
+
+}  // namespace fgpm

@@ -1,0 +1,54 @@
+// WCOJ planning: cyclic-core detection on the pattern graph, the
+// degree/label-aware vertex ordering, and construction of pure
+// vertex-at-a-time plans (scan + one WCOJ bind per remaining vertex).
+//
+// The cyclic core is the 2-core of the pattern's underlying undirected
+// graph — iteratively peel degree <= 1 vertices; what survives is the
+// part where binary plans do asymptotically wasted work and WCOJ binds
+// pay off. Acyclic patterns have an empty core: MakeWcojPlan still
+// builds a bind-per-vertex plan when forced (JoinStrategy::kWcoj), but
+// the hybrid strategy only offers bind-moves to the DPS/DP search when
+// a core exists, so trees and paths keep their binary plans.
+#ifndef FGPM_OPT_WCOJ_PLANNER_H_
+#define FGPM_OPT_WCOJ_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/plan.h"
+#include "gdb/catalog.h"
+#include "opt/cost_model.h"
+#include "query/pattern.h"
+
+namespace fgpm {
+
+// 2-core split of the pattern's underlying undirected graph.
+struct PatternCore {
+  std::vector<PatternNodeId> core_nodes;  // ascending; empty <=> acyclic
+  std::vector<uint32_t> core_edges;       // both endpoints in the core
+  std::vector<uint32_t> appendage_edges;  // tree edges hanging off
+  bool has_core() const { return !core_nodes.empty(); }
+};
+PatternCore FindCyclicCore(const Pattern& pattern);
+
+// Binding order over all pattern vertices: start from the core vertex
+// of maximum undirected degree (smaller extent breaks ties), then
+// greedily append the vertex with the most edges into the chosen set
+// (connected extension), preferring core membership, then total
+// degree, then the smaller extent — the classic OrderVertices
+// heuristic adapted to per-label extents. Falls back to plain
+// max-degree start when the pattern is acyclic.
+std::vector<PatternNodeId> OrderWcojVertices(const Pattern& pattern,
+                                             const Catalog& catalog);
+
+// Pure WCOJ plan: ScanBase on the first ordered vertex, then one
+// kWcojBind per remaining vertex consuming every edge into the bound
+// set. estimated_cost uses the same CostModel charges ExplainPlan
+// replays. Falls back to MakeCanonicalPlan when a pattern label is
+// missing from the catalog (result is empty either way).
+Result<Plan> MakeWcojPlan(const Pattern& pattern, const Catalog& catalog,
+                          CostParams params = {});
+
+}  // namespace fgpm
+
+#endif  // FGPM_OPT_WCOJ_PLANNER_H_

@@ -406,5 +406,205 @@ TEST(IntersectKernelTest, SortedVectorEntryPointsUnderForcedKernels) {
   }
 }
 
+// ---- k-way intersection primitive (WCOJ binds) ---------------------------
+
+// Owns a sorted set plus its optional chunked-bitmap sidecar so the
+// SortedSetView's borrowed pointers stay valid.
+struct OwnedSet {
+  std::vector<uint32_t> data;
+  std::vector<uint32_t> chunk_ids;
+  std::vector<uint64_t> words;
+  bool with_bitmap = false;
+
+  explicit OwnedSet(std::vector<uint32_t> d, bool bitmap = false)
+      : data(std::move(d)), with_bitmap(bitmap) {
+    if (with_bitmap) {
+      BuildChunkedBitmap(data.data(), data.size(), &chunk_ids, &words);
+    }
+  }
+  SortedSetView View() const {
+    SortedSetView v;
+    v.data = data.data();
+    v.size = data.size();
+    if (with_bitmap) {
+      v.chunk_ids = chunk_ids.data();
+      v.chunk_words = words.data();
+      v.num_chunks = chunk_ids.size();
+    }
+    return v;
+  }
+};
+
+std::vector<uint32_t> KWayOracle(const std::vector<OwnedSet>& sets) {
+  std::vector<uint32_t> acc = sets[0].data;
+  for (size_t i = 1; i < sets.size(); ++i) acc = ScalarIntersect(acc, sets[i].data);
+  return acc;
+}
+
+std::vector<uint32_t> RunKWay(const std::vector<OwnedSet>& sets,
+                              KWayStats* stats = nullptr) {
+  std::vector<SortedSetView> views;
+  size_t smallest = ~size_t{0};
+  for (const OwnedSet& s : sets) {
+    views.push_back(s.View());
+    smallest = std::min(smallest, s.data.size());
+  }
+  std::vector<uint32_t> out(smallest + kIntersectPad);
+  std::vector<uint32_t> tmp(smallest + kIntersectPad);
+  size_t n =
+      IntersectKWayU32(views.data(), views.size(), out.data(), tmp.data(), stats);
+  out.resize(n);
+  return out;
+}
+
+TEST(KWayIntersectTest, RandomizedDifferentialVsOracle) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 400; ++iter) {
+    size_t k = 2 + rng.NextBounded(5);  // k in {2..6}
+    uint32_t universe = 1 + rng.NextBounded(2000);
+    std::vector<OwnedSet> sets;
+    for (size_t i = 0; i < k; ++i) {
+      size_t n = rng.NextBounded(600);
+      std::vector<uint32_t> v;
+      for (size_t j = 0; j < n; ++j) v.push_back(rng.NextBounded(universe));
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      // Mix bitmap-backed and plain sets to hit all three pruning modes
+      // (membership, galloping, SIMD merge) within one intersection.
+      sets.emplace_back(std::move(v), rng.NextBounded(2) == 0);
+    }
+    EXPECT_EQ(RunKWay(sets), KWayOracle(sets)) << "iter " << iter;
+  }
+}
+
+TEST(KWayIntersectTest, EmptySetShortCircuits) {
+  KWayStats stats;
+  std::vector<OwnedSet> sets;
+  sets.emplace_back(std::vector<uint32_t>{1, 2, 3});
+  sets.emplace_back(std::vector<uint32_t>{});
+  sets.emplace_back(std::vector<uint32_t>{2, 3, 4});
+  EXPECT_TRUE(RunKWay(sets, &stats).empty());
+  // The empty set sorts first: no candidate is ever probed.
+  EXPECT_EQ(stats.probes, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(KWayIntersectTest, SingleSetCopies) {
+  std::vector<OwnedSet> sets;
+  sets.emplace_back(std::vector<uint32_t>{5, 9, 100});
+  EXPECT_EQ(RunKWay(sets), (std::vector<uint32_t>{5, 9, 100}));
+}
+
+TEST(KWayIntersectTest, BitmapChunkBoundaries) {
+  // Values straddling the 256-value chunk granularity and the 64-bit
+  // word granularity inside a chunk.
+  std::vector<uint32_t> big;
+  for (uint32_t v : {0u, 63u, 64u, 127u, 128u, 191u, 192u, 255u, 256u, 511u,
+                     512u, 65535u, 65536u, 0xffffff00u, 0xffffffffu}) {
+    big.push_back(v);
+  }
+  std::vector<OwnedSet> sets;
+  sets.emplace_back(std::vector<uint32_t>{0, 64, 255, 256, 512, 65536,
+                                          0xffffff00u, 0xffffffffu});
+  sets.emplace_back(big, /*bitmap=*/true);
+  EXPECT_EQ(RunKWay(sets),
+            (std::vector<uint32_t>{0, 64, 255, 256, 512, 65536, 0xffffff00u,
+                                   0xffffffffu}));
+  // Near-misses around chunk boundaries must not leak through.
+  std::vector<OwnedSet> miss;
+  miss.emplace_back(std::vector<uint32_t>{1, 62, 65, 254, 257, 65537});
+  miss.emplace_back(big, /*bitmap=*/true);
+  EXPECT_TRUE(RunKWay(miss).empty());
+}
+
+TEST(KWayIntersectTest, BitmapOnTinySetMatchesPlain) {
+  // A sidecar on a set smaller than the 2x membership threshold must
+  // not change the result (the kernel just chooses another mode).
+  Rng rng(77);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::vector<uint32_t> a, b;
+    for (size_t j = 0; j < 1 + rng.NextBounded(4); ++j)
+      a.push_back(rng.NextBounded(300));
+    for (size_t j = 0; j < 1 + rng.NextBounded(4); ++j)
+      b.push_back(rng.NextBounded(300));
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    std::vector<OwnedSet> plain, mapped;
+    plain.emplace_back(a);
+    plain.emplace_back(b);
+    mapped.emplace_back(a, true);
+    mapped.emplace_back(b, true);
+    EXPECT_EQ(RunKWay(plain), RunKWay(mapped));
+  }
+}
+
+TEST(KWayIntersectTest, GallopRatioBoundary) {
+  // Sizes on both sides of the kGallopRatio * (n + 1) switch between
+  // galloping and the SIMD merge.
+  Rng rng(31337);
+  for (size_t small : {1ul, 2ul, 4ul}) {
+    for (size_t factor : {15ul, 16ul, 17ul, 64ul}) {
+      std::vector<uint32_t> a, b;
+      for (size_t j = 0; j < small; ++j) a.push_back(rng.NextBounded(100000));
+      for (size_t j = 0; j < small * factor + 1; ++j)
+        b.push_back(rng.NextBounded(100000));
+      b.insert(b.end(), a.begin(), a.end());  // force overlap
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      std::sort(b.begin(), b.end());
+      b.erase(std::unique(b.begin(), b.end()), b.end());
+      std::vector<OwnedSet> sets;
+      sets.emplace_back(a);
+      sets.emplace_back(b);
+      EXPECT_EQ(RunKWay(sets), ScalarIntersect(a, b));
+    }
+  }
+}
+
+TEST(KWayIntersectTest, StatsCountProbesAndHits) {
+  KWayStats stats;
+  std::vector<OwnedSet> sets;
+  sets.emplace_back(std::vector<uint32_t>{1, 2, 3, 4});       // driver
+  sets.emplace_back(std::vector<uint32_t>{2, 3, 4, 5, 6});    // survives 3
+  sets.emplace_back(std::vector<uint32_t>{3, 4, 7, 8, 9, 10});
+  EXPECT_EQ(RunKWay(sets, &stats), (std::vector<uint32_t>{3, 4}));
+  // Stage 1 probes the 4 driver values, stage 2 the 3 survivors.
+  EXPECT_EQ(stats.probes, 7u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(KWayIntersectTest, ForcedKernelDifferential) {
+  const IntersectKernel kernels[] = {
+      IntersectKernel::kSeed, IntersectKernel::kScalar,
+      IntersectKernel::kSse, IntersectKernel::kAvx2};
+  Rng rng(606);
+  std::vector<std::vector<OwnedSet>> cases;
+  std::vector<std::vector<uint32_t>> expected;
+  for (int iter = 0; iter < 40; ++iter) {
+    size_t k = 2 + rng.NextBounded(4);
+    std::vector<OwnedSet> sets;
+    for (size_t i = 0; i < k; ++i) {
+      std::vector<uint32_t> v;
+      for (size_t j = 0; j < rng.NextBounded(400); ++j)
+        v.push_back(rng.NextBounded(700));
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      sets.emplace_back(std::move(v), i % 2 == 1);
+    }
+    expected.push_back(KWayOracle(sets));
+    cases.push_back(std::move(sets));
+  }
+  for (IntersectKernel k : kernels) {
+    if (!SetIntersectKernel(k)) continue;
+    SCOPED_TRACE(IntersectKernelName(k));
+    for (size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(RunKWay(cases[i]), expected[i]) << "case " << i;
+    }
+  }
+  SetIntersectKernel(IntersectKernel::kAuto);
+}
+
 }  // namespace
 }  // namespace fgpm

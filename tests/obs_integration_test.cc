@@ -69,6 +69,10 @@ TEST(TraceIntegrationTest, MultiFusedSelectChildSpansShareFetchInterval) {
       "L0->L1; L0->L2; L0->L3; L1->L2; L1->L3; L2->L3";
   ExecOptions opts;
   opts.trace_level = 1;
+  // The regression lives in the fused-select span path of binary R-join
+  // plans; under the default kHybrid strategy the 4-clique plans as
+  // scan+bind steps with no fused selects at all.
+  opts.join_strategy = JoinStrategy::kBinary;
   auto m = MakeMatcher(opts);
   auto r = m->Match(kClique4);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
