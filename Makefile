@@ -11,8 +11,11 @@
 #                       (writes BENCH_obs.json)
 #   make bench-wcoj   - build + run the binary vs WCOJ vs hybrid join
 #                       strategy bench (writes BENCH_wcoj.json)
+#   make bench-multiquery - build + run the Zipfian multi-client
+#                       result-cache + batching A/B
+#                       (writes BENCH_multiquery.json)
 #   make verify-tsan  - ThreadSanitizer pass over the concurrency +
-#                       reach + exec + obs + wcoj labeled tests
+#                       reach + exec + obs + wcoj + mqo labeled tests
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
@@ -29,7 +32,7 @@ TSAN_BUILD_DIR ?= build-tsan
 ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj verify-tsan verify-asan
+.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj bench-multiquery verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -54,12 +57,16 @@ bench-wcoj: build
 	cd $(BUILD_DIR)/bench && ./bench_wcoj
 	cp $(BUILD_DIR)/bench/BENCH_wcoj.json BENCH_wcoj.json
 
+bench-multiquery: build
+	cd $(BUILD_DIR)/bench && ./bench_multiquery
+	cp $(BUILD_DIR)/bench/BENCH_multiquery.json BENCH_multiquery.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo' --output-on-failure

@@ -8,6 +8,7 @@
 
 #include "exec/naive_matcher.h"
 #include "obs/metrics.h"
+#include "opt/cost_model.h"
 #include "opt/dp_optimizer.h"
 #include "opt/dps_optimizer.h"
 #include "opt/wcoj_planner.h"
@@ -21,6 +22,18 @@ struct MatcherMetrics {
   obs::Counter* slow_queries;
   obs::Counter* plan_cache_hits;
   obs::Counter* plan_cache_misses;
+  obs::Counter* plan_cache_evictions;
+  obs::Counter* cache_invalidations;
+  obs::Counter* result_cache_hits;
+  obs::Counter* result_cache_containment_hits;
+  obs::Counter* result_cache_misses;
+  obs::Counter* result_cache_evictions;
+  obs::Counter* result_cache_inserts;
+  obs::Gauge* result_cache_bytes;
+  obs::Counter* batch_queries;
+  obs::Counter* batch_dedup_hits;
+  obs::Counter* batch_shared_seed_groups;
+  obs::Counter* batch_shared_seed_reuses;
   obs::Histogram* latency_usec;
 
   static const MatcherMetrics& Get() {
@@ -36,6 +49,35 @@ struct MatcherMetrics {
           r.GetCounter("fgpm_plan_cache_hits_total", "Plan cache hits");
       e.plan_cache_misses =
           r.GetCounter("fgpm_plan_cache_misses_total", "Plan cache misses");
+      e.plan_cache_evictions = r.GetCounter("fgpm_plan_cache_evictions_total",
+                                            "Plan cache LRU evictions");
+      e.cache_invalidations = r.GetCounter(
+          "fgpm_cache_invalidations_total",
+          "Plan + result cache invalidations (epoch moves and explicit)");
+      e.result_cache_hits = r.GetCounter("fgpm_result_cache_hits_total",
+                                         "Result cache exact hits");
+      e.result_cache_containment_hits =
+          r.GetCounter("fgpm_result_cache_containment_hits_total",
+                       "Result cache containment-replay hits");
+      e.result_cache_misses = r.GetCounter("fgpm_result_cache_misses_total",
+                                           "Result cache misses");
+      e.result_cache_evictions = r.GetCounter(
+          "fgpm_result_cache_evictions_total", "Result cache LRU evictions");
+      e.result_cache_inserts = r.GetCounter("fgpm_result_cache_inserts_total",
+                                            "Result cache inserts");
+      e.result_cache_bytes = r.GetGauge("fgpm_result_cache_bytes",
+                                        "Result cache resident bytes");
+      e.batch_queries = r.GetCounter("fgpm_batch_queries_total",
+                                     "Queries submitted via MatchBatch");
+      e.batch_dedup_hits = r.GetCounter(
+          "fgpm_batch_dedup_hits_total",
+          "Batch queries answered by another member's canonical duplicate");
+      e.batch_shared_seed_groups =
+          r.GetCounter("fgpm_batch_shared_seed_groups_total",
+                       "Batch opening groups that seeded >= 2 queries");
+      e.batch_shared_seed_reuses =
+          r.GetCounter("fgpm_batch_shared_seed_reuses_total",
+                       "Batch queries served from a shared seed");
       e.latency_usec =
           r.GetHistogram("fgpm_match_latency_usec",
                          "End-to-end match time, optimize + execute (us)");
@@ -133,6 +175,8 @@ const Plan* GraphMatcher::CachePlan(const std::string& key, Plan plan) {
   while (plan_cache_.size() >= capacity) {
     plan_cache_.erase(plan_lru_.back());
     plan_lru_.pop_back();
+    ++plan_cache_evictions_;
+    if (obs::Enabled()) MatcherMetrics::Get().plan_cache_evictions->Increment();
   }
   plan_lru_.push_front(key);
   auto [it, inserted] =
@@ -142,6 +186,7 @@ const Plan* GraphMatcher::CachePlan(const std::string& key, Plan plan) {
 }
 
 Result<const Plan*> GraphMatcher::ResolvePlan(const Pattern& pattern,
+                                              const CanonicalForm& canon,
                                               const MatchOptions& options,
                                               Plan* storage,
                                               double* optimize_ms) {
@@ -151,25 +196,136 @@ Result<const Plan*> GraphMatcher::ResolvePlan(const Pattern& pattern,
   if (options.use_plan_cache) {
     // The key must cover everything MakePlan's output depends on: the
     // engine, the join strategy, and the materialization mode (both
-    // change which plan is optimal for the same pattern text).
+    // change which plan is optimal for the same pattern). The pattern
+    // part is the canonical key, so every spelling of a pattern (edge
+    // order, chain grouping, node numbering) shares one entry.
     const ExecOptions& eo = executor_.options();
     cache_key = std::string(EngineName(options.engine)) + "|" +
                 JoinStrategyName(eo.join_strategy) + "|" +
                 (eo.materialization == Materialization::kFactorized ? "F"
                                                                     : "E") +
-                "|" + pattern.ToString();
-    plan = LookupPlan(cache_key);
+                "|" + canon.key;
+    const Plan* cached = LookupPlan(cache_key);
+    if (cached != nullptr) {
+      // Cached plans live in canonical coordinates; translate node ids
+      // and edge indexes into the caller's numbering.
+      *storage =
+          RemapPlan(*cached, canon.InverseNodeMap(), canon.InverseEdgeMap());
+      plan = storage;
+    }
   }
   if (plan == nullptr) {
     FGPM_ASSIGN_OR_RETURN(*storage, MakePlan(pattern, options.engine));
     if (options.use_plan_cache && plan_cache_capacity() > 0) {
-      plan = CachePlan(cache_key, std::move(*storage));
-    } else {
-      plan = storage;
+      CachePlan(cache_key,
+                RemapPlan(*storage, canon.node_map, canon.edge_map));
     }
+    plan = storage;
   }
   *optimize_ms = opt_timer.ElapsedMillis();
   return plan;
+}
+
+void GraphMatcher::InvalidatePlanCache() {
+  ClearPlanCache();
+  ++cache_invalidations_;
+  if (obs::Enabled()) MatcherMetrics::Get().cache_invalidations->Increment();
+}
+
+void GraphMatcher::ClearResultCache() {
+  if (result_cache_ == nullptr) return;
+  result_cache_->Clear();
+  SyncResultCacheMetrics();
+}
+
+ResultCache* GraphMatcher::EnsureResultCache() {
+  if (result_cache_ == nullptr) {
+    result_cache_ = std::make_unique<ResultCache>(
+        executor_.options().result_cache_mb << 20);
+  }
+  return result_cache_.get();
+}
+
+void GraphMatcher::CheckEpoch() {
+  const uint64_t now = db_->epoch();
+  if (now == seen_epoch_) return;
+  // ApplyEdgeInsert changed reachability and statistics: cached plans
+  // are stale estimates, cached rows are stale answers.
+  seen_epoch_ = now;
+  InvalidatePlanCache();
+  ClearResultCache();
+}
+
+void GraphMatcher::SyncResultCacheMetrics() {
+  if (!obs::Enabled() || result_cache_ == nullptr) return;
+  const MatcherMetrics& m = MatcherMetrics::Get();
+  auto delta = [](uint64_t now, uint64_t* prev) {
+    const uint64_t d = now - *prev;
+    *prev = now;
+    return d;
+  };
+  m.result_cache_hits->Increment(
+      delta(result_cache_->hits_exact(), &synced_.hits_exact));
+  m.result_cache_containment_hits->Increment(
+      delta(result_cache_->hits_containment(), &synced_.hits_containment));
+  m.result_cache_misses->Increment(
+      delta(result_cache_->misses(), &synced_.misses));
+  m.result_cache_evictions->Increment(
+      delta(result_cache_->evictions(), &synced_.evictions));
+  m.result_cache_inserts->Increment(
+      delta(result_cache_->inserts(), &synced_.inserts));
+  m.result_cache_bytes->Set(static_cast<double>(result_cache_->bytes()));
+}
+
+Result<bool> GraphMatcher::TryResultCache(
+    const CanonicalForm& canon, double fresh_cost,
+    std::vector<std::vector<NodeId>>* rows, OperatorStats* op_stats,
+    uint8_t* cache_hit) {
+  ResultCache* cache = result_cache_.get();
+  if (cache == nullptr) return false;
+  if (const ResultCache::Entry* e = cache->LookupExact(canon.key)) {
+    rows->reserve(e->num_rows);
+    for (size_t r = 0; r < e->num_rows; ++r) {
+      rows->emplace_back(e->rows.begin() + r * e->arity,
+                         e->rows.begin() + (r + 1) * e->arity);
+    }
+    *cache_hit = 1;
+    SyncResultCacheMetrics();
+    return true;
+  }
+  const ResultCachePolicy policy = executor_.options().result_cache_policy;
+  if (policy != ResultCachePolicy::kNever) {
+    if (auto hit = cache->FindContaining(canon.pattern)) {
+      std::vector<LabelId> node_labels;
+      const bool resolvable =
+          ResolveNodeLabels(*db_, canon.pattern, &node_labels);
+      CostModel model(&db_->catalog());
+      const double replay_cost = model.ReplayCost(
+          static_cast<double>(hit->entry->num_rows),
+          static_cast<int>(canon.pattern.num_nodes()),
+          static_cast<int>(hit->mapping.residual.size()));
+      // An unresolvable label means the fresh result is empty by
+      // definition; replaying cached rows for it would be wrong only if
+      // the entry had rows — impossible (same label set) — but skip the
+      // probes anyway and let the fresh path answer.
+      if (resolvable && (policy == ResultCachePolicy::kAlways ||
+                         replay_cost < fresh_cost)) {
+        FGPM_RETURN_IF_ERROR(ReplayContainment(
+            *db_, canon.pattern, node_labels, *hit->entry, hit->mapping,
+            executor_.pool(), &replay_memos_, rows, op_stats));
+        *cache_hit = 2;
+        cache->RecordContainmentHit();
+        // Promote: the replayed rows ARE this pattern's full result, so
+        // the next repeat of any of its spellings exact-hits.
+        cache->Insert(canon.key, canon.pattern, *rows);
+        SyncResultCacheMetrics();
+        return true;
+      }
+    }
+  }
+  cache->RecordMiss();
+  SyncResultCacheMetrics();
+  return false;
 }
 
 void GraphMatcher::RecordQuery(const Pattern& pattern, Engine engine,
@@ -215,17 +371,65 @@ Result<MatchResult> GraphMatcher::Match(const Pattern& pattern,
     case Engine::kDps:
     case Engine::kDp:
     case Engine::kCanonical: {
+      CheckEpoch();
+      WallTimer total;
+      CanonicalForm canon = Canonicalize(*effective);
+      const bool use_cache = executor_.options().use_result_cache;
+      if (use_cache) EnsureResultCache();
       fgpm::Plan storage;
       double optimize_ms = 0;
       FGPM_ASSIGN_OR_RETURN(
           const fgpm::Plan* plan,
-          ResolvePlan(*effective, options, &storage, &optimize_ms));
+          ResolvePlan(*effective, canon, options, &storage, &optimize_ms));
+      if (use_cache) {
+        MatchResult result;
+        std::vector<std::vector<NodeId>> canon_rows;
+        uint8_t cache_hit = 0;
+        FGPM_ASSIGN_OR_RETURN(
+            bool served,
+            TryResultCache(canon, plan->estimated_cost, &canon_rows,
+                           &result.stats.operators, &cache_hit));
+        if (served) {
+          // Cached rows are in canonical node order; permute into this
+          // spelling's numbering (node i lives in canonical column
+          // node_map[i]).
+          for (PatternNodeId i = 0; i < effective->num_nodes(); ++i) {
+            result.column_labels.push_back(effective->label(i));
+          }
+          result.rows.reserve(canon_rows.size());
+          for (const auto& crow : canon_rows) {
+            std::vector<NodeId> row(crow.size());
+            for (PatternNodeId i = 0; i < effective->num_nodes(); ++i) {
+              row[i] = crow[canon.node_map[i]];
+            }
+            result.rows.push_back(std::move(row));
+          }
+          result.stats.cache_hit = cache_hit;
+          result.stats.result_rows = result.rows.size();
+          result.stats.optimize_ms = optimize_ms;
+          result.stats.elapsed_ms = total.ElapsedMillis();
+          return finish(std::move(result));
+        }
+      }
       FGPM_ASSIGN_OR_RETURN(MatchResult result,
                             executor_.Execute(*effective, *plan));
       // Like the paper, reported elapsed time covers optimization AND
       // processing.
       result.stats.optimize_ms = optimize_ms;
       result.stats.elapsed_ms += optimize_ms;
+      if (use_cache) {
+        std::vector<std::vector<NodeId>> canon_rows;
+        canon_rows.reserve(result.rows.size());
+        for (const auto& row : result.rows) {
+          std::vector<NodeId> crow(row.size());
+          for (PatternNodeId i = 0; i < effective->num_nodes(); ++i) {
+            crow[canon.node_map[i]] = row[i];
+          }
+          canon_rows.push_back(std::move(crow));
+        }
+        result_cache_->Insert(canon.key, canon.pattern, canon_rows);
+        SyncResultCacheMetrics();
+      }
       return finish(std::move(result));
     }
     case Engine::kIntDp: {
@@ -280,11 +484,13 @@ Result<ExplainAnalyzeResult> GraphMatcher::ExplainAnalyze(
     effective = &reduced;
   }
 
+  CheckEpoch();
   fgpm::Plan storage;
   double optimize_ms = 0;
+  const CanonicalForm canon = Canonicalize(*effective);
   FGPM_ASSIGN_OR_RETURN(
       const fgpm::Plan* plan,
-      ResolvePlan(*effective, options, &storage, &optimize_ms));
+      ResolvePlan(*effective, canon, options, &storage, &optimize_ms));
 
   // Explain with the exact CostParams the optimizer planned under, so
   // est-vs-actual deltas expose model error, not a configuration skew.
@@ -355,6 +561,180 @@ Result<MatchResult> GraphMatcher::Match(std::string_view pattern_text,
                                         MatchOptions options) {
   FGPM_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(pattern_text));
   return Match(p, options);
+}
+
+Result<std::vector<MatchResult>> GraphMatcher::MatchBatch(
+    const std::vector<Pattern>& patterns, MatchOptions options,
+    BatchStats* batch_stats) {
+  if (options.engine != Engine::kDps && options.engine != Engine::kDp &&
+      options.engine != Engine::kCanonical) {
+    return Status::InvalidArgument(
+        "MatchBatch needs a planned engine (DPS/DP/CANONICAL)");
+  }
+  CheckEpoch();
+  const bool use_cache = executor_.options().use_result_cache;
+  if (use_cache) EnsureResultCache();
+
+  // Phase 1: canonicalize and dedup. Two spellings of the same pattern
+  // (and outright repeats) collapse into one unique query; everything
+  // downstream runs in CANONICAL coordinates, so plans, cached rows and
+  // shared seeds are directly reusable, and the fan-out at the end is a
+  // pure column permutation per caller spelling.
+  struct Prepared {
+    Pattern reduced;            // storage when transitive_reduction is on
+    const Pattern* effective = nullptr;
+    CanonicalForm canon;
+    size_t unique = 0;
+    bool representative = false;
+  };
+  std::vector<Prepared> prep(patterns.size());
+  struct Unique {
+    const Pattern* canonical = nullptr;  // points into prep
+    const std::string* key = nullptr;
+    std::vector<std::vector<NodeId>> rows;  // canonical node order
+    ExecStats stats;
+    std::vector<LabelId> node_labels;
+    bool resolvable = false;
+    fgpm::Plan plan;             // own copy: cache entries may be evicted
+    size_t batch_slot = SIZE_MAX;  // index into the shared-seed batch
+  };
+  std::vector<Unique> uniques;
+  std::unordered_map<std::string, size_t> unique_of;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    FGPM_RETURN_IF_ERROR(patterns[i].Validate());
+    Prepared& p = prep[i];
+    p.effective = &patterns[i];
+    if (options.transitive_reduction) {
+      p.reduced = patterns[i].TransitiveReduction();
+      p.effective = &p.reduced;
+    }
+    p.canon = Canonicalize(*p.effective);
+    auto [it, inserted] = unique_of.try_emplace(p.canon.key, uniques.size());
+    p.unique = it->second;
+    p.representative = inserted;
+    if (inserted) uniques.emplace_back();
+  }
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    if (!prep[i].representative) continue;
+    Unique& u = uniques[prep[i].unique];
+    u.canonical = &prep[i].canon.pattern;
+    u.key = &prep[i].canon.key;
+  }
+
+  // Phase 2: per unique — resolve the (canonical) plan, probe the
+  // result cache, and collect the rest into one shared-seed batch.
+  std::vector<BatchQuery> batch;
+  std::vector<size_t> batch_unique;  // batch slot -> unique index
+  for (size_t ui = 0; ui < uniques.size(); ++ui) {
+    Unique& u = uniques[ui];
+    // The canonical pattern canonicalizes to itself, so this yields
+    // identity maps — ResolvePlan caches and returns the plan verbatim.
+    const CanonicalForm self = Canonicalize(*u.canonical);
+    fgpm::Plan storage;
+    double optimize_ms = 0;
+    FGPM_ASSIGN_OR_RETURN(
+        const fgpm::Plan* plan,
+        ResolvePlan(*u.canonical, self, options, &storage, &optimize_ms));
+    u.stats.optimize_ms = optimize_ms;
+    if (use_cache) {
+      WallTimer t;
+      FGPM_ASSIGN_OR_RETURN(
+          bool served,
+          TryResultCache(self, plan->estimated_cost, &u.rows,
+                         &u.stats.operators, &u.stats.cache_hit));
+      if (served) {
+        u.stats.result_rows = u.rows.size();
+        u.stats.elapsed_ms = optimize_ms + t.ElapsedMillis();
+        continue;
+      }
+    }
+    u.plan = *plan;
+    u.resolvable = ResolveNodeLabels(*db_, *u.canonical, &u.node_labels);
+    u.batch_slot = batch.size();
+    batch.push_back({u.canonical, &u.plan, u.node_labels, u.resolvable});
+    batch_unique.push_back(ui);
+  }
+
+  // Phase 3: shared-seed execution of the residue.
+  BatchExecStats bexec;
+  if (!batch.empty()) {
+    std::vector<MatchResult> executed;
+    FGPM_RETURN_IF_ERROR(ExecuteBatch(*db_, batch, executor_.options(),
+                                      executor_.pool(), &batch_scratch_,
+                                      executor_.scratch(), &executed,
+                                      &bexec));
+    for (size_t s = 0; s < executed.size(); ++s) {
+      Unique& u = uniques[batch_unique[s]];
+      u.rows = std::move(executed[s].rows);
+      const double optimize_ms = u.stats.optimize_ms;
+      u.stats = executed[s].stats;
+      u.stats.optimize_ms = optimize_ms;
+      u.stats.elapsed_ms += optimize_ms;
+      if (use_cache) {
+        result_cache_->Insert(*u.key, *u.canonical, u.rows);
+      }
+    }
+    if (use_cache) SyncResultCacheMetrics();
+  }
+
+  // Phase 4: fan the unique answers back out, one column permutation
+  // per caller spelling; repeats beyond the representative read the
+  // shared rows like an exact cache hit.
+  std::vector<MatchResult> results(patterns.size());
+  uint64_t cache_exact = 0, cache_replay = 0;
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    const Prepared& p = prep[i];
+    const Unique& u = uniques[p.unique];
+    MatchResult& res = results[i];
+    res.stats = u.stats;
+    if (!p.representative) res.stats.cache_hit = 1;
+    for (PatternNodeId n = 0; n < p.effective->num_nodes(); ++n) {
+      res.column_labels.push_back(p.effective->label(n));
+    }
+    res.rows.reserve(u.rows.size());
+    for (const auto& crow : u.rows) {
+      std::vector<NodeId> row(crow.size());
+      for (PatternNodeId n = 0; n < p.effective->num_nodes(); ++n) {
+        row[n] = crow[p.canon.node_map[n]];
+      }
+      res.rows.push_back(std::move(row));
+    }
+    res.stats.result_rows = res.rows.size();
+    if (res.stats.cache_hit == 1) ++cache_exact;
+    if (res.stats.cache_hit == 2) ++cache_replay;
+    RecordQuery(*p.effective, options.engine, res.stats);
+    FGPM_ASSIGN_OR_RETURN(results[i],
+                          Project(std::move(res), *p.effective, options));
+  }
+
+  if (batch_stats != nullptr) {
+    batch_stats->queries = patterns.size();
+    batch_stats->unique_queries = uniques.size();
+    batch_stats->cache_exact = cache_exact;
+    batch_stats->cache_replay = cache_replay;
+    batch_stats->shared_seed_groups = bexec.shared_seed_groups;
+    batch_stats->shared_seed_reuses = bexec.shared_seed_reuses;
+  }
+  if (obs::Enabled()) {
+    const MatcherMetrics& m = MatcherMetrics::Get();
+    m.batch_queries->Increment(patterns.size());
+    m.batch_dedup_hits->Increment(patterns.size() - uniques.size());
+    m.batch_shared_seed_groups->Increment(bexec.shared_seed_groups);
+    m.batch_shared_seed_reuses->Increment(bexec.shared_seed_reuses);
+  }
+  return results;
+}
+
+Result<std::vector<MatchResult>> GraphMatcher::MatchBatch(
+    const std::vector<std::string>& pattern_texts, MatchOptions options,
+    BatchStats* batch_stats) {
+  std::vector<Pattern> patterns;
+  patterns.reserve(pattern_texts.size());
+  for (const std::string& text : pattern_texts) {
+    FGPM_ASSIGN_OR_RETURN(Pattern p, Pattern::Parse(text));
+    patterns.push_back(std::move(p));
+  }
+  return MatchBatch(patterns, options, batch_stats);
 }
 
 }  // namespace fgpm

@@ -28,11 +28,14 @@
 #include "baseline/igmj.h"
 #include "baseline/tsd.h"
 #include "common/status.h"
+#include "core/result_cache.h"
+#include "exec/batch.h"
 #include "exec/engine.h"
 #include "exec/plan.h"
 #include "gdb/database.h"
 #include "graph/graph.h"
 #include "opt/explain.h"
+#include "query/containment.h"
 #include "query/pattern.h"
 
 namespace fgpm {
@@ -69,6 +72,16 @@ struct SlowQuery {
   uint64_t result_rows = 0;
 };
 
+// Aggregate accounting of one MatchBatch call.
+struct BatchStats {
+  uint64_t queries = 0;          // patterns submitted
+  uint64_t unique_queries = 0;   // after canonical-form dedup
+  uint64_t cache_exact = 0;      // answered by a result-cache exact hit
+  uint64_t cache_replay = 0;     // answered by containment replay
+  uint64_t shared_seed_groups = 0;   // opening groups seeded >= 2 queries
+  uint64_t shared_seed_reuses = 0;   // queries served from a shared seed
+};
+
 // EXPLAIN ANALYZE: the optimizer's estimates, the actual execution, and
 // the combined per-step profile report. `chrome_trace_json` is a Chrome
 // trace_event dump of the per-step spans (empty when obs is compiled
@@ -103,6 +116,21 @@ class GraphMatcher {
   Result<MatchResult> Match(std::string_view pattern_text,
                             MatchOptions options = {});
 
+  // Executes a batch of concurrent queries together (planned engines
+  // kDps/kDp/kCanonical only). The batch is deduplicated by canonical
+  // form, probed against the result cache (when enabled), and the
+  // remaining unique queries run through exec/batch.h's shared-seed
+  // executor: queries opening on the same label extents share one base
+  // scan + R-semijoin pass, then fan their pipeline tails out across
+  // the executor's pool. results[i] answers patterns[i] and is
+  // row-identical to a solo Match(patterns[i], options).
+  Result<std::vector<MatchResult>> MatchBatch(
+      const std::vector<Pattern>& patterns, MatchOptions options = {},
+      BatchStats* batch_stats = nullptr);
+  Result<std::vector<MatchResult>> MatchBatch(
+      const std::vector<std::string>& pattern_texts, MatchOptions options = {},
+      BatchStats* batch_stats = nullptr);
+
   // Plans, explains and executes in one call (kDps/kDp/kCanonical only):
   // the optimizer's per-step estimates lined up with the actual per-step
   // rows, wall time and cost-model error of the same plan. The execution
@@ -127,7 +155,9 @@ class GraphMatcher {
                ExecOptions exec_options)
       : graph_(g),
         db_(std::move(db)),
-        executor_(db_.get(), exec_options) {}
+        executor_(db_.get(), exec_options) {
+    seen_epoch_ = db_->epoch();
+  }
 
   static Result<MatchResult> Project(MatchResult result,
                                      const Pattern& pattern,
@@ -139,13 +169,35 @@ class GraphMatcher {
   void RecordQuery(const Pattern& pattern, Engine engine,
                    const ExecStats& stats);
 
-  // Plan resolution shared by Match and ExplainAnalyze: cache lookup,
-  // optimize on miss, insert when caching is on. `storage` must outlive
-  // the returned pointer (holds the plan on cache bypass).
+  // Plan resolution shared by Match, MatchBatch and ExplainAnalyze:
+  // cache lookup under the pattern's canonical key, optimize on miss,
+  // insert when caching is on. Cached plans are stored in canonical
+  // coordinates and translated through `canon`'s maps both ways, so
+  // every spelling of a pattern shares one cache entry. `storage` must
+  // outlive the returned pointer (holds the plan whenever it is not
+  // served straight from the cache).
   Result<const fgpm::Plan*> ResolvePlan(const Pattern& pattern,
+                                        const CanonicalForm& canon,
                                         const MatchOptions& options,
                                         fgpm::Plan* storage,
                                         double* optimize_ms);
+
+  // Lazily constructs the result cache (ExecOptions::use_result_cache).
+  ResultCache* EnsureResultCache();
+  // Drops both caches when GraphDatabase::epoch() has moved since the
+  // last query (ApplyEdgeInsert changed reachability + statistics).
+  void CheckEpoch();
+  // Answers `canon` from the result cache if possible: exact hit, or a
+  // containment replay when the policy (and cost model, for kCostBased
+  // against `fresh_cost`) favors it. On success fills rows in CANONICAL
+  // node order and sets *cache_hit to 1 (exact) or 2 (replay).
+  Result<bool> TryResultCache(const CanonicalForm& canon,
+                              double fresh_cost,
+                              std::vector<std::vector<NodeId>>* rows,
+                              OperatorStats* op_stats, uint8_t* cache_hit);
+  // Pushes result-cache counter deltas + the bytes gauge into the
+  // metrics registry (no-op when obs is disabled).
+  void SyncResultCacheMetrics();
 
   // Caches a freshly optimized plan, evicting the least recently used
   // entry when over capacity (must be > 0). Returns the cached plan
@@ -172,6 +224,24 @@ class GraphMatcher {
   std::unordered_map<std::string, CachedPlan> plan_cache_;
   uint64_t plan_cache_hits_ = 0;
   uint64_t plan_cache_misses_ = 0;
+  uint64_t plan_cache_evictions_ = 0;
+  uint64_t cache_invalidations_ = 0;
+  // Semantic result cache (null until the first query with
+  // use_result_cache on). seen_epoch_ tracks GraphDatabase::epoch() so
+  // both caches self-invalidate after ApplyEdgeInsert.
+  std::unique_ptr<ResultCache> result_cache_;
+  uint64_t seen_epoch_ = 0;
+  // Last counter values already pushed into the metrics registry
+  // (counters are monotonic; the registry gets deltas).
+  struct SyncedCacheCounters {
+    uint64_t hits_exact = 0, hits_containment = 0, misses = 0;
+    uint64_t evictions = 0, inserts = 0;
+  } synced_;
+  // Reused across MatchBatch calls / containment replays: configuring
+  // either allocates memo tables, so per-call construction would
+  // dominate small batches (see BatchScratch / ReplayContainment docs).
+  BatchScratch batch_scratch_;
+  std::vector<ReachMemo> replay_memos_;
   // Ring of the most recent slow queries (kSlowLogCapacity newest kept).
   std::deque<SlowQuery> slow_queries_;
 
@@ -194,6 +264,16 @@ class GraphMatcher {
     plan_cache_.clear();
     plan_lru_.clear();
   }
+  // ClearPlanCache plus invalidation accounting — what the automatic
+  // epoch check runs. Exposed so callers that mutate statistics outside
+  // ApplyEdgeInsert can force the same path.
+  void InvalidatePlanCache();
+  void ClearResultCache();
+  // The semantic result cache; null until the first query ran with
+  // ExecOptions::use_result_cache set.
+  const ResultCache* result_cache() const { return result_cache_.get(); }
+  uint64_t plan_cache_evictions() const { return plan_cache_evictions_; }
+  uint64_t cache_invalidations() const { return cache_invalidations_; }
   size_t plan_cache_size() const { return plan_cache_.size(); }
   // Capacity comes from ExecOptions::plan_cache_capacity (0 disables).
   size_t plan_cache_capacity() const {

@@ -124,6 +124,173 @@ void AttachSpanArgs(QueryTrace* trace, uint32_t span, uint64_t rows_in,
 
 void MatchResult::SortRows() { std::sort(rows.begin(), rows.end()); }
 
+bool ResolveNodeLabels(const GraphDatabase& db, const Pattern& pattern,
+                       std::vector<LabelId>* node_labels) {
+  std::vector<LabelId> resolved(pattern.num_nodes());
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto l = db.catalog().FindLabel(pattern.label(i));
+    if (!l) return false;
+    resolved[i] = *l;
+  }
+  *node_labels = std::move(resolved);
+  return true;
+}
+
+Status RunPlanSteps(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels, const Plan& plan,
+                    size_t start_step, bool factorized, TemporalTable* table,
+                    ExecStats* stats, QueryTrace* trace, uint32_t query_span,
+                    ThreadPool* pool, ExecScratch* scratch,
+                    uint64_t* wcoj_binds) {
+  const std::vector<PlanStep>& steps = plan.steps;
+  for (size_t si = start_step; si < steps.size(); ++si) {
+    const PlanStep& step = steps[si];
+    size_t absorbed = 0;
+    std::vector<uint32_t> fused;
+    if (factorized && step.kind == StepKind::kFetch) {
+      // Fuse the consecutive selects that touch the node this fetch
+      // binds (their other endpoint is bound already — plans
+      // validate selects): the predicates run on candidates inside
+      // the expansion loop, before anything is appended.
+      const PatternEdge& e = pattern.edges()[step.edge];
+      PatternNodeId nn = step.bound_is_source ? e.to : e.from;
+      size_t j = si + 1;
+      while (j < steps.size() && steps[j].kind == StepKind::kSelect) {
+        const PatternEdge& se = pattern.edges()[steps[j].edge];
+        if (se.from != nn && se.to != nn) break;
+        fused.push_back(steps[j].edge);
+        ++j;
+      }
+      absorbed = fused.size();
+    }
+
+    const uint64_t rows_in = table->NumRows();
+    uint32_t span = 0;
+    OperatorStats ops_before;
+    IoSnapshot io_before_step;
+    if (trace) {
+      span = trace->BeginSpan(StepLabel(pattern, step), "operator",
+                              static_cast<int32_t>(query_span));
+      ops_before = stats->operators;
+      io_before_step = db.Io();
+    }
+    WallTimer step_timer;
+
+    switch (step.kind) {
+      case StepKind::kHpsjBase:
+        FGPM_RETURN_IF_ERROR(HpsjBaseJoin(db, pattern, node_labels, step.edge,
+                                          table, &stats->operators, pool,
+                                          scratch));
+        break;
+      case StepKind::kScanBase:
+        FGPM_RETURN_IF_ERROR(ScanBase(db, pattern, node_labels, step.scan_node,
+                                      table, &stats->operators));
+        break;
+      case StepKind::kFilter:
+        FGPM_RETURN_IF_ERROR(ApplyFilter(db, pattern, node_labels,
+                                         step.filters, table,
+                                         &stats->operators, pool, scratch));
+        break;
+      case StepKind::kFetch:
+        FGPM_RETURN_IF_ERROR(ApplyFetch(db, pattern, node_labels, step.edge,
+                                        step.bound_is_source, table,
+                                        &stats->operators, pool, scratch,
+                                        fused));
+        break;
+      case StepKind::kSelect:
+        FGPM_RETURN_IF_ERROR(ApplySelect(db, pattern, node_labels, step.edge,
+                                         table, &stats->operators, pool,
+                                         scratch));
+        break;
+      case StepKind::kWcojBind:
+        ++*wcoj_binds;
+        FGPM_RETURN_IF_ERROR(ApplyWcojBind(db, pattern, node_labels, step,
+                                           table, &stats->operators, pool,
+                                           scratch));
+        break;
+    }
+
+    const double step_ms = step_timer.ElapsedMillis();
+    // Absorbed selects still count as executed plan steps and
+    // record the (shared) post-fetch row count; their time is
+    // inside the fetch's entry.
+    stats->steps += static_cast<uint32_t>(1 + absorbed);
+    uint64_t nrows = table->NumRows();
+    for (size_t k = 0; k <= absorbed; ++k) {
+      stats->step_rows.push_back(nrows);
+      stats->step_wall_ms.push_back(k == 0 ? step_ms : 0.0);
+      stats->step_absorbed.push_back(k == 0 ? 0 : 1);
+    }
+    if (trace) {
+      trace->EndSpan(span);
+      AttachSpanArgs(trace, span, rows_in, nrows, ops_before,
+                     stats->operators, IoDelta(db.Io(), io_before_step));
+      // Fused selects become child spans mirroring the fetch's
+      // interval — parent/child links make the absorption visible
+      // in chrome://tracing instead of the steps just vanishing.
+      // Copy the interval: AddCompleteSpan grows spans_ and would
+      // invalidate a reference held across iterations.
+      const double parent_start_us = trace->spans()[span].start_us;
+      const double parent_wall_us = trace->spans()[span].wall_us;
+      for (size_t k = 0; k < absorbed; ++k) {
+        uint32_t child = trace->AddCompleteSpan(
+            StepLabel(pattern, steps[si + 1 + k]), "operator",
+            static_cast<int32_t>(span), parent_start_us, parent_wall_us, 0);
+        trace->AddArg(child, "fused_into_fetch", 1);
+        trace->AddArg(child, "rows_out", nrows);
+      }
+    }
+    si += absorbed;
+    // An empty intermediate stays empty; skip the remaining steps.
+    if (nrows == 0) break;
+  }
+  return Status::OK();
+}
+
+void MaterializeTable(const Pattern& pattern, const TemporalTable& table,
+                      MatchResult* result) {
+  // Project to pattern-node order (plans bind labels in plan order).
+  // This is the factorized representation's single materialization
+  // point: each column is gathered once, sequentially.
+  if (table.NumColumns() != pattern.num_nodes()) {
+    // Execution emptied out before binding all labels — result stays
+    // empty, which is correct (an empty intermediate join is empty
+    // forever).
+    return;
+  }
+  std::vector<size_t> col_of(pattern.num_nodes());
+  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+    auto c = table.ColumnOf(i);
+    FGPM_CHECK(c.has_value());
+    col_of[i] = *c;
+  }
+  const size_t nrows = table.NumRows();
+  result->rows.reserve(nrows);
+  if (!table.deltas().empty()) {
+    std::vector<std::vector<NodeId>> cols(pattern.num_nodes());
+    for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+      table.GatherColumn(col_of[i], &cols[i]);
+    }
+    for (size_t r = 0; r < nrows; ++r) {
+      std::vector<NodeId> row(pattern.num_nodes());
+      for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+        row[i] = cols[i][r];
+      }
+      result->rows.push_back(std::move(row));
+    }
+  } else {
+    size_t ncols = table.NumColumns();
+    for (size_t r = 0; r < nrows; ++r) {
+      std::vector<NodeId> row(pattern.num_nodes());
+      for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
+        row[i] = table.raw_rows()[r * ncols + col_of[i]];
+      }
+      result->rows.push_back(std::move(row));
+    }
+  }
+  result->stats.operators.rows_materialized += nrows;
+}
+
 Result<MatchResult> Executor::Execute(const Pattern& pattern,
                                       const Plan& plan,
                                       int trace_level_override) {
@@ -154,18 +321,8 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
   }
 
   // Resolve pattern labels; a label with no extent means zero matches.
-  std::vector<LabelId> node_labels(pattern.num_nodes());
-  bool resolvable = true;
-  for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-    auto l = db_->catalog().FindLabel(pattern.label(i));
-    if (!l) {
-      resolvable = false;
-      break;
-    }
-    node_labels[i] = *l;
-  }
-
-  if (resolvable) {
+  std::vector<LabelId> node_labels;
+  if (ResolveNodeLabels(*db_, pattern, &node_labels)) {
     if (pattern.num_edges() == 0) {
       // Single-label pattern: scan the base table.
       FGPM_RETURN_IF_ERROR(
@@ -177,155 +334,11 @@ Result<MatchResult> Executor::Execute(const Pattern& pattern,
       const bool factorized =
           options_.materialization == Materialization::kFactorized;
       scratch_.BeginQuery();
-      const std::vector<PlanStep>& steps = plan.steps;
-      for (size_t si = 0; si < steps.size(); ++si) {
-        const PlanStep& step = steps[si];
-        size_t absorbed = 0;
-        std::vector<uint32_t> fused;
-        if (factorized && step.kind == StepKind::kFetch) {
-          // Fuse the consecutive selects that touch the node this fetch
-          // binds (their other endpoint is bound already — plans
-          // validate selects): the predicates run on candidates inside
-          // the expansion loop, before anything is appended.
-          const PatternEdge& e = pattern.edges()[step.edge];
-          PatternNodeId nn = step.bound_is_source ? e.to : e.from;
-          size_t j = si + 1;
-          while (j < steps.size() && steps[j].kind == StepKind::kSelect) {
-            const PatternEdge& se = pattern.edges()[steps[j].edge];
-            if (se.from != nn && se.to != nn) break;
-            fused.push_back(steps[j].edge);
-            ++j;
-          }
-          absorbed = fused.size();
-        }
-
-        const uint64_t rows_in = table.NumRows();
-        uint32_t span = 0;
-        OperatorStats ops_before;
-        IoSnapshot io_before_step;
-        if (trace) {
-          span = trace->BeginSpan(StepLabel(pattern, step), "operator",
-                                  static_cast<int32_t>(query_span));
-          ops_before = result.stats.operators;
-          io_before_step = db_->Io();
-        }
-        WallTimer step_timer;
-
-        switch (step.kind) {
-          case StepKind::kHpsjBase:
-            FGPM_RETURN_IF_ERROR(HpsjBaseJoin(*db_, pattern, node_labels,
-                                              step.edge, &table,
-                                              &result.stats.operators,
-                                              pool_.get(), &scratch_));
-            break;
-          case StepKind::kScanBase:
-            FGPM_RETURN_IF_ERROR(ScanBase(*db_, pattern, node_labels,
-                                          step.scan_node, &table,
-                                          &result.stats.operators));
-            break;
-          case StepKind::kFilter:
-            FGPM_RETURN_IF_ERROR(ApplyFilter(*db_, pattern, node_labels,
-                                             step.filters, &table,
-                                             &result.stats.operators,
-                                             pool_.get(), &scratch_));
-            break;
-          case StepKind::kFetch:
-            FGPM_RETURN_IF_ERROR(ApplyFetch(*db_, pattern, node_labels,
-                                            step.edge, step.bound_is_source,
-                                            &table, &result.stats.operators,
-                                            pool_.get(), &scratch_, fused));
-            break;
-          case StepKind::kSelect:
-            FGPM_RETURN_IF_ERROR(ApplySelect(*db_, pattern, node_labels,
-                                             step.edge, &table,
-                                             &result.stats.operators,
-                                             pool_.get(), &scratch_));
-            break;
-          case StepKind::kWcojBind:
-            ++wcoj_binds;
-            FGPM_RETURN_IF_ERROR(ApplyWcojBind(*db_, pattern, node_labels,
-                                               step, &table,
-                                               &result.stats.operators,
-                                               pool_.get(), &scratch_));
-            break;
-        }
-
-        const double step_ms = step_timer.ElapsedMillis();
-        // Absorbed selects still count as executed plan steps and
-        // record the (shared) post-fetch row count; their time is
-        // inside the fetch's entry.
-        result.stats.steps += static_cast<uint32_t>(1 + absorbed);
-        uint64_t nrows = table.NumRows();
-        for (size_t k = 0; k <= absorbed; ++k) {
-          result.stats.step_rows.push_back(nrows);
-          result.stats.step_wall_ms.push_back(k == 0 ? step_ms : 0.0);
-          result.stats.step_absorbed.push_back(k == 0 ? 0 : 1);
-        }
-        if (trace) {
-          trace->EndSpan(span);
-          AttachSpanArgs(trace.get(), span, rows_in, nrows, ops_before,
-                         result.stats.operators,
-                         IoDelta(db_->Io(), io_before_step));
-          // Fused selects become child spans mirroring the fetch's
-          // interval — parent/child links make the absorption visible
-          // in chrome://tracing instead of the steps just vanishing.
-          // Copy the interval: AddCompleteSpan grows spans_ and would
-          // invalidate a reference held across iterations.
-          const double parent_start_us = trace->spans()[span].start_us;
-          const double parent_wall_us = trace->spans()[span].wall_us;
-          for (size_t k = 0; k < absorbed; ++k) {
-            uint32_t child = trace->AddCompleteSpan(
-                StepLabel(pattern, steps[si + 1 + k]), "operator",
-                static_cast<int32_t>(span), parent_start_us, parent_wall_us,
-                0);
-            trace->AddArg(child, "fused_into_fetch", 1);
-            trace->AddArg(child, "rows_out", nrows);
-          }
-        }
-        si += absorbed;
-        // An empty intermediate stays empty; skip the remaining steps.
-        if (nrows == 0) break;
-      }
-
-      // Project to pattern-node order (plans bind labels in plan order).
-      // This is the factorized representation's single materialization
-      // point: each column is gathered once, sequentially.
-      if (table.NumColumns() == pattern.num_nodes()) {
-        std::vector<size_t> col_of(pattern.num_nodes());
-        for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-          auto c = table.ColumnOf(i);
-          FGPM_CHECK(c.has_value());
-          col_of[i] = *c;
-        }
-        const size_t nrows = table.NumRows();
-        result.rows.reserve(nrows);
-        if (!table.deltas().empty()) {
-          std::vector<std::vector<NodeId>> cols(pattern.num_nodes());
-          for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-            table.GatherColumn(col_of[i], &cols[i]);
-          }
-          for (size_t r = 0; r < nrows; ++r) {
-            std::vector<NodeId> row(pattern.num_nodes());
-            for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-              row[i] = cols[i][r];
-            }
-            result.rows.push_back(std::move(row));
-          }
-        } else {
-          size_t ncols = table.NumColumns();
-          for (size_t r = 0; r < nrows; ++r) {
-            std::vector<NodeId> row(pattern.num_nodes());
-            for (PatternNodeId i = 0; i < pattern.num_nodes(); ++i) {
-              row[i] = table.raw_rows()[r * ncols + col_of[i]];
-            }
-            result.rows.push_back(std::move(row));
-          }
-        }
-        result.stats.operators.rows_materialized += nrows;
-      }
-      // else: execution emptied out before binding all labels — result
-      // stays empty, which is correct (an empty intermediate join is
-      // empty forever).
+      FGPM_RETURN_IF_ERROR(RunPlanSteps(
+          *db_, pattern, node_labels, plan, 0, factorized, &table,
+          &result.stats, trace.get(), query_span, pool_.get(), &scratch_,
+          &wcoj_binds));
+      MaterializeTable(pattern, table, &result);
     }
   }
 

@@ -21,6 +21,10 @@ struct ExecStats {
   double elapsed_ms = 0;
   double optimize_ms = 0;  // plan-selection time (set by GraphMatcher)
   uint64_t result_rows = 0;
+  // How the result was produced: 0 = fresh execution, 1 = result-cache
+  // exact hit (rows copied), 2 = containment replay (cached rows of a
+  // more general pattern filtered down). Set by GraphMatcher.
+  uint8_t cache_hit = 0;
   IoSnapshot io;           // delta over the execution
   OperatorStats operators;
   uint32_t steps = 0;
@@ -55,6 +59,13 @@ struct MatchResult {
   void SortRows();
 };
 
+// When a cached result of a more general pattern can answer a query,
+// should the matcher filter the cached rows down instead of executing?
+// kCostBased compares CostModel::ReplayCost against the fresh plan's
+// estimated cost; kAlways/kNever force the decision (tests, benches).
+// Exact-key hits are always served from the cache regardless.
+enum class ResultCachePolicy : uint8_t { kCostBased, kAlways, kNever };
+
 // Intra-operator parallelism + materialization knobs. Result rows are
 // identical for every thread count and both materialization modes (see
 // operators.h / temporal_table.h); elapsed time and memo-affected
@@ -69,6 +80,18 @@ struct ExecOptions {
   Materialization materialization = Materialization::kFactorized;
   // GraphMatcher plan-cache bound (entries). 0 disables caching.
   size_t plan_cache_capacity = 256;
+  // Semantic result cache (GraphMatcher): answer a repeated query by
+  // copying its cached rows, and a query *contained* in a cached more
+  // general pattern by filtering the cached rows down (replay) instead
+  // of re-executing from base tables. Off by default — opt in for
+  // serving-style workloads; A/B benches that re-run one pattern would
+  // otherwise measure the cache, not the engine. Invalidated
+  // automatically when GraphDatabase::epoch() moves (ApplyEdgeInsert).
+  bool use_result_cache = false;
+  // Memory budget of the result cache in MiB (LRU once over budget;
+  // single results larger than the whole budget are never cached).
+  size_t result_cache_mb = 64;
+  ResultCachePolicy result_cache_policy = ResultCachePolicy::kCostBased;
   // Observability. trace_level 0 keeps only the always-on aggregates
   // (ExecStats counters + registry metrics — the <3% overhead budget);
   // trace_level >= 1 records a QueryTrace span per plan step carrying
@@ -83,6 +106,31 @@ struct ExecOptions {
   // with binary R-join steps; acyclic patterns keep binary plans.
   JoinStrategy join_strategy = JoinStrategy::kHybrid;
 };
+
+// --- shared plan-pipeline pieces (engine.cc; reused by exec/batch.cc) ----
+// Runs plan.steps[start_step..] against `table`, with factorized select
+// fusion, per-step stats (steps/step_rows/step_wall_ms/step_absorbed)
+// and optional spans (trace may be null). The loop is exactly
+// Executor::Execute's — extracted so batched pipelines can resume from
+// a shared seed table at start_step > 0.
+Status RunPlanSteps(const GraphDatabase& db, const Pattern& pattern,
+                    const std::vector<LabelId>& node_labels, const Plan& plan,
+                    size_t start_step, bool factorized, TemporalTable* table,
+                    ExecStats* stats, QueryTrace* trace, uint32_t query_span,
+                    ThreadPool* pool, ExecScratch* scratch,
+                    uint64_t* wcoj_binds);
+
+// The single materialization point: projects `table` (complete — one
+// column per pattern node) into result->rows in pattern-node order.
+// No-op when execution emptied out before binding every label.
+void MaterializeTable(const Pattern& pattern, const TemporalTable& table,
+                      MatchResult* result);
+
+// Resolves every pattern label against the catalog. Returns false (and
+// leaves node_labels untouched) when any label has no extent — the
+// query's result is empty by definition.
+bool ResolveNodeLabels(const GraphDatabase& db, const Pattern& pattern,
+                       std::vector<LabelId>* node_labels);
 
 class Executor {
  public:
@@ -104,6 +152,14 @@ class Executor {
 
   unsigned num_threads() const { return pool_ ? pool_->size() : 1; }
   const ExecOptions& options() const { return options_; }
+  // The executor's pool (null when single-threaded). Batch execution
+  // and result-cache replay fan their own work out over it between
+  // queries; regular Execute owns it during a query.
+  ThreadPool* pool() { return pool_.get(); }
+  // The executor's per-worker scratch (configured for pool-size workers
+  // at construction). Idle between Execute calls — ExecuteBatch borrows
+  // it for shared-seed builds instead of allocating an identical one.
+  ExecScratch* scratch() { return &scratch_; }
   // Retargets the planner between queries (plans themselves execute
   // under whatever strategy built them). GraphMatcher's plan-cache key
   // includes the strategy, so toggling never replays a stale plan.

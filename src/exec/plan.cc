@@ -196,6 +196,35 @@ std::string StepLabel(const Pattern& pattern, const PlanStep& step) {
   return "?";
 }
 
+Plan RemapPlan(const Plan& plan, const std::vector<PatternNodeId>& node_map,
+               const std::vector<uint32_t>& edge_map) {
+  Plan out;
+  out.estimated_cost = plan.estimated_cost;
+  out.steps.reserve(plan.steps.size());
+  for (const PlanStep& step : plan.steps) {
+    PlanStep s = step;
+    switch (step.kind) {
+      case StepKind::kHpsjBase:
+      case StepKind::kFetch:
+      case StepKind::kSelect:
+        s.edge = edge_map[step.edge];
+        break;
+      case StepKind::kScanBase:
+        s.scan_node = node_map[step.scan_node];
+        break;
+      case StepKind::kFilter:
+        for (FilterItem& item : s.filters) item.edge = edge_map[item.edge];
+        break;
+      case StepKind::kWcojBind:
+        s.scan_node = node_map[step.scan_node];
+        for (uint32_t& e : s.wcoj_edges) e = edge_map[e];
+        break;
+    }
+    out.steps.push_back(std::move(s));
+  }
+  return out;
+}
+
 const char* JoinStrategyName(JoinStrategy s) {
   switch (s) {
     case JoinStrategy::kBinary:

@@ -86,6 +86,16 @@ struct PlanStep {
 // matches its row in the profile report by string equality.
 std::string StepLabel(const Pattern& pattern, const PlanStep& step);
 
+struct Plan;
+
+// Rewrites every node id through node_map and every edge index through
+// edge_map (directions are preserved by construction, so
+// bound_is_source carries over unchanged). Used by the plan cache to
+// store plans in canonical-pattern coordinates and translate them into
+// the coordinates of whichever spelling is asking (query/containment.h).
+Plan RemapPlan(const Plan& plan, const std::vector<PatternNodeId>& node_map,
+               const std::vector<uint32_t>& edge_map);
+
 struct Plan {
   std::vector<PlanStep> steps;
   double estimated_cost = 0.0;

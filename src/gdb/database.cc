@@ -80,6 +80,11 @@ Status GraphDatabase::ApplyEdgeInsert(const Graph& g_after, NodeId u,
                               d_t);
     }
   }
+  // Reachability (and statistics) changed: move the epoch so matcher-
+  // level caches drop plans and results computed against the old graph.
+  // The no-new-pairs early return above deliberately skips this — an
+  // edge that changes nothing invalidates nothing.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

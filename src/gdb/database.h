@@ -105,6 +105,12 @@ class GraphDatabase {
       const std::string& path, GraphDatabaseOptions options = {});
 
   // --- metadata ---------------------------------------------------------
+  // Monotone statistics/semantics epoch: bumped whenever an applied
+  // update changes reachability (ApplyEdgeInsert with any rewritten
+  // codes). Query-level caches (GraphMatcher's plan cache and result
+  // cache) snapshot the epoch when they fill and self-invalidate when
+  // it moves — one relaxed load per lookup, no registration protocol.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   const GraphDatabaseOptions& options() const { return options_; }
   uint32_t num_labels() const { return catalog_.num_labels(); }
   const Catalog& catalog() const { return catalog_; }
@@ -148,6 +154,7 @@ class GraphDatabase {
   Catalog catalog_;
   TwoHopLabeling labeling_;
   bool built_ = false;
+  std::atomic<uint64_t> epoch_{0};
 
   // Striped read-mostly code cache. Each stripe is an independent CLOCK
   // (second-chance) cache: hits take the stripe's shared lock, copy the

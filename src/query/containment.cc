@@ -1,0 +1,127 @@
+#include "query/containment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fgpm {
+
+namespace {
+
+// Boolean transitive closure of `edges` over n nodes (n is pattern-
+// sized — a handful — so Floyd-Warshall is fine).
+std::vector<std::vector<bool>> Closure(size_t n,
+                                       const std::vector<PatternEdge>& edges) {
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const PatternEdge& e : edges) reach[e.from][e.to] = true;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t u = 0; u < n; ++u) {
+      if (!reach[u][k]) continue;
+      for (size_t v = 0; v < n; ++v) {
+        if (reach[k][v]) reach[u][v] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace
+
+std::vector<PatternNodeId> CanonicalForm::InverseNodeMap() const {
+  std::vector<PatternNodeId> inv(node_map.size());
+  for (PatternNodeId i = 0; i < node_map.size(); ++i) inv[node_map[i]] = i;
+  return inv;
+}
+
+std::vector<uint32_t> CanonicalForm::InverseEdgeMap() const {
+  std::vector<uint32_t> inv(edge_map.size());
+  for (uint32_t i = 0; i < edge_map.size(); ++i) inv[edge_map[i]] = i;
+  return inv;
+}
+
+CanonicalForm Canonicalize(const Pattern& p) {
+  CanonicalForm out;
+
+  // Node order: sorted labels. Labels are unique within a pattern
+  // (Pattern::AddNode dedups), so the order is total.
+  std::vector<PatternNodeId> order(p.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PatternNodeId a, PatternNodeId b) {
+    return p.label(a) < p.label(b);
+  });
+  out.node_map.resize(p.num_nodes());
+  for (PatternNodeId pos = 0; pos < order.size(); ++pos) {
+    out.node_map[order[pos]] = pos;
+  }
+  for (PatternNodeId pos = 0; pos < order.size(); ++pos) {
+    out.pattern.AddNode(p.label(order[pos]));
+  }
+
+  // Edge order: remapped endpoints, sorted by (from, to). Edges are
+  // unique (AddEdge rejects duplicates), so the order is total too.
+  struct Tagged {
+    PatternEdge e;
+    uint32_t orig = 0;
+  };
+  std::vector<Tagged> edges(p.num_edges());
+  for (uint32_t i = 0; i < p.num_edges(); ++i) {
+    const PatternEdge& e = p.edges()[i];
+    edges[i] = {{out.node_map[e.from], out.node_map[e.to]}, i};
+  }
+  std::sort(edges.begin(), edges.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.e.from != b.e.from) return a.e.from < b.e.from;
+    return a.e.to < b.e.to;
+  });
+  out.edge_map.resize(p.num_edges());
+  for (uint32_t pos = 0; pos < edges.size(); ++pos) {
+    out.edge_map[edges[pos].orig] = pos;
+    // Canonicalize never runs on invalid patterns; AddEdge can only
+    // reject what AddEdge already accepted once.
+    (void)out.pattern.AddEdge(edges[pos].e.from, edges[pos].e.to);
+  }
+
+  out.key = out.pattern.ToString();
+  return out;
+}
+
+std::optional<ContainmentMapping> Contains(const Pattern& general,
+                                           const Pattern& specific) {
+  // Equal label sets only (see header: projections are not sound).
+  if (general.num_nodes() != specific.num_nodes()) return std::nullopt;
+  ContainmentMapping m;
+  m.general_to_specific.assign(general.num_nodes(), 0);
+  for (PatternNodeId g = 0; g < general.num_nodes(); ++g) {
+    bool found = false;
+    for (PatternNodeId s = 0; s < specific.num_nodes(); ++s) {
+      if (general.label(g) == specific.label(s)) {
+        m.general_to_specific[g] = s;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+
+  // Completeness: every general edge, mapped into specific coordinates,
+  // must be implied by the closure of specific's edges — otherwise a
+  // specific-result tuple could be missing from the cached rows.
+  const size_t n = specific.num_nodes();
+  std::vector<std::vector<bool>> spec_closure = Closure(n, specific.edges());
+  std::vector<PatternEdge> mapped_general;
+  mapped_general.reserve(general.num_edges());
+  for (const PatternEdge& e : general.edges()) {
+    PatternEdge g{m.general_to_specific[e.from], m.general_to_specific[e.to]};
+    if (!spec_closure[g.from][g.to]) return std::nullopt;
+    mapped_general.push_back(g);
+  }
+
+  // Soundness: re-check every specific edge the cached rows do not
+  // already guarantee. Reachability is transitive, so anything in the
+  // closure of the mapped general edges holds on every cached row.
+  std::vector<std::vector<bool>> gen_closure = Closure(n, mapped_general);
+  for (const PatternEdge& e : specific.edges()) {
+    if (!gen_closure[e.from][e.to]) m.residual.push_back(e);
+  }
+  return m;
+}
+
+}  // namespace fgpm

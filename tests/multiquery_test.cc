@@ -1,0 +1,353 @@
+// Semantic result cache + batched multi-query execution (ctest label
+// `mqo`): canonical plan-cache keys, exact/containment cache hits,
+// replay differentials against fresh execution across engines x join
+// strategies x thread counts, MatchBatch row-identity, epoch
+// invalidation after ApplyEdgeInsert, and the metrics export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "workload/patterns.h"
+
+namespace fgpm {
+namespace {
+
+Pattern P(std::string_view text) {
+  auto p = Pattern::Parse(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return *p;
+}
+
+std::unique_ptr<GraphMatcher> MakeMatcher(const Graph& g, ExecOptions eo) {
+  auto m = GraphMatcher::Create(&g, {}, eo);
+  EXPECT_TRUE(m.ok()) << m.status();
+  return std::move(*m);
+}
+
+std::vector<std::vector<NodeId>> SortedRows(Result<MatchResult> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  r->SortRows();
+  return std::move(r->rows);
+}
+
+TEST(PlanCacheCanonicalKeyTest, TwoSpellingsOneMissThenOneHit) {
+  Graph g = gen::ErdosRenyi(200, 700, 4, 5);
+  auto m = MakeMatcher(g, {});
+  // Different statement order AND different parse-order node numbering
+  // — under the old raw-text key these were two distinct entries.
+  auto r1 = m->Match("L0->L1; L1->L2; L0->L2");
+  ASSERT_TRUE(r1.ok()) << r1.status();
+  EXPECT_EQ(m->plan_cache_misses(), 1u);
+  EXPECT_EQ(m->plan_cache_hits(), 0u);
+  auto r2 = m->Match("L1->L2; L0->L2; L0->L1");
+  ASSERT_TRUE(r2.ok()) << r2.status();
+  EXPECT_EQ(m->plan_cache_misses(), 1u);
+  EXPECT_EQ(m->plan_cache_hits(), 1u);
+  EXPECT_EQ(m->plan_cache_size(), 1u);
+  // The remapped cached plan answers the second spelling correctly.
+  r1->SortRows();
+  r2->SortRows();
+  EXPECT_EQ(r1->rows.size(), r2->rows.size());
+}
+
+TEST(ResultCacheTest, ExactHitServesIdenticalRows) {
+  Graph g = gen::ErdosRenyi(300, 1000, 4, 7);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  auto m = MakeMatcher(g, eo);
+  auto fresh = m->Match("L0->L1; L1->L2");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->stats.cache_hit, 0);
+  // Same pattern, different spelling: exact canonical-key hit. Columns
+  // come back in THIS spelling's parse order (L1, L2, L0), so compare
+  // against a cache-less execution of the same spelling, not `fresh`.
+  auto cached = m->Match("L1->L2; L0->L1");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->stats.cache_hit, 1);
+  EXPECT_EQ(fresh->rows.size(), cached->rows.size());
+  auto fresh_m = MakeMatcher(g, {});
+  cached->SortRows();
+  EXPECT_EQ(cached->rows, SortedRows(fresh_m->Match("L1->L2; L0->L1")));
+  ASSERT_NE(m->result_cache(), nullptr);
+  EXPECT_EQ(m->result_cache()->hits_exact(), 1u);
+  EXPECT_GT(m->result_cache()->bytes(), 0u);
+}
+
+TEST(ResultCacheTest, ContainmentReplayMatchesFreshExecution) {
+  Graph g = gen::ErdosRenyi(300, 1200, 4, 11);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  eo.result_cache_policy = ResultCachePolicy::kAlways;
+  auto cached_m = MakeMatcher(g, eo);
+  auto fresh_m = MakeMatcher(g, {});
+
+  // Warm the cache with the general pattern (star), then ask the
+  // contained chain: replay must filter the star's rows down to
+  // exactly the chain's fresh result (residual edge L1->L2).
+  ASSERT_TRUE(cached_m->Match("L0->L1; L0->L2").ok());
+  auto replayed = cached_m->Match("L0->L1; L1->L2");
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->stats.cache_hit, 2);
+  replayed->SortRows();
+  EXPECT_EQ(replayed->rows, SortedRows(fresh_m->Match("L0->L1; L1->L2")));
+  EXPECT_EQ(cached_m->result_cache()->hits_containment(), 1u);
+
+  // Closure-equivalent query (chord implied by the chain): zero
+  // residual, still row-identical. The replay above promoted the chain
+  // into the cache, so the chord is contained by it.
+  auto chord = cached_m->Match("L0->L1; L1->L2; L0->L2");
+  ASSERT_TRUE(chord.ok());
+  EXPECT_EQ(chord->stats.cache_hit, 2);
+  chord->SortRows();
+  EXPECT_EQ(chord->rows,
+            SortedRows(fresh_m->Match("L0->L1; L1->L2; L0->L2")));
+}
+
+TEST(ResultCacheTest, LookalikeNeverServedFromCache) {
+  Graph g = gen::ErdosRenyi(300, 1200, 4, 13);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  eo.result_cache_policy = ResultCachePolicy::kAlways;
+  auto m = MakeMatcher(g, eo);
+  auto fresh_m = MakeMatcher(g, {});
+  // Chain cached; the star is NOT contained in it (L0->L2 is not
+  // implied), so the matcher must fall back to fresh execution — and
+  // produce exactly the fresh rows.
+  ASSERT_TRUE(m->Match("L0->L1; L1->L2").ok());
+  auto star = m->Match("L0->L1; L0->L2");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->stats.cache_hit, 0);
+  star->SortRows();
+  EXPECT_EQ(star->rows, SortedRows(fresh_m->Match("L0->L1; L0->L2")));
+}
+
+TEST(ResultCacheTest, KNeverPolicyOnlyServesExactHits) {
+  Graph g = gen::ErdosRenyi(200, 700, 4, 17);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  eo.result_cache_policy = ResultCachePolicy::kNever;
+  auto m = MakeMatcher(g, eo);
+  ASSERT_TRUE(m->Match("L0->L1; L0->L2").ok());
+  auto r = m->Match("L0->L1; L1->L2");  // contained, but policy says no
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.cache_hit, 0);
+  auto exact = m->Match("L0->L2; L0->L1");
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->stats.cache_hit, 1);
+}
+
+// Randomized replay differential: warm a cache with general patterns,
+// query contained specifics, and assert the replayed rows are
+// row-identical to a cache-less matcher — across engines, join
+// strategies and thread counts (replay fans out over the pool).
+class ReplayDifferential
+    : public ::testing::TestWithParam<std::tuple<unsigned, JoinStrategy>> {};
+
+TEST_P(ReplayDifferential, RowIdenticalAcrossEnginesAndThreads) {
+  const auto [threads, strategy] = GetParam();
+  Graph g = gen::ErdosRenyi(400, 1800, 5, 23);
+  const char* generals[] = {"L0->L1; L1->L2", "L0->L1; L0->L2",
+                            "L1->L2; L1->L3"};
+  const char* specifics[] = {
+      "L0->L1; L1->L2; L0->L2",  // chord of the chain (zero residual)
+      "L0->L1; L1->L2",          // exact repeat of a general
+      "L0->L2; L2->L1",          // NOT contained by the star: fresh path
+      "L1->L2; L2->L3",          // chain contained by the L1-star? no:
+                                 // L2->L3 unimplied -> residual check
+  };
+  ExecOptions eo;
+  eo.num_threads = threads;
+  eo.join_strategy = strategy;
+  ExecOptions cached_eo = eo;
+  cached_eo.use_result_cache = true;
+  cached_eo.result_cache_policy = ResultCachePolicy::kAlways;
+  for (Engine e : {Engine::kDps, Engine::kDp, Engine::kCanonical}) {
+    auto cached_m = MakeMatcher(g, cached_eo);
+    auto fresh_m = MakeMatcher(g, eo);
+    for (const char* q : generals) {
+      ASSERT_TRUE(cached_m->Match(q, {.engine = e}).ok()) << q;
+    }
+    for (const char* q : specifics) {
+      auto got = SortedRows(cached_m->Match(q, {.engine = e}));
+      auto want = SortedRows(fresh_m->Match(q, {.engine = e}));
+      EXPECT_EQ(got, want) << EngineName(e) << " t=" << threads << " " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndStrategies, ReplayDifferential,
+    ::testing::Combine(::testing::Values(1u, 4u, 8u),
+                       ::testing::Values(JoinStrategy::kBinary,
+                                         JoinStrategy::kHybrid)));
+
+// MatchBatch: results must be row-identical to per-query Match, with
+// dedup and shared seeds doing their accounting.
+class BatchDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BatchDifferential, MatchesSoloExecution) {
+  const unsigned threads = GetParam();
+  Graph g = gen::ErdosRenyi(400, 1600, 5, 31);
+  ExecOptions eo;
+  eo.num_threads = threads;
+  auto m = MakeMatcher(g, eo);
+  auto solo = MakeMatcher(g, eo);
+  std::vector<std::string> batch = {
+      "L0->L1; L1->L2",
+      "L1->L2; L0->L1",          // spelling of #0: dedup
+      "L0->L1; L0->L2",          // same scan-base opening as #0 under DPS
+      "L1->L2; L1->L3",
+      "L0->L1; L1->L2; L0->L2",  // chord
+      "L2->L3",
+      "L0->L1; L1->L2",          // outright repeat
+      "L3->L4; L2->L3",
+  };
+  BatchStats bs;
+  auto results = m->MatchBatch(batch, {}, &bs);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), batch.size());
+  EXPECT_EQ(bs.queries, batch.size());
+  EXPECT_LT(bs.unique_queries, batch.size());  // dedup happened
+  for (size_t i = 0; i < batch.size(); ++i) {
+    MatchResult& r = (*results)[i];
+    r.SortRows();
+    EXPECT_EQ(r.rows, SortedRows(solo->Match(batch[i])))
+        << "t=" << threads << " query " << i << ": " << batch[i];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BatchDifferential,
+                         ::testing::Values(1u, 4u, 8u));
+
+TEST(BatchTest, CacheAndBatchCompose) {
+  Graph g = gen::ErdosRenyi(300, 1200, 4, 37);
+  ExecOptions eo;
+  eo.num_threads = 4;
+  eo.use_result_cache = true;
+  eo.result_cache_policy = ResultCachePolicy::kAlways;
+  auto m = MakeMatcher(g, eo);
+  std::vector<std::string> warm = {"L0->L1; L1->L2", "L0->L1; L0->L2"};
+  ASSERT_TRUE(m->MatchBatch(warm).ok());
+  // Second round: one exact repeat, one contained specific, one new.
+  std::vector<std::string> round2 = {"L1->L2; L0->L1",
+                                     "L0->L1; L1->L2; L0->L2", "L2->L3"};
+  BatchStats bs;
+  auto results = m->MatchBatch(round2, {}, &bs);
+  ASSERT_TRUE(results.ok()) << results.status();
+  EXPECT_EQ((*results)[0].stats.cache_hit, 1);
+  EXPECT_EQ((*results)[1].stats.cache_hit, 2);
+  EXPECT_EQ((*results)[2].stats.cache_hit, 0);
+  EXPECT_EQ(bs.cache_exact, 1u);
+  EXPECT_EQ(bs.cache_replay, 1u);
+  auto solo = MakeMatcher(g, {});
+  for (size_t i = 0; i < round2.size(); ++i) {
+    (*results)[i].SortRows();
+    EXPECT_EQ((*results)[i].rows, SortedRows(solo->Match(round2[i]))) << i;
+  }
+}
+
+TEST(BatchTest, RejectsUnplannedEngines) {
+  Graph g = gen::ErdosRenyi(50, 150, 3, 41);
+  auto m = MakeMatcher(g, {});
+  std::vector<std::string> batch = {"L0->L1"};
+  EXPECT_EQ(m->MatchBatch(batch, {.engine = Engine::kNaive}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BatchTest, ProjectionAppliesPerQuery) {
+  Graph g = gen::ErdosRenyi(200, 800, 4, 43);
+  auto m = MakeMatcher(g, {});
+  std::vector<std::string> batch = {"L0->L1; L1->L2"};
+  MatchOptions opts;
+  opts.projection = {"L2", "L0"};
+  auto results = m->MatchBatch(batch, opts);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ((*results)[0].column_labels.size(), 2u);
+  EXPECT_EQ((*results)[0].column_labels[0], "L2");
+  EXPECT_EQ((*results)[0].column_labels[1], "L0");
+}
+
+TEST(EpochInvalidationTest, EdgeInsertDropsBothCaches) {
+  Graph g;
+  NodeId a = g.AddNode("A");
+  NodeId b = g.AddNode("B");
+  NodeId c = g.AddNode("C");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  g.Finalize();
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  auto m = MakeMatcher(g, eo);
+
+  auto before = m->Match("A->B; B->C");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->rows.empty());  // no B ~> C yet
+  EXPECT_GT(m->plan_cache_size(), 0u);
+  // A repeat is served from the result cache...
+  auto repeat = m->Match("A->B; B->C");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(repeat->stats.cache_hit, 1);
+
+  // ...until an edge insert moves the database epoch.
+  ASSERT_TRUE(g.AddEdge(b, c).ok());
+  g.Finalize();
+  ASSERT_TRUE(m->db().ApplyEdgeInsert(g, b, c).ok());
+  auto after = m->Match("A->B; B->C");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->stats.cache_hit, 0);  // stale rows were NOT replayed
+  EXPECT_EQ(after->rows.size(), 1u);     // and the new edge is visible
+  EXPECT_GE(m->cache_invalidations(), 1u);
+}
+
+TEST(CacheMetricsTest, CountersReachTheRegistry) {
+  if (!obs::Enabled()) GTEST_SKIP() << "observability disabled";
+  auto& reg = obs::MetricsRegistry::Default();
+  auto snap = [&](const char* name) {
+    return reg.GetCounter(name)->Value();
+  };
+  const uint64_t hits0 = snap("fgpm_result_cache_hits_total");
+  const uint64_t miss0 = snap("fgpm_result_cache_misses_total");
+  const uint64_t ins0 = snap("fgpm_result_cache_inserts_total");
+  const uint64_t inval0 = snap("fgpm_cache_invalidations_total");
+
+  Graph g = gen::ErdosRenyi(150, 500, 4, 47);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  auto m = MakeMatcher(g, eo);
+  ASSERT_TRUE(m->Match("L0->L1; L1->L2").ok());  // miss + insert
+  ASSERT_TRUE(m->Match("L0->L1; L1->L2").ok());  // exact hit
+  m->InvalidatePlanCache();
+
+  EXPECT_EQ(snap("fgpm_result_cache_hits_total"), hits0 + 1);
+  EXPECT_GE(snap("fgpm_result_cache_misses_total"), miss0 + 1);
+  EXPECT_GE(snap("fgpm_result_cache_inserts_total"), ins0 + 1);
+  EXPECT_EQ(snap("fgpm_cache_invalidations_total"), inval0 + 1);
+
+  // Both exporters carry the new families.
+  const std::string prom = reg.ToPrometheusText();
+  EXPECT_NE(prom.find("fgpm_result_cache_hits_total"), std::string::npos);
+  EXPECT_NE(prom.find("fgpm_result_cache_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("fgpm_batch_queries_total"), std::string::npos);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("fgpm_result_cache_misses_total"), std::string::npos);
+}
+
+TEST(ResultCacheTest, BudgetEvictsLru) {
+  Graph g = gen::ErdosRenyi(300, 1200, 4, 53);
+  ExecOptions eo;
+  eo.use_result_cache = true;
+  eo.result_cache_mb = 0;  // zero budget: nothing is ever cacheable
+  auto m = MakeMatcher(g, eo);
+  ASSERT_TRUE(m->Match("L0->L1; L1->L2").ok());
+  auto r = m->Match("L0->L1; L1->L2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stats.cache_hit, 0);  // never inserted, never hit
+  ASSERT_NE(m->result_cache(), nullptr);
+  EXPECT_EQ(m->result_cache()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace fgpm
