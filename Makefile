@@ -14,8 +14,11 @@
 #   make bench-multiquery - build + run the Zipfian multi-client
 #                       result-cache + batching A/B
 #                       (writes BENCH_multiquery.json)
+#   make bench-server - build + run the open-loop query-server bench
+#                       over real sockets at 1/2/4/8 shards
+#                       (writes BENCH_server.json)
 #   make verify-tsan  - ThreadSanitizer pass over the concurrency +
-#                       reach + exec + obs + wcoj + mqo labeled tests
+#                       reach + exec + obs + wcoj + mqo + net tests
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
@@ -32,7 +35,7 @@ TSAN_BUILD_DIR ?= build-tsan
 ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj bench-multiquery verify-tsan verify-asan
+.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj bench-multiquery bench-server verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -61,12 +64,16 @@ bench-multiquery: build
 	cd $(BUILD_DIR)/bench && ./bench_multiquery
 	cp $(BUILD_DIR)/bench/BENCH_multiquery.json BENCH_multiquery.json
 
+bench-server: build
+	cd $(BUILD_DIR)/bench && ./bench_server
+	cp $(BUILD_DIR)/bench/BENCH_server.json BENCH_server.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net' --output-on-failure

@@ -215,11 +215,10 @@ WorkloadResult RunWorkload(const Workload& w, uint64_t seed, int reps) {
          {Materialization::kEager, Materialization::kFactorized}) {
       Executor exec(&db, ExecOptions{.num_threads = threads,
                                      .materialization = mode});
-      double best = 1e300;
-      for (int rep = 0; rep < reps; ++rep) {
+      double best = bench::BestOfMs(reps, [&](int rep) {
         auto r = exec.Execute(*p, plan);
         FGPM_CHECK(r.ok());
-        best = std::min(best, r->stats.elapsed_ms);
+        double ms = r->stats.elapsed_ms;
         if (rep == 0) {
           cell.rows = r->rows.size();
           for (uint64_t sr : r->stats.step_rows) {
@@ -235,7 +234,8 @@ WorkloadResult RunWorkload(const Workload& w, uint64_t seed, int reps) {
             FGPM_CHECK(r->rows == eager_rows);
           }
         }
-      }
+        return ms;
+      });
       (mode == Materialization::kEager ? cell.eager_ms
                                        : cell.factorized_ms) = best;
     }

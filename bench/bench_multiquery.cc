@@ -141,7 +141,7 @@ int main(int argc, char** argv) {
     // ran on a loaded box. Verification stays outside the timers.
 
     // OFF: solo Match per arrival, result cache disabled.
-    for (int rep = 0; rep < reps; ++rep) {
+    cell.off_ms = bench::BestOfMs(reps, [&](int) {
       auto m = GraphMatcher::Create(&g, {}, ExecOptions{.num_threads = threads});
       FGPM_CHECK(m.ok());
       double pass_ms = 0;
@@ -160,13 +160,13 @@ int main(int argc, char** argv) {
           FGPM_CHECK(results[i].rows == reference[round[i]]);
         }
       }
-      if (rep == 0 || pass_ms < cell.off_ms) cell.off_ms = pass_ms;
-    }
+      return pass_ms;
+    });
 
     // ON: MatchBatch per round, result cache enabled. Cache counters
     // come from the first repetition only (every repetition replays the
     // identical sequence, so they would just multiply by reps).
-    for (int rep = 0; rep < reps; ++rep) {
+    cell.on_ms = bench::BestOfMs(reps, [&](int rep) {
       ExecOptions eo;
       eo.num_threads = threads;
       eo.use_result_cache = true;
@@ -194,8 +194,8 @@ int main(int argc, char** argv) {
           FGPM_CHECK((*results)[i].rows == reference[round[i]]);
         }
       }
-      if (rep == 0 || pass_ms < cell.on_ms) cell.on_ms = pass_ms;
-    }
+      return pass_ms;
+    });
 
     std::printf(
         "  %u thread%s: off %8.1f ms (%7.0f q/s), on %8.1f ms (%7.0f q/s)"

@@ -63,14 +63,13 @@ struct PatternResult {
 
 double BestOf(Executor& exec, const Pattern& p, const Plan& plan, int reps,
               MatchResult* out) {
-  double best = 1e300;
-  for (int rep = 0; rep < reps; ++rep) {
+  return bench::BestOfMs(reps, [&](int rep) {
     auto r = exec.Execute(p, plan);
     FGPM_CHECK(r.ok());
-    best = std::min(best, r->stats.elapsed_ms);
+    double ms = r->stats.elapsed_ms;
     if (rep == 0) *out = std::move(*r);
-  }
-  return best;
+    return ms;
+  });
 }
 
 PatternResult RunPattern(const std::string& graph_name, GraphDatabase& db,

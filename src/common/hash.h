@@ -31,6 +31,18 @@ struct RowHash {
   }
 };
 
+// Order-independent fingerprint of a set of result rows: commutative
+// (+) over per-row mixed hashes, so any reordering checks equal while a
+// changed, missing or duplicated row does not. Shared by the wire
+// protocol's checksum-only responses and the benches' row-identity
+// verification — both sides must agree on the algorithm.
+inline uint64_t RowSetChecksum(const std::vector<std::vector<uint32_t>>& rows) {
+  RowHash h;
+  uint64_t sum = 0;
+  for (const auto& row : rows) sum += HashMix(static_cast<uint64_t>(h(row)));
+  return sum;
+}
+
 // Hash for a pair of 32-bit ids packed into one key.
 inline uint64_t PackPair(uint32_t a, uint32_t b) {
   return (static_cast<uint64_t>(a) << 32) | b;

@@ -22,6 +22,7 @@ enum class StatusCode : uint8_t {
   kInternal,
   kUnimplemented,
   kCorruption,
+  kDeadlineExceeded,
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -61,6 +62,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

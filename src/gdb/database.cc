@@ -205,10 +205,20 @@ Status GraphDatabase::Build(const Graph& g) {
                   : BuildTwoHopPruned(g, options_.build_threads,
                                       options_.code_bitmap_threshold);
 
-  // Base tables: one per label, tuples in extent order.
+  if (!options_.owned_labels.empty() &&
+      options_.owned_labels.size() != g.NumLabels()) {
+    return Status::InvalidArgument("owned_labels size != label count");
+  }
+  auto owns = [&](LabelId l) {
+    return options_.owned_labels.empty() || options_.owned_labels[l] != 0;
+  };
+
+  // Base tables: one per label, tuples in extent order. Non-owned
+  // labels keep an empty table so LabelId indexing stays aligned.
   tables_.clear();
   for (LabelId l = 0; l < g.NumLabels(); ++l) {
     tables_.push_back(std::make_unique<BaseTable>(l, pool_.get()));
+    if (!owns(l)) continue;
     for (NodeId v : g.Extent(l)) {
       GraphCodeRecord rec;
       rec.node = v;
@@ -221,7 +231,9 @@ Status GraphDatabase::Build(const Graph& g) {
   }
 
   rjoin_index_ = std::make_unique<RJoinIndex>(pool_.get());
-  FGPM_RETURN_IF_ERROR(rjoin_index_->Build(g, labeling_));
+  FGPM_RETURN_IF_ERROR(rjoin_index_->Build(
+      g, labeling_,
+      options_.owned_labels.empty() ? nullptr : &options_.owned_labels));
 
   wtable_ = std::make_unique<WTable>(pool_.get());
   FGPM_RETURN_IF_ERROR(wtable_->Build(g, labeling_));

@@ -64,6 +64,18 @@ struct GraphDatabaseOptions {
   // from the HPSJ filter and select operators (rounded up to a power of
   // two). The memo is cleared per query; 0 disables memoization.
   size_t reach_cache_entries = 65536;
+  // Label ownership filter for sharded serving (src/shard). Empty = own
+  // every label (the default, and the only mode non-sharded callers
+  // use). When set (one byte per label, nonzero = owned), Build still
+  // computes the full 2-hop cover, W-table and catalog — routing and
+  // cross-shard coordination need the global view — but materializes
+  // base-table tuples and R-join subclusters only for owned labels, so
+  // a shard's buffer pool and code cache hold nothing but its own
+  // partition. Queries whose labels are all owned execute exactly as on
+  // an unfiltered database; GetCodes for a non-owned label's node fails
+  // with NotFound (the cross-shard coordinator reads codes from the
+  // owning shard instead).
+  std::vector<uint8_t> owned_labels;
 };
 
 // Counter snapshot for experiment reporting.

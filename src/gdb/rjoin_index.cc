@@ -84,13 +84,15 @@ uint64_t RJoinIndex::DirectoryKey(CenterId w, Side side, LabelId label) {
          (static_cast<uint64_t>(side) << 31) | label;
 }
 
-Status RJoinIndex::Build(const Graph& g, const TwoHopLabeling& labeling) {
+Status RJoinIndex::Build(const Graph& g, const TwoHopLabeling& labeling,
+                         const std::vector<uint8_t>* owned_labels) {
   FGPM_CHECK(g.finalized());
   // Group nodes into labeled subclusters. std::map keeps directory
   // insertion in key order (B+-tree bulk-friendly).
   std::map<uint64_t, std::vector<NodeId>> clusters;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     LabelId l = g.label_of(v);
+    if (owned_labels != nullptr && (*owned_labels)[l] == 0) continue;
     for (CenterId w : labeling.OutCode(v)) {
       clusters[DirectoryKey(w, Side::kF, l)].push_back(v);
     }

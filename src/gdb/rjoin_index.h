@@ -58,8 +58,12 @@ class RJoinIndex {
   RJoinIndex(RJoinIndex&&) = default;
   RJoinIndex& operator=(RJoinIndex&&) = default;
 
-  // Materializes all labeled subclusters from the 2-hop labeling.
-  Status Build(const Graph& g, const TwoHopLabeling& labeling);
+  // Materializes all labeled subclusters from the 2-hop labeling. When
+  // `owned_labels` is non-null (one byte per label, nonzero = owned),
+  // only subclusters of owned labels are stored — the label-partitioned
+  // build of GraphDatabaseOptions::owned_labels.
+  Status Build(const Graph& g, const TwoHopLabeling& labeling,
+               const std::vector<uint8_t>* owned_labels = nullptr);
 
   // Adds `node` (labeled `label`) to center w's subcluster on `side`,
   // creating the subcluster if absent. Node lists are rewritten (the

@@ -1,0 +1,79 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fgpm::net {
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() { close(fd_); }
+
+Status Client::Send(const QueryRequest& req) {
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = write(fd_, frame.data() + off, frame.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status Client::Recv(QueryResponse* resp) {
+  std::string payload;
+  char buf[65536];
+  while (true) {
+    FGPM_ASSIGN_OR_RETURN(bool ready, decoder_.Next(&payload));
+    if (ready) break;
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Append({buf, static_cast<size_t>(n)});
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) return Status::Internal("connection closed by server");
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+  return DecodeQueryResponse(payload, resp);
+}
+
+Result<QueryResponse> Client::Query(const QueryRequest& req) {
+  FGPM_RETURN_IF_ERROR(Send(req));
+  QueryResponse resp;
+  FGPM_RETURN_IF_ERROR(Recv(&resp));
+  return resp;
+}
+
+void Client::ShutdownWrite() { shutdown(fd_, SHUT_WR); }
+
+}  // namespace fgpm::net

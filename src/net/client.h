@@ -1,0 +1,49 @@
+// Blocking client for the query server. One connection, framed wire
+// protocol (net/wire.h), built for pipelining: Send() and Recv() are
+// independently thread-safe against each other (one sender thread, one
+// receiver thread — the open-loop bench and the fairness tests drive
+// exactly that split), while Query() is the simple one-in-one-out
+// convenience used everywhere else.
+#ifndef FGPM_NET_CLIENT_H_
+#define FGPM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+
+namespace fgpm::net {
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Writes one framed request (blocking until fully written).
+  Status Send(const QueryRequest& req);
+  // Reads one framed response (blocking). Responses arrive in the
+  // server's completion order; match by QueryResponse::id.
+  Status Recv(QueryResponse* resp);
+  // Send + Recv. Only valid when no other requests are in flight.
+  Result<QueryResponse> Query(const QueryRequest& req);
+
+  // Half-closes the write side (server sees EOF, answers what is in
+  // flight, then closes). Recv still drains pending responses.
+  void ShutdownWrite();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  FrameDecoder decoder_;  // receiver-side only
+};
+
+}  // namespace fgpm::net
+
+#endif  // FGPM_NET_CLIENT_H_

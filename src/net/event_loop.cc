@@ -1,0 +1,129 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace fgpm::net {
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Create() {
+  int ep = epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) return Status::Internal("epoll_create1 failed");
+  int wake = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake < 0) {
+    close(ep);
+    return Status::Internal("eventfd failed");
+  }
+  auto loop = std::unique_ptr<EventLoop>(new EventLoop(ep, wake));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake;
+  if (epoll_ctl(ep, EPOLL_CTL_ADD, wake, &ev) != 0) {
+    return Status::Internal("epoll_ctl(wakeup) failed");
+  }
+  return loop;
+}
+
+EventLoop::~EventLoop() {
+  close(wake_fd_);
+  close(epoll_fd_);
+}
+
+Status EventLoop::Add(int fd, uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                            std::strerror(errno));
+  }
+  handlers_[fd] = std::move(cb);
+  return Status::OK();
+}
+
+Status EventLoop::Modify(int fd, uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status::Internal(std::string("epoll_ctl(MOD): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::Remove(int fd) {
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::DrainTasks() {
+  // Swap out the current batch; tasks posted by tasks run next
+  // iteration (no starvation of I/O events).
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(tasks_);
+  }
+  for (auto& t : batch) t();
+}
+
+void EventLoop::Run() {
+  std::array<epoll_event, 64> events;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    int n = epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), /*timeout_ms=*/100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll fd gone — nothing sane left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t junk;
+        while (read(wake_fd_, &junk, sizeof(junk)) > 0) {
+        }
+        continue;
+      }
+      // A prior handler this iteration may have removed fd.
+      auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      // Invoke a copy: the handler may Remove(fd) itself (closing its
+      // own connection), which erases — and destroys — the mapped
+      // std::function while it is still on the stack.
+      IoCallback cb = it->second;
+      cb(events[i].events);
+    }
+    DrainTasks();
+  }
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+}  // namespace fgpm::net

@@ -1,0 +1,64 @@
+// Minimal epoll reactor, one per server worker thread. Owns an epoll
+// instance plus an eventfd wakeup pipe; Post() is the only cross-thread
+// entry point (everything else, including fd registration, runs on the
+// loop thread). Level-triggered epoll keeps the read/write handlers
+// simple: a handler that does not drain the socket is called again on
+// the next iteration.
+#ifndef FGPM_NET_EVENT_LOOP_H_
+#define FGPM_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace fgpm::net {
+
+class EventLoop {
+ public:
+  // events is an EPOLLIN/EPOLLOUT mask; the callback receives the ready
+  // mask (including EPOLLERR/EPOLLHUP, which epoll always reports).
+  using IoCallback = std::function<void(uint32_t events)>;
+
+  static Result<std::unique_ptr<EventLoop>> Create();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Status Add(int fd, uint32_t events, IoCallback cb);
+  Status Modify(int fd, uint32_t events);
+  // Deregisters fd (does not close it). Safe to call from inside its
+  // own callback: dispatch re-checks registration per event.
+  void Remove(int fd);
+
+  // Enqueue a task for the loop thread and wake it. Thread-safe; the
+  // only method callable off the loop thread (besides Stop).
+  void Post(std::function<void()> task);
+
+  // Runs until Stop(). Tasks posted before Run still execute.
+  void Run();
+  // Thread-safe; wakes the loop and makes Run return after the current
+  // iteration.
+  void Stop();
+
+ private:
+  EventLoop(int epoll_fd, int wake_fd)
+      : epoll_fd_(epoll_fd), wake_fd_(wake_fd) {}
+
+  void DrainTasks();
+
+  int epoll_fd_;
+  int wake_fd_;
+  std::unordered_map<int, IoCallback> handlers_;
+  std::mutex mu_;                           // guards tasks_ + stop_
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace fgpm::net
+
+#endif  // FGPM_NET_EVENT_LOOP_H_

@@ -1,0 +1,719 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace fgpm::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+struct ServerMetrics {
+  obs::Gauge* connections;
+  obs::Counter* requests;
+  obs::Counter* ok;
+  obs::Counter* errors;
+  obs::Counter* rejected;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* cross;
+  obs::Counter* http;
+  obs::Counter* rx_bytes;
+  obs::Counter* tx_bytes;
+  obs::Counter* rows;
+  obs::Histogram* latency_us;
+  obs::Histogram* queue_us;
+  static ServerMetrics& Get() {
+    static ServerMetrics m = [] {
+      auto& r = obs::MetricsRegistry::Default();
+      ServerMetrics m;
+      m.connections =
+          r.GetGauge("fgpm_server_connections", "Open client connections");
+      m.requests =
+          r.GetCounter("fgpm_server_requests_total", "Requests admitted");
+      m.ok = r.GetCounter("fgpm_server_ok_total", "Successful responses");
+      m.errors = r.GetCounter("fgpm_server_errors_total", "Error responses");
+      m.rejected = r.GetCounter("fgpm_server_rejected_total",
+                                "Requests rejected by admission control");
+      m.deadline_exceeded =
+          r.GetCounter("fgpm_server_deadline_exceeded_total",
+                       "Requests expired before dispatch");
+      m.cross = r.GetCounter("fgpm_server_cross_total",
+                             "Requests coordinated across shards");
+      m.http = r.GetCounter("fgpm_server_http_total", "HTTP requests served");
+      m.rx_bytes = r.GetCounter("fgpm_server_rx_bytes_total", "Bytes read");
+      m.tx_bytes = r.GetCounter("fgpm_server_tx_bytes_total", "Bytes written");
+      m.rows = r.GetCounter("fgpm_server_rows_total", "Result rows returned");
+      m.latency_us = r.GetHistogram("fgpm_server_latency_us",
+                                    "Admission-to-response latency (us)");
+      m.queue_us = r.GetHistogram("fgpm_server_queue_us",
+                                  "Admission-to-dispatch queue wait (us)");
+      return m;
+    }();
+    return m;
+  }
+};
+
+Result<int> CreateListener(const std::string& host, uint16_t port,
+                           uint16_t* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    close(fd);
+    return Status::Internal("SO_REUSEPORT unsupported");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad listen host: " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Status::Internal(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(fd, 512) != 0) {
+    close(fd);
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+QueryResponse ErrorResponse(uint64_t id, const Status& s) {
+  QueryResponse resp;
+  resp.id = id;
+  resp.code = s.code();
+  resp.error = s.message();
+  return resp;
+}
+
+QueryResponse OkResponse(const QueryRequest& req, MatchResult result) {
+  QueryResponse resp;
+  resp.id = req.id;
+  resp.flags = req.flags;
+  resp.columns = std::move(result.column_labels);
+  resp.row_count = result.rows.size();
+  if (req.checksum_only()) {
+    resp.checksum = RowChecksum(result.rows);
+  } else {
+    resp.rows = std::move(result.rows);
+  }
+  return resp;
+}
+
+}  // namespace
+
+// --- internal state ---------------------------------------------------------
+
+struct Server::Conn {
+  uint64_t id = 0;
+  int fd = -1;
+  enum class Mode { kUnknown, kBinary, kHttp } mode = Mode::kUnknown;
+  FrameDecoder decoder;
+  std::string sniff;     // bytes held until the mode is known / HTTP buf
+  std::string outbuf;
+  size_t out_off = 0;
+  bool want_write = false;
+  bool reads_paused = false;
+  bool closing = false;  // flush outbuf, then close
+
+  struct Pending {
+    QueryRequest req;
+    Clock::time_point arrival;
+    std::unique_ptr<QueryTrace> trace;
+    uint32_t root_span = 0;
+    uint32_t queue_span = 0;
+  };
+  std::deque<Pending> pending;  // admitted, not yet dispatched
+  size_t inflight = 0;          // dispatched, response not yet sent
+  uint32_t deficit = 0;         // DRR state
+  bool in_active = false;
+};
+
+struct Server::Worker {
+  uint32_t index = 0;
+  std::unique_ptr<EventLoop> loop;
+  int listen_fd = -1;
+  std::thread thread;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns;
+  std::deque<uint64_t> active;  // DRR round-robin of conns with pending
+  size_t queued_total = 0;      // sum of conns' pending sizes (admission)
+  size_t inflight = 0;          // dispatched requests not yet completed
+  bool scheduling = false;      // reentrancy guard for Schedule()
+  uint64_t next_conn_id = 1;    // worker-local; ids are (worker << 48) | n
+};
+
+struct Server::InFlight {
+  uint64_t conn_id = 0;
+  uint32_t origin = 0;
+  QueryRequest req;
+  Clock::time_point arrival;
+  std::unique_ptr<QueryTrace> trace;
+  uint32_t root_span = 0;
+  uint32_t exec_span = 0;
+  Pattern pattern;
+  // Cross-shard state (owned and mutated by the origin worker only).
+  bool cross = false;
+  ShardedMatcher::CrossPlan plan;
+  std::vector<MatchResult> subs;
+  size_t remaining = 0;
+  Status fail;
+};
+
+// --- lifecycle --------------------------------------------------------------
+
+Result<std::unique_ptr<Server>> Server::Start(const Graph* g,
+                                              ServerOptions options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  ShardedMatcherOptions mo = options.matcher;
+  mo.num_shards = options.num_shards;
+  FGPM_ASSIGN_OR_RETURN(auto matcher, ShardedMatcher::Create(g, mo));
+  auto server =
+      std::unique_ptr<Server>(new Server(std::move(matcher), options));
+
+  uint16_t port = options.port;
+  for (uint32_t i = 0; i < options.num_shards; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    FGPM_ASSIGN_OR_RETURN(w->loop, EventLoop::Create());
+    // Worker 0 may bind an ephemeral port; the rest share it via
+    // SO_REUSEPORT so the kernel spreads incoming connections.
+    uint16_t bound = 0;
+    FGPM_ASSIGN_OR_RETURN(w->listen_fd,
+                          CreateListener(options.host, port, &bound));
+    port = bound;
+    server->workers_.push_back(std::move(w));
+  }
+  server->port_ = port;
+  for (auto& w : server->workers_) {
+    w->thread = std::thread([srv = server.get(), wp = w.get()] {
+      srv->WorkerMain(wp);
+    });
+  }
+  return server;
+}
+
+Server::Server(std::unique_ptr<ShardedMatcher> matcher, ServerOptions options)
+    : options_(std::move(options)), matcher_(std::move(matcher)) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& w : workers_) w->loop->Stop();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Server::WorkerMain(Worker* w) {
+  Status st = w->loop->Add(w->listen_fd, EPOLLIN, [this, w](uint32_t) {
+    HandleListen(w);
+  });
+  if (st.ok()) w->loop->Run();
+  // Loop exited: this thread still owns every socket — close them here.
+  for (auto& [id, c] : w->conns) close(c->fd);
+  w->conns.clear();
+  close(w->listen_fd);
+}
+
+std::vector<QueryTrace> Server::RecentTraces() {
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+void Server::PushTrace(std::unique_ptr<QueryTrace> trace) {
+  if (trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  traces_.push_back(std::move(*trace));
+  while (traces_.size() > kTraceRing) traces_.pop_front();
+}
+
+// --- connection I/O ---------------------------------------------------------
+
+Server::Conn* Server::FindConn(Worker* w, uint64_t conn_id) {
+  auto it = w->conns.find(conn_id);
+  return it == w->conns.end() ? nullptr : it->second.get();
+}
+
+void Server::HandleListen(Worker* w) {
+  while (true) {
+    int fd = accept4(w->listen_fd, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient error — epoll re-reports
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Conn>();
+    conn->id = (static_cast<uint64_t>(w->index) << 48) | w->next_conn_id++;
+    conn->fd = fd;
+    uint64_t id = conn->id;
+    w->conns.emplace(id, std::move(conn));
+    Status st = w->loop->Add(fd, EPOLLIN, [this, w, id](uint32_t events) {
+      HandleConnIo(w, id, events);
+    });
+    if (!st.ok()) {
+      close(fd);
+      w->conns.erase(id);
+      continue;
+    }
+    ServerMetrics::Get().connections->Add(1);
+  }
+}
+
+void Server::HandleConnIo(Worker* w, uint64_t conn_id, uint32_t events) {
+  Conn* c = FindConn(w, conn_id);
+  if (c == nullptr) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(w, conn_id);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    TryWrite(w, c);
+    if (FindConn(w, conn_id) == nullptr) return;  // TryWrite may close
+  }
+  if ((events & EPOLLIN) && !c->reads_paused && !c->closing) {
+    char buf[65536];
+    while (true) {
+      ssize_t n = read(c->fd, buf, sizeof(buf));
+      if (n > 0) {
+        ServerMetrics::Get().rx_bytes->Increment(static_cast<uint64_t>(n));
+        if (c->mode == Conn::Mode::kUnknown) {
+          c->sniff.append(buf, static_cast<size_t>(n));
+          if (c->sniff.size() < 4) continue;
+          if (c->sniff.compare(0, 4, "GET ") == 0) {
+            c->mode = Conn::Mode::kHttp;
+          } else {
+            c->mode = Conn::Mode::kBinary;
+            c->decoder.Append(c->sniff);
+            c->sniff.clear();
+          }
+        } else if (c->mode == Conn::Mode::kBinary) {
+          c->decoder.Append({buf, static_cast<size_t>(n)});
+        } else {
+          c->sniff.append(buf, static_cast<size_t>(n));
+        }
+        if (static_cast<size_t>(n) < sizeof(buf)) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error: flush what we owe, then close.
+      c->closing = true;
+      break;
+    }
+    if (c->mode == Conn::Mode::kHttp) {
+      HandleHttp(w, c);
+    } else {
+      ProcessDecoded(w, c);
+    }
+    c = FindConn(w, conn_id);
+    if (c == nullptr) return;
+    if (c->closing && c->outbuf.size() == c->out_off && c->inflight == 0 &&
+        c->pending.empty()) {
+      CloseConn(w, conn_id);
+      return;
+    }
+  }
+  Schedule(w);
+}
+
+void Server::HandleHttp(Worker* w, Conn* c) {
+  size_t end = c->sniff.find("\r\n\r\n");
+  if (end == std::string::npos) {
+    if (c->sniff.size() > 16384) c->closing = true;  // header flood
+    return;
+  }
+  ServerMetrics::Get().http->Increment();
+  size_t path_begin = 4;  // past "GET "
+  size_t path_end = c->sniff.find(' ', path_begin);
+  std::string path = path_end == std::string::npos
+                         ? ""
+                         : c->sniff.substr(path_begin, path_end - path_begin);
+  std::string body;
+  const char* status = "200 OK";
+  const char* ctype = "text/plain; charset=utf-8";
+  if (path == "/metrics") {
+    body = obs::MetricsRegistry::Default().ToPrometheusText();
+    ctype = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else if (path == "/stats") {
+    body = obs::MetricsRegistry::Default().ToJson();
+    ctype = "application/json";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+  c->outbuf += "HTTP/1.1 ";
+  c->outbuf += status;
+  c->outbuf += "\r\nContent-Type: ";
+  c->outbuf += ctype;
+  c->outbuf += "\r\nContent-Length: " + std::to_string(body.size());
+  c->outbuf += "\r\nConnection: close\r\n\r\n";
+  c->outbuf += body;
+  c->closing = true;
+  TryWrite(w, c);
+}
+
+void Server::SendResponse(Worker* w, Conn* c, const QueryResponse& resp) {
+  if (resp.ok()) {
+    ServerMetrics::Get().ok->Increment();
+    ServerMetrics::Get().rows->Increment(resp.row_count);
+  } else {
+    ServerMetrics::Get().errors->Increment();
+  }
+  EncodeQueryResponse(resp, &c->outbuf);
+  TryWrite(w, c);
+}
+
+void Server::TryWrite(Worker* w, Conn* c) {
+  while (c->out_off < c->outbuf.size()) {
+    ssize_t n = write(c->fd, c->outbuf.data() + c->out_off,
+                      c->outbuf.size() - c->out_off);
+    if (n > 0) {
+      ServerMetrics::Get().tx_bytes->Increment(static_cast<uint64_t>(n));
+      c->out_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!c->want_write) {
+        c->want_write = true;
+        uint32_t mask = EPOLLOUT;
+        if (!c->reads_paused && !c->closing) mask |= EPOLLIN;
+        (void)w->loop->Modify(c->fd, mask);
+      }
+      return;
+    }
+    CloseConn(w, c->id);  // broken pipe etc.
+    return;
+  }
+  c->outbuf.clear();
+  c->out_off = 0;
+  if (c->want_write) {
+    c->want_write = false;
+    uint32_t mask = 0;
+    if (!c->reads_paused && !c->closing) mask |= EPOLLIN;
+    (void)w->loop->Modify(c->fd, mask);
+  }
+  if (c->closing && c->inflight == 0 && c->pending.empty()) {
+    CloseConn(w, c->id);
+  }
+}
+
+void Server::CloseConn(Worker* w, uint64_t conn_id) {
+  auto it = w->conns.find(conn_id);
+  if (it == w->conns.end()) return;
+  Conn* c = it->second.get();
+  w->queued_total -= c->pending.size();
+  w->loop->Remove(c->fd);
+  close(c->fd);
+  // A stale id may linger in w->active; Schedule skips missing conns.
+  w->conns.erase(it);
+  ServerMetrics::Get().connections->Add(-1);
+}
+
+// --- admission + scheduling -------------------------------------------------
+
+void Server::ProcessDecoded(Worker* w, Conn* c) {
+  const uint64_t cid = c->id;
+  // SendResponse can close the connection (dead socket mid-write), so
+  // every error reply re-resolves the pointer before continuing.
+  auto reply = [&](const QueryResponse& resp) {
+    SendResponse(w, c, resp);
+    c = FindConn(w, cid);
+    return c != nullptr;
+  };
+  std::string payload;
+  while (c->pending.size() < options_.max_conn_queue) {
+    Result<bool> has = c->decoder.Next(&payload);
+    if (!has.ok()) {
+      // Unsynchronizable stream (oversized frame): one last framed
+      // error, then close — never an assert.
+      if (reply(ErrorResponse(0, has.status()))) c->closing = true;
+      return;
+    }
+    if (!*has) break;
+    QueryRequest req;
+    Status st = DecodeQueryRequest(payload, &req);
+    if (!st.ok()) {
+      // Malformed payload inside a well-framed message: the stream is
+      // still in sync. Answer with the id when it was readable.
+      uint64_t id = 0;
+      if (payload.size() >= 8) std::memcpy(&id, payload.data(), 8);
+      if (!reply(ErrorResponse(id, st))) return;
+      continue;
+    }
+    if (req.engine > static_cast<uint8_t>(Engine::kCanonical)) {
+      if (!reply(ErrorResponse(req.id,
+                               Status::InvalidArgument(
+                                   "engine must be kDps, kDp or "
+                                   "kCanonical")))) {
+        return;
+      }
+      continue;
+    }
+    if (w->queued_total >= options_.max_queue) {
+      ServerMetrics::Get().rejected->Increment();
+      if (!reply(ErrorResponse(req.id, Status::ResourceExhausted(
+                                           "admission queue full")))) {
+        return;
+      }
+      continue;
+    }
+    ServerMetrics::Get().requests->Increment();
+    Conn::Pending p;
+    p.req = std::move(req);
+    p.arrival = Clock::now();
+    if (options_.trace_requests) {
+      p.trace = std::make_unique<QueryTrace>();
+      p.root_span = p.trace->BeginSpan(p.req.pattern, "server");
+      p.queue_span = p.trace->BeginSpan("queue", "server",
+                                        static_cast<int32_t>(p.root_span));
+    }
+    c->pending.push_back(std::move(p));
+    ++w->queued_total;
+    if (!c->in_active) {
+      c->in_active = true;
+      w->active.push_back(c->id);
+    }
+  }
+  if (c->pending.size() >= options_.max_conn_queue && !c->reads_paused) {
+    c->reads_paused = true;
+    (void)w->loop->Modify(c->fd, c->want_write ? EPOLLOUT : 0u);
+  }
+}
+
+void Server::Schedule(Worker* w) {
+  // Dispatch can complete a request synchronously (a cross-shard plan
+  // with no shard-local subs finishes on this stack), and Complete
+  // calls Schedule — a nested run would double-pop the active ring.
+  if (w->scheduling) return;
+  w->scheduling = true;
+  while (w->inflight < options_.dispatch_window && !w->active.empty()) {
+    uint64_t cid = w->active.front();
+    Conn* c = FindConn(w, cid);
+    if (c == nullptr || c->pending.empty()) {
+      w->active.pop_front();
+      if (c != nullptr) {
+        c->in_active = false;
+        c->deficit = 0;
+      }
+      continue;
+    }
+    c->deficit += options_.drr_quantum;
+    while (c->deficit > 0 && !c->pending.empty() &&
+           w->inflight < options_.dispatch_window) {
+      Dispatch(w, c);
+      --c->deficit;
+      // Dispatch can close the connection on a dead socket.
+      c = FindConn(w, cid);
+      if (c == nullptr) break;
+    }
+    w->active.pop_front();
+    if (c == nullptr) continue;
+    if (c->pending.empty()) {
+      c->in_active = false;
+      c->deficit = 0;
+    } else {
+      w->active.push_back(cid);  // round-robin: tail of the ring
+    }
+  }
+  w->scheduling = false;
+}
+
+void Server::Dispatch(Worker* w, Conn* c) {
+  Conn::Pending p = std::move(c->pending.front());
+  c->pending.pop_front();
+  --w->queued_total;
+  ServerMetrics::Get().queue_us->Observe(ElapsedUs(p.arrival));
+  if (p.trace != nullptr) p.trace->EndSpan(p.queue_span);
+
+  auto finish_early = [&](const Status& st) {
+    if (p.trace != nullptr) {
+      p.trace->AddArg(p.root_span, "error", 1);
+      p.trace->EndSpan(p.root_span);
+      PushTrace(std::move(p.trace));
+    }
+    SendResponse(w, c, ErrorResponse(p.req.id, st));
+  };
+
+  uint32_t deadline_ms =
+      p.req.deadline_ms != 0 ? p.req.deadline_ms : options_.default_deadline_ms;
+  if (deadline_ms != 0 && ElapsedUs(p.arrival) > 1000ull * deadline_ms) {
+    ServerMetrics::Get().deadline_exceeded->Increment();
+    finish_early(Status::DeadlineExceeded("deadline expired in queue"));
+    return;
+  }
+
+  Result<Pattern> parsed = Pattern::Parse(p.req.pattern);
+  if (!parsed.ok()) {
+    finish_early(parsed.status());
+    return;
+  }
+  auto fl = std::make_shared<InFlight>();
+  fl->conn_id = c->id;
+  fl->origin = w->index;
+  fl->req = std::move(p.req);
+  fl->arrival = p.arrival;
+  fl->trace = std::move(p.trace);
+  fl->root_span = p.root_span;
+  fl->pattern = (fl->req.flags & kFlagTransitiveReduction)
+                    ? parsed->TransitiveReduction()
+                    : std::move(*parsed);
+  if (fl->trace != nullptr) {
+    fl->exec_span = fl->trace->BeginSpan("exec", "server",
+                                         static_cast<int32_t>(fl->root_span));
+  }
+
+  std::optional<uint32_t> home = matcher_->Route(fl->pattern);
+  if (home.has_value()) {
+    ++w->inflight;
+    ++c->inflight;
+    if (fl->trace != nullptr) {
+      fl->trace->AddArg(fl->exec_span, "shard", *home);
+    }
+    uint32_t s = *home;
+    workers_[s]->loop->Post([this, s, fl] { ExecuteSub(s, fl, -1); });
+    return;
+  }
+
+  // Cross-shard: scatter shard-local sub-patterns, gather + join here.
+  ServerMetrics::Get().cross->Increment();
+  Result<ShardedMatcher::CrossPlan> plan = matcher_->PlanCross(fl->pattern);
+  if (!plan.ok()) {
+    p.trace = std::move(fl->trace);
+    finish_early(plan.status());
+    return;
+  }
+  fl->cross = true;
+  fl->plan = std::move(*plan);
+  fl->subs.resize(fl->plan.subs.size());
+  fl->remaining = fl->plan.subs.size();
+  ++w->inflight;
+  ++c->inflight;
+  if (fl->trace != nullptr) {
+    fl->trace->AddArg(fl->exec_span, "cross_subs", fl->remaining);
+  }
+  if (fl->remaining == 0) {
+    // Every pattern edge crosses shards; JoinCross seeds from a cross
+    // edge directly.
+    FinishCross(w, fl);
+    return;
+  }
+  for (size_t k = 0; k < fl->plan.subs.size(); ++k) {
+    uint32_t s = fl->plan.subs[k].shard;
+    int ki = static_cast<int>(k);
+    workers_[s]->loop->Post([this, s, fl, ki] { ExecuteSub(s, fl, ki); });
+  }
+}
+
+// Runs on the shard's worker thread — the only thread that may touch
+// matcher_->shard(shard).
+void Server::ExecuteSub(uint32_t shard, std::shared_ptr<InFlight> fl,
+                        int sub_index) {
+  MatchOptions mo;
+  mo.engine = static_cast<Engine>(fl->req.engine);
+  const Pattern& p =
+      sub_index < 0 ? fl->pattern : fl->plan.subs[sub_index].pattern;
+  auto result = std::make_shared<Result<MatchResult>>(
+      matcher_->shard(shard)->Match(p, mo));
+  Worker* origin = workers_[fl->origin].get();
+  if (sub_index < 0) {
+    origin->loop->Post([this, origin, fl, result] {
+      QueryResponse resp = result->ok()
+                               ? OkResponse(fl->req, std::move(**result))
+                               : ErrorResponse(fl->req.id, result->status());
+      Complete(origin, fl, std::move(resp));
+    });
+    return;
+  }
+  int ki = sub_index;
+  origin->loop->Post([this, origin, fl, result, ki] {
+    if (result->ok()) {
+      fl->subs[ki] = std::move(**result);
+    } else if (fl->fail.ok()) {
+      fl->fail = result->status();
+    }
+    if (--fl->remaining == 0) FinishCross(origin, fl);
+  });
+}
+
+void Server::FinishCross(Worker* w, std::shared_ptr<InFlight> fl) {
+  QueryResponse resp;
+  if (!fl->fail.ok()) {
+    resp = ErrorResponse(fl->req.id, fl->fail);
+  } else {
+    CrossShardStats stats;
+    Result<MatchResult> joined = matcher_->JoinCross(
+        fl->pattern, fl->plan, std::move(fl->subs), &stats);
+    if (joined.ok()) {
+      if (fl->trace != nullptr) {
+        fl->trace->AddArg(fl->exec_span, "filters_shipped",
+                          stats.filters_shipped);
+        fl->trace->AddArg(fl->exec_span, "probe_pairs", stats.probe_pairs);
+      }
+      resp = OkResponse(fl->req, std::move(*joined));
+    } else {
+      resp = ErrorResponse(fl->req.id, joined.status());
+    }
+  }
+  Complete(w, fl, std::move(resp));
+}
+
+// Runs on the origin worker.
+void Server::Complete(Worker* w, std::shared_ptr<InFlight> fl,
+                      QueryResponse resp) {
+  --w->inflight;
+  ServerMetrics::Get().latency_us->Observe(ElapsedUs(fl->arrival));
+  if (fl->trace != nullptr) {
+    fl->trace->EndSpan(fl->exec_span);
+    fl->trace->AddArg(fl->root_span, "rows", resp.row_count);
+    fl->trace->EndSpan(fl->root_span);
+    PushTrace(std::move(fl->trace));
+  }
+  Conn* c = FindConn(w, fl->conn_id);
+  if (c != nullptr) {
+    --c->inflight;
+    SendResponse(w, c, resp);
+    c = FindConn(w, fl->conn_id);  // SendResponse may close on EPIPE
+    if (c != nullptr && c->reads_paused &&
+        c->pending.size() <= options_.max_conn_queue / 2 && !c->closing) {
+      c->reads_paused = false;
+      (void)w->loop->Modify(c->fd, c->want_write ? (EPOLLIN | EPOLLOUT)
+                                                 : EPOLLIN);
+      ProcessDecoded(w, c);  // frames buffered while paused
+    }
+  }
+  Schedule(w);
+}
+
+}  // namespace fgpm::net

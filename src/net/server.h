@@ -1,0 +1,121 @@
+// Async query server: thread-per-core workers over a sharded
+// GraphDatabase (src/shard). Worker w owns shard w's matcher plus one
+// SO_REUSEPORT listener and one epoll loop; a connection is accepted by
+// exactly one worker and all of its socket I/O stays there. Requests
+// are admitted into bounded per-connection queues and released by a
+// deficit-round-robin scheduler (a greedy pipelining client cannot
+// starve others sharing its worker); released requests are deadline-
+// checked, routed (ShardedMatcher::Route), and shipped to the owning
+// worker's task queue — cross-shard queries scatter shard-local
+// sub-patterns to their owners and gather + join on the origin worker.
+//
+// The same loops speak enough HTTP for observability: a connection
+// whose first bytes are "GET " is served /metrics (Prometheus text of
+// the default registry, including the fgpm_server_* family), /healthz,
+// or /stats (registry JSON), then closed.
+//
+// Overload behavior: when a worker's admitted total hits max_queue the
+// request is answered immediately with ResourceExhausted (framed error,
+// connection stays usable). When one connection's queue hits
+// max_conn_queue the server stops reading from it (EPOLLIN disarmed)
+// until half drained — TCP backpressure, no unbounded buffering.
+#ifndef FGPM_NET_SERVER_H_
+#define FGPM_NET_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "shard/sharded_matcher.h"
+
+namespace fgpm::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via Server::port()
+  uint32_t num_shards = 1;  // == number of worker threads
+  // Shard placement + per-shard database/exec options (num_shards in
+  // here is overridden by the field above).
+  ShardedMatcherOptions matcher;
+  // Admission bound per worker (requests sitting in connection queues).
+  size_t max_queue = 4096;
+  // Per-connection queue bound; reaching it pauses reads (backpressure).
+  size_t max_conn_queue = 1024;
+  // DRR quantum: requests a connection may release per scheduler round.
+  uint32_t drr_quantum = 1;
+  // Dispatch window per worker: requests released (executing or queued
+  // at their target shard) at once. Small values sharpen fairness;
+  // larger values keep more shards busy from one origin worker.
+  size_t dispatch_window = 4;
+  // Applied when a request carries deadline_ms == 0. 0 = none.
+  uint32_t default_deadline_ms = 0;
+  // Record a QueryTrace per request (spans: queue, exec) into a small
+  // ring readable via RecentTraces().
+  bool trace_requests = false;
+};
+
+class Server {
+ public:
+  // Builds the sharded matcher (one shard per worker), binds
+  // num_shards SO_REUSEPORT listeners and starts the worker threads.
+  // The graph must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(const Graph* g,
+                                               ServerOptions options = {});
+  ~Server();  // Stop()
+
+  // Idempotent; joins all workers.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
+  ShardedMatcher* matcher() { return matcher_.get(); }
+
+  // Most recent completed request traces (empty unless trace_requests).
+  std::vector<QueryTrace> RecentTraces();
+
+ private:
+  struct Conn;
+  struct Worker;
+  struct InFlight;
+
+  Server(std::unique_ptr<ShardedMatcher> matcher, ServerOptions options);
+
+  void WorkerMain(Worker* w);
+  void HandleListen(Worker* w);
+  void HandleConnIo(Worker* w, uint64_t conn_id, uint32_t events);
+  void ProcessDecoded(Worker* w, Conn* c);
+  void HandleHttp(Worker* w, Conn* c);
+  void Schedule(Worker* w);
+  void Dispatch(Worker* w, Conn* c);
+  // Runs on the owning shard's worker; sub_index -1 = the full pattern.
+  void ExecuteSub(uint32_t shard, std::shared_ptr<InFlight> fl,
+                  int sub_index);
+  void FinishCross(Worker* w, std::shared_ptr<InFlight> fl);
+  void Complete(Worker* w, std::shared_ptr<InFlight> fl, QueryResponse resp);
+  void SendResponse(Worker* w, Conn* c, const QueryResponse& resp);
+  void TryWrite(Worker* w, Conn* c);
+  void CloseConn(Worker* w, uint64_t conn_id);
+  Conn* FindConn(Worker* w, uint64_t conn_id);
+  void PushTrace(std::unique_ptr<QueryTrace> trace);
+
+  ServerOptions options_;
+  std::unique_ptr<ShardedMatcher> matcher_;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool stopped_ = false;
+
+  std::mutex trace_mu_;
+  std::deque<QueryTrace> traces_;  // ring, newest at back
+  static constexpr size_t kTraceRing = 64;
+};
+
+}  // namespace fgpm::net
+
+#endif  // FGPM_NET_SERVER_H_

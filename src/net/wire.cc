@@ -1,0 +1,187 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace fgpm::net {
+namespace {
+
+// Little-endian append/read helpers. A cursor-based reader keeps every
+// bounds check in one place so truncated frames surface as Status, not
+// out-of-bounds reads.
+template <typename T>
+void Put(std::string* out, T v) {
+  char b[sizeof(T)];
+  std::memcpy(b, &v, sizeof(T));
+  out->append(b, sizeof(T));
+}
+
+struct Reader {
+  std::span<const char> data;
+  size_t pos = 0;
+
+  template <typename T>
+  Status Get(T* v) {
+    if (data.size() - pos < sizeof(T)) {
+      return Status::InvalidArgument("truncated frame");
+    }
+    std::memcpy(v, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return Status::OK();
+  }
+  Status GetString(size_t n, std::string* s) {
+    if (data.size() - pos < n) {
+      return Status::InvalidArgument("truncated frame");
+    }
+    s->assign(data.data() + pos, n);
+    pos += n;
+    return Status::OK();
+  }
+  Status ExpectDone() const {
+    return pos == data.size()
+               ? Status::OK()
+               : Status::InvalidArgument("trailing bytes in frame");
+  }
+};
+
+void BeginFrame(std::string* out, size_t* len_at) {
+  *len_at = out->size();
+  Put<uint32_t>(out, 0);  // patched by EndFrame
+}
+
+void EndFrame(std::string* out, size_t len_at) {
+  uint32_t len = static_cast<uint32_t>(out->size() - len_at - 4);
+  std::memcpy(out->data() + len_at, &len, 4);
+}
+
+}  // namespace
+
+void EncodeQueryRequest(const QueryRequest& req, std::string* out) {
+  size_t len_at;
+  BeginFrame(out, &len_at);
+  Put<uint64_t>(out, req.id);
+  Put<uint32_t>(out, req.deadline_ms);
+  Put<uint8_t>(out, req.engine);
+  Put<uint8_t>(out, req.flags);
+  Put<uint16_t>(out, static_cast<uint16_t>(req.pattern.size()));
+  out->append(req.pattern);
+  EndFrame(out, len_at);
+}
+
+Status DecodeQueryRequest(std::span<const char> payload, QueryRequest* req) {
+  Reader r{payload};
+  FGPM_RETURN_IF_ERROR(r.Get(&req->id));
+  FGPM_RETURN_IF_ERROR(r.Get(&req->deadline_ms));
+  FGPM_RETURN_IF_ERROR(r.Get(&req->engine));
+  FGPM_RETURN_IF_ERROR(r.Get(&req->flags));
+  uint16_t plen = 0;
+  FGPM_RETURN_IF_ERROR(r.Get(&plen));
+  if (plen > kMaxPatternBytes) {
+    return Status::InvalidArgument("pattern exceeds kMaxPatternBytes");
+  }
+  FGPM_RETURN_IF_ERROR(r.GetString(plen, &req->pattern));
+  return r.ExpectDone();
+}
+
+void EncodeQueryResponse(const QueryResponse& resp, std::string* out) {
+  size_t len_at;
+  BeginFrame(out, &len_at);
+  Put<uint64_t>(out, resp.id);
+  Put<uint8_t>(out, static_cast<uint8_t>(resp.code));
+  if (!resp.ok()) {
+    Put<uint16_t>(out, static_cast<uint16_t>(resp.error.size()));
+    out->append(resp.error);
+  } else {
+    Put<uint8_t>(out, resp.flags);
+    Put<uint16_t>(out, static_cast<uint16_t>(resp.columns.size()));
+    for (const std::string& c : resp.columns) {
+      Put<uint16_t>(out, static_cast<uint16_t>(c.size()));
+      out->append(c);
+    }
+    Put<uint64_t>(out, resp.row_count);
+    if (resp.checksum_only()) {
+      Put<uint64_t>(out, resp.checksum);
+    } else {
+      for (const auto& row : resp.rows) {
+        for (NodeId v : row) Put<uint32_t>(out, v);
+      }
+    }
+  }
+  EndFrame(out, len_at);
+}
+
+Status DecodeQueryResponse(std::span<const char> payload,
+                           QueryResponse* resp) {
+  Reader r{payload};
+  FGPM_RETURN_IF_ERROR(r.Get(&resp->id));
+  uint8_t code = 0;
+  FGPM_RETURN_IF_ERROR(r.Get(&code));
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("unknown status code in response");
+  }
+  resp->code = static_cast<StatusCode>(code);
+  if (!resp->ok()) {
+    uint16_t mlen = 0;
+    FGPM_RETURN_IF_ERROR(r.Get(&mlen));
+    FGPM_RETURN_IF_ERROR(r.GetString(mlen, &resp->error));
+    return r.ExpectDone();
+  }
+  FGPM_RETURN_IF_ERROR(r.Get(&resp->flags));
+  uint16_t ncols = 0;
+  FGPM_RETURN_IF_ERROR(r.Get(&ncols));
+  resp->columns.resize(ncols);
+  for (auto& c : resp->columns) {
+    uint16_t clen = 0;
+    FGPM_RETURN_IF_ERROR(r.Get(&clen));
+    FGPM_RETURN_IF_ERROR(r.GetString(clen, &c));
+  }
+  FGPM_RETURN_IF_ERROR(r.Get(&resp->row_count));
+  resp->rows.clear();
+  if (resp->checksum_only()) {
+    FGPM_RETURN_IF_ERROR(r.Get(&resp->checksum));
+    return r.ExpectDone();
+  }
+  // Row payload size is implied; verify it matches before allocating
+  // (a hostile row_count must not drive the resize below).
+  if (ncols == 0 && resp->row_count != 0) {
+    return Status::InvalidArgument("rows without columns");
+  }
+  uint64_t remaining = payload.size() - r.pos;
+  if (resp->row_count > kMaxFrameBytes / 4 ||
+      remaining != resp->row_count * ncols * 4) {
+    return Status::InvalidArgument("row payload size mismatch");
+  }
+  resp->rows.resize(resp->row_count);
+  for (auto& row : resp->rows) {
+    row.resize(ncols);
+    for (auto& v : row) FGPM_RETURN_IF_ERROR(r.Get(&v));
+  }
+  return r.ExpectDone();
+}
+
+uint64_t RowChecksum(const std::vector<std::vector<NodeId>>& rows) {
+  return RowSetChecksum(rows);
+}
+
+Result<bool> FrameDecoder::Next(std::string* payload) {
+  if (poisoned_) return Status::Corruption("frame stream poisoned");
+  if (buffered() < 4) return false;
+  uint32_t len = 0;
+  std::memcpy(&len, buf_.data() + off_, 4);
+  if (len > kMaxFrameBytes) {
+    poisoned_ = true;
+    return Status::Corruption("frame length exceeds kMaxFrameBytes");
+  }
+  if (buffered() < 4ull + len) return false;
+  payload->assign(buf_.data() + off_ + 4, len);
+  off_ += 4ull + len;
+  // Compact once the consumed prefix dominates (amortized O(1)/byte).
+  if (off_ > 4096 && off_ * 2 > buf_.size()) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  return true;
+}
+
+}  // namespace fgpm::net

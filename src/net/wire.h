@@ -1,0 +1,109 @@
+// Wire protocol of the query server (src/net/server.h): length-prefixed
+// little-endian frames over a byte stream, designed for pipelining —
+// a client may have any number of requests in flight on one connection
+// and responses carry the request id they answer (the server may
+// reorder across shards).
+//
+//   frame    := [u32 payload_len][payload]          len <= kMaxFrameBytes
+//   request  := [u64 id][u32 deadline_ms][u8 engine][u8 flags]
+//               [u16 pattern_len][pattern bytes]
+//   response := [u64 id][u8 status_code]
+//               ok:    [u8 flags][u16 ncols][ncols x (u16 len, bytes)]
+//                      checksum_only: [u64 row_count][u64 checksum]
+//                      else:          [u64 row_count][rows x ncols x u32]
+//               error: [u16 msg_len][msg bytes]
+//
+// Every decode path returns Status — a malformed or oversized frame is
+// a framed error response to the client, never a server assert (the
+// frame-decoder fuzz test in tests/net_test.cc feeds arbitrary bytes
+// through FrameDecoder + DecodeQueryRequest).
+#ifndef FGPM_NET_WIRE_H_
+#define FGPM_NET_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace fgpm::net {
+
+// Hard cap on one frame's payload; a length prefix above this is a
+// protocol error (the stream cannot be resynchronized — close it).
+inline constexpr uint32_t kMaxFrameBytes = 8u << 20;
+// Cap on the pattern text inside a request (well above any real
+// pattern; bounds parser work per frame).
+inline constexpr uint32_t kMaxPatternBytes = 1u << 14;
+
+// QueryRequest::flags bits.
+inline constexpr uint8_t kFlagChecksumOnly = 1u << 0;
+inline constexpr uint8_t kFlagTransitiveReduction = 1u << 1;
+
+struct QueryRequest {
+  uint64_t id = 0;
+  // Relative deadline from server receipt; 0 = none. Checked when the
+  // request is dispatched from the admission queue.
+  uint32_t deadline_ms = 0;
+  uint8_t engine = 0;  // fgpm::Engine value; planned engines only
+  uint8_t flags = 0;
+  std::string pattern;
+
+  bool checksum_only() const { return flags & kFlagChecksumOnly; }
+};
+
+struct QueryResponse {
+  uint64_t id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string error;  // set when code != kOk
+  uint8_t flags = 0;
+  std::vector<std::string> columns;
+  uint64_t row_count = 0;
+  uint64_t checksum = 0;  // valid when flags has kFlagChecksumOnly
+  std::vector<std::vector<NodeId>> rows;  // empty when checksum-only
+
+  bool ok() const { return code == StatusCode::kOk; }
+  bool checksum_only() const { return flags & kFlagChecksumOnly; }
+};
+
+// Append one framed message ([len][payload]) to *out.
+void EncodeQueryRequest(const QueryRequest& req, std::string* out);
+void EncodeQueryResponse(const QueryResponse& resp, std::string* out);
+
+// Decode one frame payload (without the length prefix).
+Status DecodeQueryRequest(std::span<const char> payload, QueryRequest* req);
+Status DecodeQueryResponse(std::span<const char> payload,
+                           QueryResponse* resp);
+
+// Order-independent checksum of a result's rows: commutative fold of
+// per-row hashes, so any row order (server shard interleaving) compares
+// equal to a direct GraphMatcher::Match. 0 for an empty result.
+uint64_t RowChecksum(const std::vector<std::vector<NodeId>>& rows);
+
+// Incremental frame splitter. Feed arbitrary byte chunks; Next() pops
+// complete payloads. A length prefix above kMaxFrameBytes poisons the
+// decoder (the stream cannot resync) — every later Next() returns the
+// same Corruption status.
+class FrameDecoder {
+ public:
+  void Append(std::span<const char> bytes) {
+    buf_.append(bytes.data(), bytes.size());
+  }
+
+  // Ok(true): *payload holds the next complete frame payload.
+  // Ok(false): need more bytes.
+  // Corruption: oversized length prefix (connection should close).
+  Result<bool> Next(std::string* payload);
+
+  size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  size_t off_ = 0;  // consumed prefix; compacted lazily
+  bool poisoned_ = false;
+};
+
+}  // namespace fgpm::net
+
+#endif  // FGPM_NET_WIRE_H_

@@ -1,0 +1,44 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fgpm {
+
+std::vector<uint32_t> PartitionLabelsByExtent(const Graph& g,
+                                              uint32_t num_shards) {
+  FGPM_CHECK(num_shards >= 1);
+  FGPM_CHECK(g.finalized());
+  const uint32_t num_labels = static_cast<uint32_t>(g.NumLabels());
+  std::vector<uint32_t> order(num_labels);
+  for (uint32_t l = 0; l < num_labels; ++l) order[l] = l;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    size_t ea = g.Extent(a).size(), eb = g.Extent(b).size();
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+
+  std::vector<uint32_t> assignment(num_labels, 0);
+  std::vector<uint64_t> load(num_shards, 0);
+  for (uint32_t l : order) {
+    uint32_t best = 0;
+    for (uint32_t s = 1; s < num_shards; ++s) {
+      if (load[s] < load[best]) best = s;
+    }
+    assignment[l] = best;
+    load[best] += g.Extent(l).size();
+  }
+  return assignment;
+}
+
+std::vector<uint8_t> OwnedLabelFilter(
+    const std::vector<uint32_t>& label_to_shard, uint32_t shard) {
+  std::vector<uint8_t> owned(label_to_shard.size(), 0);
+  for (size_t l = 0; l < label_to_shard.size(); ++l) {
+    owned[l] = label_to_shard[l] == shard ? 1 : 0;
+  }
+  return owned;
+}
+
+}  // namespace fgpm

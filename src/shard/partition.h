@@ -1,0 +1,30 @@
+// Label -> shard placement for the sharded serving layer. Shards own
+// whole labels (a base table is the unit of partitioning: its tuples,
+// its R-join subclusters and its share of every shard-private cache),
+// so a query whose labels all map to one shard executes there without
+// touching any other shard's structures.
+#ifndef FGPM_SHARD_PARTITION_H_
+#define FGPM_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace fgpm {
+
+// Greedy balanced placement: labels in descending extent-size order
+// (ties by label id) go to the currently lightest shard (ties to the
+// lowest shard id). Deterministic; every shard gets at least one label
+// when num_shards <= num_labels. num_shards must be >= 1.
+std::vector<uint32_t> PartitionLabelsByExtent(const Graph& g,
+                                              uint32_t num_shards);
+
+// One byte per label, nonzero when `shard` owns it — the filter format
+// GraphDatabaseOptions::owned_labels consumes.
+std::vector<uint8_t> OwnedLabelFilter(const std::vector<uint32_t>& label_to_shard,
+                                      uint32_t shard);
+
+}  // namespace fgpm
+
+#endif  // FGPM_SHARD_PARTITION_H_

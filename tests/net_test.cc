@@ -1,0 +1,658 @@
+// Query server + wire protocol (ctest label `net`): frame codec
+// roundtrips and fuzzing, server-vs-direct row-identity differentials
+// across shard counts x engines x join strategies, malformed/oversized
+// input handling (framed Status errors, never asserts), DRR fairness
+// under a greedy pipelining client, admission-control overload,
+// per-connection backpressure, request deadlines, the HTTP
+// observability endpoints, and per-request trace spans.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "workload/patterns.h"
+
+namespace fgpm {
+namespace {
+
+using net::Client;
+using net::FrameDecoder;
+using net::QueryRequest;
+using net::QueryResponse;
+using net::Server;
+using net::ServerOptions;
+
+Pattern P(std::string_view text) {
+  auto p = Pattern::Parse(text);
+  EXPECT_TRUE(p.ok()) << text << ": " << p.status();
+  return *p;
+}
+
+std::vector<std::vector<NodeId>> SortedRows(Result<MatchResult> r) {
+  EXPECT_TRUE(r.ok()) << r.status();
+  if (!r.ok()) return {};
+  r->SortRows();
+  return std::move(r->rows);
+}
+
+// --- wire codec -------------------------------------------------------------
+
+TEST(WireTest, RequestRoundtrip) {
+  QueryRequest req;
+  req.id = 0x1122334455667788ull;
+  req.deadline_ms = 250;
+  req.engine = 2;
+  req.flags = net::kFlagChecksumOnly | net::kFlagTransitiveReduction;
+  req.pattern = "A->B; B->C";
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+
+  FrameDecoder dec;
+  dec.Append(frame);
+  std::string payload;
+  auto has = dec.Next(&payload);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  QueryRequest back;
+  ASSERT_TRUE(DecodeQueryRequest(payload, &back).ok());
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back.engine, req.engine);
+  EXPECT_EQ(back.flags, req.flags);
+  EXPECT_EQ(back.pattern, req.pattern);
+  EXPECT_TRUE(back.checksum_only());
+}
+
+TEST(WireTest, ResponseRoundtripsRowsChecksumAndError) {
+  QueryResponse rows_resp;
+  rows_resp.id = 7;
+  rows_resp.columns = {"A", "B"};
+  rows_resp.rows = {{1, 2}, {3, 4}, {5, 6}};
+  rows_resp.row_count = 3;
+  std::string frame;
+  EncodeQueryResponse(rows_resp, &frame);
+  FrameDecoder dec;
+  dec.Append(frame);
+  std::string payload;
+  ASSERT_TRUE(*dec.Next(&payload));
+  QueryResponse back;
+  ASSERT_TRUE(DecodeQueryResponse(payload, &back).ok());
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.columns, rows_resp.columns);
+  EXPECT_EQ(back.rows, rows_resp.rows);
+
+  QueryResponse sum_resp;
+  sum_resp.id = 8;
+  sum_resp.flags = net::kFlagChecksumOnly;
+  sum_resp.columns = {"A"};
+  sum_resp.row_count = 42;
+  sum_resp.checksum = 0xdeadbeefcafe1234ull;
+  frame.clear();
+  EncodeQueryResponse(sum_resp, &frame);
+  dec.Append(frame);
+  ASSERT_TRUE(*dec.Next(&payload));
+  ASSERT_TRUE(DecodeQueryResponse(payload, &back).ok());
+  EXPECT_EQ(back.row_count, 42u);
+  EXPECT_EQ(back.checksum, sum_resp.checksum);
+  EXPECT_TRUE(back.rows.empty());
+
+  QueryResponse err_resp;
+  err_resp.id = 9;
+  err_resp.code = StatusCode::kResourceExhausted;
+  err_resp.error = "queue full";
+  frame.clear();
+  EncodeQueryResponse(err_resp, &frame);
+  dec.Append(frame);
+  ASSERT_TRUE(*dec.Next(&payload));
+  ASSERT_TRUE(DecodeQueryResponse(payload, &back).ok());
+  EXPECT_EQ(back.code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(back.error, "queue full");
+}
+
+TEST(WireTest, RowChecksumIsOrderIndependent) {
+  std::vector<std::vector<NodeId>> a = {{1, 2}, {3, 4}, {9, 9}};
+  std::vector<std::vector<NodeId>> b = {{9, 9}, {1, 2}, {3, 4}};
+  std::vector<std::vector<NodeId>> c = {{1, 2}, {3, 5}, {9, 9}};
+  EXPECT_EQ(net::RowChecksum(a), net::RowChecksum(b));
+  EXPECT_NE(net::RowChecksum(a), net::RowChecksum(c));
+  EXPECT_EQ(net::RowChecksum({}), 0u);
+}
+
+TEST(FrameDecoderTest, ByteAtATimeAndPipelined) {
+  QueryRequest req;
+  req.id = 1;
+  req.pattern = "A->B";
+  std::string stream;
+  EncodeQueryRequest(req, &stream);
+  req.id = 2;
+  EncodeQueryRequest(req, &stream);
+
+  FrameDecoder dec;
+  std::string payload;
+  int frames = 0;
+  for (char ch : stream) {
+    dec.Append({&ch, 1});
+    while (true) {
+      auto has = dec.Next(&payload);
+      ASSERT_TRUE(has.ok());
+      if (!*has) break;
+      QueryRequest back;
+      ASSERT_TRUE(DecodeQueryRequest(payload, &back).ok());
+      EXPECT_EQ(back.id, static_cast<uint64_t>(++frames));
+    }
+  }
+  EXPECT_EQ(frames, 2);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoderTest, OversizedLengthPoisonsTheStream) {
+  FrameDecoder dec;
+  uint32_t huge = net::kMaxFrameBytes + 1;
+  char pfx[4];
+  std::memcpy(pfx, &huge, 4);
+  dec.Append({pfx, 4});
+  std::string payload;
+  auto r = dec.Next(&payload);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  // Poisoned: every later call fails too, even with more bytes.
+  dec.Append({pfx, 4});
+  EXPECT_FALSE(dec.Next(&payload).ok());
+}
+
+TEST(FrameDecoderTest, FuzzRandomBytesNeverCrash) {
+  Rng rng(0xfeedf00d);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder dec;
+    std::string payload;
+    size_t chunks = 1 + rng.NextBounded(8);
+    for (size_t i = 0; i < chunks; ++i) {
+      std::string junk(rng.NextBounded(300), '\0');
+      for (char& ch : junk) ch = static_cast<char>(rng.NextBounded(256));
+      // Bias some rounds toward plausible small length prefixes so the
+      // decoder yields frames that reach DecodeQueryRequest.
+      if (junk.size() >= 4 && round % 3 == 0) {
+        uint32_t len = static_cast<uint32_t>(rng.NextBounded(64));
+        std::memcpy(junk.data(), &len, 4);
+      }
+      dec.Append(junk);
+      while (true) {
+        auto has = dec.Next(&payload);
+        if (!has.ok() || !*has) break;
+        QueryRequest req;
+        QueryResponse resp;
+        // Must return a Status, never crash or overflow.
+        (void)DecodeQueryRequest(payload, &req);
+        (void)DecodeQueryResponse(payload, &resp);
+      }
+    }
+  }
+}
+
+TEST(FrameDecoderTest, FuzzTruncatedAndMutatedRealFrames) {
+  Rng rng(0xabad1dea);
+  QueryRequest req;
+  req.id = 77;
+  req.pattern = "L0->L1; L1->L2";
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = frame;
+    size_t flips = 1 + rng.NextBounded(4);
+    for (size_t i = 0; i < flips; ++i) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    mutated.resize(1 + rng.NextBounded(mutated.size()));
+    FrameDecoder dec;
+    dec.Append(mutated);
+    std::string payload;
+    while (true) {
+      auto has = dec.Next(&payload);
+      if (!has.ok() || !*has) break;
+      QueryRequest back;
+      (void)DecodeQueryRequest(payload, &back);
+    }
+  }
+}
+
+// --- server end-to-end ------------------------------------------------------
+
+struct ServerFixture {
+  Graph g;
+  std::unique_ptr<GraphMatcher> direct;
+  std::unique_ptr<Server> server;
+
+  explicit ServerFixture(ServerOptions opts, uint32_t num_labels = 8,
+                         uint64_t seed = 23)
+      : g(gen::ScaleFree(300, 3, num_labels, seed)) {
+    auto d = GraphMatcher::Create(&g, {}, {});
+    EXPECT_TRUE(d.ok());
+    direct = std::move(*d);
+    auto s = Server::Start(&g, opts);
+    EXPECT_TRUE(s.ok()) << s.status();
+    server = std::move(*s);
+  }
+  std::unique_ptr<Client> Connect() {
+    auto c = Client::Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(c.ok()) << c.status();
+    return std::move(*c);
+  }
+};
+
+TEST(ServerTest, DifferentialAcrossShardsEnginesStrategies) {
+  struct Config {
+    uint32_t shards;
+    Engine engine;
+    JoinStrategy js;
+  };
+  const Config configs[] = {
+      {1, Engine::kDps, JoinStrategy::kHybrid},
+      {1, Engine::kDp, JoinStrategy::kBinary},
+      {1, Engine::kCanonical, JoinStrategy::kHybrid},
+      {4, Engine::kDps, JoinStrategy::kBinary},
+      {4, Engine::kDp, JoinStrategy::kHybrid},
+      {4, Engine::kCanonical, JoinStrategy::kHybrid},
+      {8, Engine::kDps, JoinStrategy::kHybrid},
+      {8, Engine::kDp, JoinStrategy::kBinary},
+  };
+  for (const Config& cfg : configs) {
+    ServerOptions opts;
+    opts.num_shards = cfg.shards;
+    opts.matcher.exec.join_strategy = cfg.js;
+    ServerFixture f(opts);
+    auto patterns = workload::RandomPatterns(f.g, 6, 3, 1, 101);
+    auto client = f.Connect();
+    uint64_t next_id = 1;
+    for (const Pattern& p : patterns) {
+      MatchOptions mo;
+      mo.engine = cfg.engine;
+      // The server re-parses the wire text, which renumbers pattern
+      // nodes (and thus result columns) — run the direct matcher on the
+      // same re-parsed pattern so both sides agree on column order.
+      auto want = SortedRows(f.direct->Match(P(p.ToString()), mo));
+
+      QueryRequest req;
+      req.id = next_id++;
+      req.engine = static_cast<uint8_t>(cfg.engine);
+      req.pattern = p.ToString();
+      auto resp = client->Query(req);
+      ASSERT_TRUE(resp.ok()) << resp.status();
+      ASSERT_TRUE(resp->ok()) << resp->error;
+      EXPECT_EQ(resp->id, req.id);
+      auto got = resp->rows;
+      std::sort(got.begin(), got.end());
+      EXPECT_EQ(got, want)
+          << "shards=" << cfg.shards << " engine=" << EngineName(cfg.engine)
+          << " pattern=" << p.ToString();
+
+      // Checksum-only responses agree with the direct rows.
+      req.id = next_id++;
+      req.flags = net::kFlagChecksumOnly;
+      auto sum = client->Query(req);
+      ASSERT_TRUE(sum.ok()) << sum.status();
+      ASSERT_TRUE(sum->ok()) << sum->error;
+      EXPECT_EQ(sum->row_count, want.size());
+      EXPECT_EQ(sum->checksum, net::RowChecksum(want));
+      EXPECT_TRUE(sum->rows.empty());
+    }
+  }
+}
+
+TEST(ServerTest, PipelinedResponsesMatchById) {
+  ServerOptions opts;
+  opts.num_shards = 4;
+  ServerFixture f(opts);
+  auto patterns = workload::RandomPatterns(f.g, 10, 3, 1, 303);
+  auto client = f.Connect();
+  // Fire everything, then collect: responses may be reordered across
+  // shards, ids pair them back up.
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    QueryRequest req;
+    req.id = i;
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = patterns[i].ToString();
+    ASSERT_TRUE(client->Send(req).ok());
+  }
+  std::vector<bool> seen(patterns.size(), false);
+  for (size_t i = 0; i < patterns.size(); ++i) {
+    QueryResponse resp;
+    ASSERT_TRUE(client->Recv(&resp).ok());
+    ASSERT_TRUE(resp.ok()) << resp.error;
+    ASSERT_LT(resp.id, patterns.size());
+    EXPECT_FALSE(seen[resp.id]);
+    seen[resp.id] = true;
+    auto want = SortedRows(f.direct->Match(P(patterns[resp.id].ToString())));
+    EXPECT_EQ(resp.row_count, want.size());
+    EXPECT_EQ(resp.checksum, net::RowChecksum(want));
+  }
+}
+
+TEST(ServerTest, MalformedInputsGetFramedErrorsNotAsserts) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  ServerFixture f(opts);
+  auto client = f.Connect();
+
+  // 1. Unparseable pattern text.
+  QueryRequest req;
+  req.id = 1;
+  req.pattern = "not a pattern !!!";
+  auto resp = client->Query(req);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+  EXPECT_FALSE(resp->ok());
+  EXPECT_EQ(resp->id, 1u);
+
+  // 2. Unknown engine value.
+  req.id = 2;
+  req.engine = 99;
+  req.pattern = "L0->L1";
+  resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kInvalidArgument);
+
+  // 3. Oversized pattern (wire-level cap).
+  req.id = 3;
+  req.engine = 0;
+  req.pattern.assign(net::kMaxPatternBytes + 100, 'x');
+  resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kInvalidArgument);
+
+  // 4. Truncated payload inside a well-sized frame: recoverable error.
+  {
+    std::string frame;
+    uint32_t len = 5;
+    frame.append(reinterpret_cast<const char*>(&len), 4);
+    frame.append("\1\2\3\4\5", 5);
+    size_t off = 0;
+    while (off < frame.size()) {
+      ssize_t n = write(client->fd(), frame.data() + off, frame.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+    QueryResponse err;
+    ASSERT_TRUE(client->Recv(&err).ok());
+    EXPECT_EQ(err.code, StatusCode::kInvalidArgument);
+  }
+
+  // 5. The connection survived all of the above.
+  req.id = 5;
+  req.pattern = "L0->L1";
+  resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->ok()) << resp->error;
+  EXPECT_EQ(SortedRows(f.direct->Match(P("L0->L1"))).size(), resp->row_count);
+
+  // 6. An oversized frame prefix is unrecoverable: framed Corruption
+  // error, then the server closes the stream.
+  {
+    auto doomed = f.Connect();
+    uint32_t huge = net::kMaxFrameBytes + 1;
+    ASSERT_EQ(write(doomed->fd(), &huge, 4), 4);
+    QueryResponse err;
+    ASSERT_TRUE(doomed->Recv(&err).ok());
+    EXPECT_EQ(err.code, StatusCode::kCorruption);
+    // Server closes after the error frame: Recv now fails.
+    EXPECT_FALSE(doomed->Recv(&err).ok());
+  }
+}
+
+TEST(ServerTest, DeficitRoundRobinPreventsStarvation) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.dispatch_window = 1;  // sharpest fairness: one release at a time
+  ServerFixture f(opts, /*num_labels=*/4, /*seed=*/7);
+  // Make each query cost real time so the greedy queue stays deep.
+  f.server->matcher()
+      ->shard(0)
+      ->db()
+      .buffer_pool()
+      ->disk()
+      ->set_simulated_read_latency_us(150);
+
+  auto greedy = f.Connect();
+  auto polite = f.Connect();
+  constexpr int kGreedy = 150, kPolite = 10;
+  // The greedy client pipelines its whole burst first...
+  for (int i = 0; i < kGreedy; ++i) {
+    QueryRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = "L0->L1";
+    ASSERT_TRUE(greedy->Send(req).ok());
+  }
+  // ...then the polite client sends a small batch.
+  for (int i = 0; i < kPolite; ++i) {
+    QueryRequest req;
+    req.id = static_cast<uint64_t>(1000 + i);
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = "L0->L1";
+    ASSERT_TRUE(polite->Send(req).ok());
+  }
+
+  std::atomic<int> greedy_done{0};
+  std::thread greedy_rx([&] {
+    QueryResponse resp;
+    for (int i = 0; i < kGreedy; ++i) {
+      if (!greedy->Recv(&resp).ok()) break;
+      greedy_done.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  QueryResponse resp;
+  for (int i = 0; i < kPolite; ++i) {
+    ASSERT_TRUE(polite->Recv(&resp).ok());
+    ASSERT_TRUE(resp.ok()) << resp.error;
+  }
+  // DRR interleaves the two queues one-for-one, so when the polite
+  // client's 10 answers are in, the greedy client cannot have drained
+  // its 150-deep queue. FIFO dispatch would finish all 150 first.
+  int greedy_at_finish = greedy_done.load(std::memory_order_relaxed);
+  EXPECT_LT(greedy_at_finish, kGreedy / 2)
+      << "greedy client starved the polite one";
+  greedy_rx.join();
+}
+
+TEST(ServerTest, AdmissionControlShedsLoadAndRecovers) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_queue = 8;
+  opts.dispatch_window = 1;
+  ServerFixture f(opts, /*num_labels=*/4, /*seed=*/7);
+  f.server->matcher()
+      ->shard(0)
+      ->db()
+      .buffer_pool()
+      ->disk()
+      ->set_simulated_read_latency_us(200);
+
+  auto client = f.Connect();
+  constexpr int kBurst = 80;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = "L0->L1";
+    ASSERT_TRUE(client->Send(req).ok());
+  }
+  int ok = 0, shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryResponse resp;
+    ASSERT_TRUE(client->Recv(&resp).ok());
+    if (resp.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(resp.code, StatusCode::kResourceExhausted) << resp.error;
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GT(shed, 0) << "a 10x overload burst must trip admission control";
+  EXPECT_GT(ok, 0);
+  // The server recovers: a fresh request succeeds.
+  QueryRequest req;
+  req.id = 9999;
+  req.flags = net::kFlagChecksumOnly;
+  req.pattern = "L0->L1";
+  auto resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp->ok()) << resp->error;
+}
+
+TEST(ServerTest, BackpressurePausesReadsInsteadOfShedding) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.max_conn_queue = 4;  // tiny per-connection queue
+  opts.max_queue = 1 << 20;  // admission never trips
+  ServerFixture f(opts, /*num_labels=*/4, /*seed=*/7);
+  auto client = f.Connect();
+  constexpr int kBurst = 60;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = "L0->L1";
+    ASSERT_TRUE(client->Send(req).ok());
+  }
+  // Every request eventually succeeds — the server paused reads while
+  // the queue was full rather than rejecting or buffering unboundedly.
+  for (int i = 0; i < kBurst; ++i) {
+    QueryResponse resp;
+    ASSERT_TRUE(client->Recv(&resp).ok());
+    EXPECT_TRUE(resp.ok()) << resp.error;
+  }
+}
+
+TEST(ServerTest, ExpiredDeadlinesAreShedAtDispatch) {
+  ServerOptions opts;
+  opts.num_shards = 1;
+  opts.dispatch_window = 1;
+  // Starve the caches so every query pays real (simulated) disk time —
+  // otherwise an optimized build drains the queue before any deadline.
+  opts.matcher.db.code_cache_capacity = 4;
+  opts.matcher.db.buffer_pool_bytes = 32 << 10;
+  ServerFixture f(opts, /*num_labels=*/4, /*seed=*/7);
+  f.server->matcher()
+      ->shard(0)
+      ->db()
+      .buffer_pool()
+      ->disk()
+      ->set_simulated_read_latency_us(500);
+
+  auto client = f.Connect();
+  constexpr int kBurst = 40;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest req;
+    req.id = static_cast<uint64_t>(i);
+    req.deadline_ms = 5;  // far less than the queue will take
+    req.flags = net::kFlagChecksumOnly;
+    req.pattern = "L0->L1";
+    ASSERT_TRUE(client->Send(req).ok());
+  }
+  int expired = 0, ok = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryResponse resp;
+    ASSERT_TRUE(client->Recv(&resp).ok());
+    if (resp.code == StatusCode::kDeadlineExceeded) {
+      ++expired;
+    } else if (resp.ok()) {
+      ++ok;
+    }
+  }
+  EXPECT_GT(ok, 0) << "the head of the queue should meet its deadline";
+  EXPECT_GT(expired, 0) << "deep-queued requests should expire";
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  std::string req = "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(write(fd, req.data(), req.size()),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  close(fd);
+  return out;
+}
+
+TEST(ServerTest, HttpMetricsHealthzAndStats) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  ServerFixture f(opts);
+  // Generate one query so server counters exist and are nonzero.
+  auto client = f.Connect();
+  QueryRequest req;
+  req.id = 1;
+  req.flags = net::kFlagChecksumOnly;
+  req.pattern = "L0->L1";
+  auto resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+
+  std::string metrics = HttpGet(f.server->port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("fgpm_server_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("fgpm_server_latency_us"), std::string::npos);
+
+  std::string health = HttpGet(f.server->port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string stats = HttpGet(f.server->port(), "/stats");
+  EXPECT_NE(stats.find("application/json"), std::string::npos);
+
+  std::string missing = HttpGet(f.server->port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST(ServerTest, PerRequestTraceSpansRecorded) {
+  ServerOptions opts;
+  opts.num_shards = 2;
+  opts.trace_requests = true;
+  ServerFixture f(opts);
+  auto client = f.Connect();
+  QueryRequest req;
+  req.id = 42;
+  req.pattern = "L0->L1";
+  auto resp = client->Query(req);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->ok()) << resp->error;
+
+  auto traces = f.server->RecentTraces();
+  ASSERT_FALSE(traces.empty());
+  const QueryTrace& t = traces.back();
+  ASSERT_GE(t.spans().size(), 3u);  // root + queue + exec
+  EXPECT_EQ(t.spans()[0].name, "L0->L1");
+  EXPECT_EQ(t.spans()[0].category, "server");
+  bool has_queue = false, has_exec = false;
+  for (const TraceSpan& s : t.spans()) {
+    if (s.name == "queue") has_queue = true;
+    if (s.name == "exec") has_exec = true;
+  }
+  EXPECT_TRUE(has_queue);
+  EXPECT_TRUE(has_exec);
+  ASSERT_NE(t.spans()[0].FindArg("rows"), nullptr);
+}
+
+}  // namespace
+}  // namespace fgpm
