@@ -17,8 +17,14 @@
 #   make bench-server - build + run the open-loop query-server bench
 #                       over real sockets at 1/2/4/8 shards
 #                       (writes BENCH_server.json)
+#   make bench-sched  - build + run the fork-join vs work-stealing A/B:
+#                       uniform/skewed ParallelFor microbenches plus the
+#                       hot-shard server sweep at Zipf 0.6/0.9/1.2
+#                       (writes BENCH_sched.json)
 #   make verify-tsan  - ThreadSanitizer pass over the concurrency +
-#                       reach + exec + obs + wcoj + mqo + net tests
+#                       reach + exec + obs + wcoj + mqo + net + sched
+#                       tests (the Chase-Lev deque is the TSan-critical
+#                       piece of the scheduler)
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
@@ -35,7 +41,7 @@ TSAN_BUILD_DIR ?= build-tsan
 ASAN_BUILD_DIR ?= build-asan
 JOBS ?= $(shell nproc 2>/dev/null || echo 2)
 
-.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj bench-multiquery bench-server verify-tsan verify-asan
+.PHONY: build test bench-codes bench-exec bench-obs bench-wcoj bench-multiquery bench-server bench-sched verify-tsan verify-asan
 
 build:
 	cmake -B $(BUILD_DIR) -S .
@@ -68,12 +74,16 @@ bench-server: build
 	cd $(BUILD_DIR)/bench && ./bench_server
 	cp $(BUILD_DIR)/bench/BENCH_server.json BENCH_server.json
 
+bench-sched: build
+	cd $(BUILD_DIR)/bench && ./bench_sched
+	cp $(BUILD_DIR)/bench/BENCH_sched.json BENCH_sched.json
+
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net|sched' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net|sched' --output-on-failure

@@ -1,0 +1,603 @@
+// Fork-join vs work-stealing scheduler A/B (PR 9 tentpole).
+//
+// Two experiments back the morsel scheduler's claims:
+//
+//  1. ParallelFor microbench — the PR 1 chunked fork-join pool
+//     (ForkJoinPool) against the work-stealing facade (ThreadPool) on a
+//     uniform body and on a skewed body (the first eighth of the chunks
+//     carries 16x the work). Gate: the stealing path is within 5% of
+//     fork-join on the uniform body — the new machinery must not tax
+//     the case the old pool was built for.
+//
+//  2. Hot-shard server sweep — unlike bench_server's pool (hot ranks
+//     snake across shards), here every hot pattern lives on ONE shard,
+//     so at Zipf 1.2 a thread-per-shard server serializes most of the
+//     offered load on a single worker while seven sit idle in
+//     epoll_wait. The A/B toggles ServerOptions::use_shared_scheduler:
+//       off = the exact pre-PR baseline (per-shard matcher, one exec
+//             thread, no scheduler participation);
+//       on  = all 8 workers join the process-wide scheduler and the hot
+//             shard's queries fan morsels to whoever is idle.
+//     Per theta in {0.6, 0.9, 1.2} the bench reports saturation
+//     throughput and open-loop p50/p95/p99 at rates derived from the
+//     baseline's capacity, plus per-worker busy fractions and
+//     steal/split counts from Scheduler::GetStats() for the stealing
+//     run. Row identity against a direct GraphMatcher is asserted for
+//     every pattern on every server before anything is timed.
+//
+// Gate (at theta 1.2, 8 workers): >= 2x saturation throughput OR
+// >= 2x lower p99 vs the thread-per-shard baseline. Results go to
+// BENCH_sched.json; `make bench-sched` runs it.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/scheduler.h"
+#include "common/timer.h"
+#include "core/graph_matcher.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace fgpm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using net::Client;
+using net::QueryRequest;
+using net::QueryResponse;
+using net::Server;
+using net::ServerOptions;
+
+// ---------------------------------------------------------------------------
+// Part 1: ParallelFor microbench.
+
+// Per-row work: a few dependent integer mixes. `mult` scales the work so
+// the skewed body can make early chunks expensive.
+inline uint64_t MixRows(size_t begin, size_t end, int mult) {
+  uint64_t acc = 0x9e3779b97f4a7c15ull + begin;
+  for (size_t i = begin; i < end; ++i) {
+    for (int m = 0; m < mult; ++m) {
+      acc ^= acc >> 33;
+      acc *= 0xff51afd7ed558ccdull;
+      acc ^= i;
+    }
+  }
+  return acc;
+}
+
+struct MicroResult {
+  double forkjoin_ms = 0;
+  double steal_ms = 0;
+  uint64_t forkjoin_sum = 0;
+  uint64_t steal_sum = 0;
+};
+
+// Runs the same (n, chunk_size, per-chunk multiplier) region through
+// both pools, best-of-`reps`, and checks the reduced checksums agree
+// (same chunks => same per-chunk partials regardless of scheduling).
+MicroResult MicroBench(size_t n, size_t chunk_size, unsigned width, int reps,
+                       const std::function<int(size_t chunk)>& mult_of) {
+  const size_t num_chunks = ThreadPool::NumChunks(n, chunk_size);
+  std::vector<uint64_t> partial(num_chunks);
+  auto body = [&](unsigned, size_t chunk, size_t begin, size_t end) {
+    partial[chunk] = MixRows(begin, end, mult_of(chunk));
+  };
+  auto reduce = [&] {
+    uint64_t acc = 0;
+    for (uint64_t p : partial) acc = acc * 1099511628211ull + p;
+    return acc;
+  };
+
+  MicroResult out;
+  {
+    ForkJoinPool pool(width);
+    out.forkjoin_ms = bench::BestOfMs(reps, [&](int) {
+      WallTimer t;
+      pool.ParallelFor(n, chunk_size, body);
+      return t.ElapsedMillis();
+    });
+    out.forkjoin_sum = reduce();
+  }
+  {
+    ThreadPool pool(width);  // work-stealing facade
+    out.steal_ms = bench::BestOfMs(reps, [&](int) {
+      WallTimer t;
+      pool.ParallelFor(n, chunk_size, body);
+      return t.ElapsedMillis();
+    });
+    out.steal_sum = reduce();
+  }
+  FGPM_CHECK(out.forkjoin_sum == out.steal_sum);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: hot-shard server sweep (harness mirrors bench_server.cc).
+
+constexpr uint32_t kLabels = 32;  // 8 groups of 4 co-located labels
+constexpr uint32_t kGroups = 8;
+constexpr uint32_t kShards = 8;
+
+// Pattern pool, hot-to-cold (Zipf rank = index). The six hottest
+// patterns all touch only group 0 (labels 0..3) — with the group-g ->
+// shard-g placement below, the entire Zipf head lands on shard 0. The
+// tail spreads over the other seven groups plus two cross-shard
+// patterns so the cold shards are exercised too.
+std::vector<std::string> BuildHotShardPool() {
+  auto L = [](uint32_t l) { return "L" + std::to_string(l); };
+  std::vector<std::string> pool = {
+      L(0) + "->" + L(1),
+      L(1) + "->" + L(2) + "; " + L(2) + "->" + L(3),
+      L(0) + "->" + L(2) + "; " + L(0) + "->" + L(3),
+      L(2) + "->" + L(3),
+      L(0) + "->" + L(1) + "; " + L(1) + "->" + L(3),
+      L(0) + "->" + L(3),
+  };
+  for (uint32_t g = 1; g < kGroups; ++g) {
+    uint32_t b = 4 * g;
+    pool.push_back(L(b) + "->" + L(b + 1));
+    pool.push_back(L(b + 1) + "->" + L(b + 2) + "; " + L(b + 2) + "->" + L(b + 3));
+  }
+  pool.push_back(L(1) + "->" + L(5));
+  pool.push_back(L(9) + "->" + L(13));
+  return pool;
+}
+
+std::vector<uint32_t> GroupPlacement(uint32_t num_shards) {
+  std::vector<uint32_t> placement(kLabels);
+  for (uint32_t l = 0; l < kLabels; ++l) placement[l] = (l / 4) % num_shards;
+  return placement;
+}
+
+double Pct(std::vector<double>& v, double q) {
+  if (v.empty()) return 0;
+  size_t i = static_cast<size_t>(q * (v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + i, v.end());
+  return v[i];
+}
+
+struct LoadConfig {
+  const std::vector<std::string>* pool;
+  double theta;
+  uint64_t seed;
+  size_t conns;
+  uint16_t port;
+};
+
+// Pipelined burst: every connection fires `per_conn` Zipf-sampled
+// checksum-only requests back-to-back, then drains. Returns aggregate
+// completed requests/sec.
+double SaturationBurst(const LoadConfig& cfg, size_t per_conn) {
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t c = 0; c < cfg.conns; ++c) {
+    auto cl = Client::Connect("127.0.0.1", cfg.port);
+    FGPM_CHECK(cl.ok());
+    clients.push_back(std::move(*cl));
+  }
+  std::atomic<bool> failed{false};
+  auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < cfg.conns; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(cfg.seed + 17 * c);
+      ZipfDistribution zipf(cfg.pool->size(), cfg.theta);
+      for (size_t k = 0; k < per_conn; ++k) {
+        QueryRequest req;
+        req.id = k;
+        req.flags = net::kFlagChecksumOnly;
+        req.pattern = (*cfg.pool)[zipf.Sample(&rng)];
+        auto st = clients[c]->Send(req);
+        if (!st.ok()) {
+          std::fprintf(stderr, "burst send: %s\n", st.ToString().c_str());
+          failed = true;
+          return;
+        }
+      }
+      QueryResponse resp;
+      for (size_t k = 0; k < per_conn; ++k) {
+        auto st = clients[c]->Recv(&resp);
+        if (!st.ok() || !resp.ok()) {
+          std::fprintf(stderr, "burst recv: %s / code %d %s\n",
+                       st.ToString().c_str(), (int)resp.code,
+                       resp.error.c_str());
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  FGPM_CHECK(!failed.load());
+  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return cfg.conns * per_conn / secs;
+}
+
+struct RatePoint {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  size_t sent = 0;
+  size_t rejected = 0;
+};
+
+// Open loop at a fixed arrival rate; latency is charged from each
+// request's SCHEDULED send time (no coordinated omission).
+RatePoint OpenLoop(const LoadConfig& cfg, double rate_qps, size_t total) {
+  RatePoint pt;
+  pt.offered_qps = rate_qps;
+  pt.sent = total;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (size_t c = 0; c < cfg.conns; ++c) {
+    auto cl = Client::Connect("127.0.0.1", cfg.port);
+    FGPM_CHECK(cl.ok());
+    clients.push_back(std::move(*cl));
+  }
+  std::vector<std::vector<double>> lat(cfg.conns);
+  std::atomic<bool> failed{false};
+  std::atomic<size_t> rejected{0};
+  auto t0 = Clock::now() + std::chrono::milliseconds(20);
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < cfg.conns; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(cfg.seed + 31 * c);
+      ZipfDistribution zipf(cfg.pool->size(), cfg.theta);
+      for (size_t k = c; k < total; k += cfg.conns) {
+        std::this_thread::sleep_until(
+            t0 + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(k / rate_qps)));
+        QueryRequest req;
+        req.id = k;
+        req.flags = net::kFlagChecksumOnly;
+        req.pattern = (*cfg.pool)[zipf.Sample(&rng)];
+        auto st = clients[c]->Send(req);
+        if (!st.ok()) {
+          std::fprintf(stderr, "openloop send: %s\n", st.ToString().c_str());
+          failed = true;
+          return;
+        }
+      }
+    });
+    threads.emplace_back([&, c] {
+      size_t mine = (total - c + cfg.conns - 1) / cfg.conns;
+      QueryResponse resp;
+      for (size_t k = 0; k < mine; ++k) {
+        auto st = clients[c]->Recv(&resp);
+        if (!st.ok()) {
+          std::fprintf(stderr, "openloop recv: %s\n", st.ToString().c_str());
+          failed = true;
+          return;
+        }
+        if (!resp.ok()) {
+          if (resp.code == StatusCode::kResourceExhausted) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          std::fprintf(stderr, "openloop resp: code %d %s\n", (int)resp.code,
+                       resp.error.c_str());
+          failed = true;
+          return;
+        }
+        auto sched = t0 + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(resp.id / rate_qps));
+        lat[c].push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - sched)
+                .count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  FGPM_CHECK(!failed.load());
+  pt.rejected = rejected.load();
+  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  pt.achieved_qps = (total - pt.rejected) / secs;
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  pt.p50_us = Pct(all, 0.50);
+  pt.p95_us = Pct(all, 0.95);
+  pt.p99_us = Pct(all, 0.99);
+  return pt;
+}
+
+struct WorkerLoad {
+  std::string tag;
+  bool internal = false;
+  double busy_frac = 0;
+  uint64_t tasks = 0, steals = 0, splits = 0;
+};
+
+// Busy fractions over a measurement window: per-worker delta of
+// Scheduler busy_ns between two snapshots divided by the window's wall
+// time (worker slots are append-only, so indices line up).
+std::vector<WorkerLoad> BusyDeltas(const Scheduler::Stats& before,
+                                   const Scheduler::Stats& after,
+                                   double window_ns) {
+  std::vector<WorkerLoad> out;
+  for (size_t i = 0; i < after.workers.size(); ++i) {
+    const auto& w1 = after.workers[i];
+    Scheduler::WorkerStats w0;
+    if (i < before.workers.size()) w0 = before.workers[i];
+    WorkerLoad l;
+    l.tag = w1.tag.empty() ? ("int" + std::to_string(i)) : w1.tag;
+    l.internal = w1.internal;
+    l.busy_frac = window_ns > 0 ? (w1.busy_ns - w0.busy_ns) / window_ns : 0;
+    l.tasks = w1.tasks - w0.tasks;
+    l.steals = w1.steals - w0.steals;
+    l.splits = w1.splits - w0.splits;
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
+struct ServerRun {
+  double saturation_qps = 0;
+  std::vector<RatePoint> points;
+  uint64_t steals = 0, splits = 0;      // scheduler deltas over the run
+  std::vector<WorkerLoad> workers;      // stealing runs only
+};
+
+struct ThetaResult {
+  double theta = 0;
+  ServerRun baseline;  // use_shared_scheduler = false (pre-PR)
+  ServerRun steal;     // use_shared_scheduler = true
+};
+
+}  // namespace
+}  // namespace fgpm
+
+int main(int argc, char** argv) {
+  using namespace fgpm;
+  // Per-shard buffer = 16 frames: small against the database (queries
+  // stay disk-dominated) but enough headroom for width-4 morsel
+  // execution to pin pages concurrently on the hot shard.
+  uint32_t nodes = 9000;
+  uint32_t latency_us = 500;
+  uint32_t exec_threads = 4;
+  size_t total_buffer = 1024 << 10;
+  size_t conns = 16, burst_per_conn = 80;
+  double duration_s = 1.5;
+  int micro_reps = 7;
+  uint64_t seed = 0xfeed;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--nodes=", 0) == 0) nodes = std::stoul(arg.substr(8));
+    if (arg.rfind("--latency-us=", 0) == 0) latency_us = std::stoul(arg.substr(13));
+    if (arg.rfind("--buffer-kb=", 0) == 0) total_buffer = std::stoul(arg.substr(12)) << 10;
+    if (arg.rfind("--exec-threads=", 0) == 0) exec_threads = std::stoul(arg.substr(15));
+    if (arg.rfind("--conns=", 0) == 0) conns = std::stoul(arg.substr(8));
+    if (arg.rfind("--burst=", 0) == 0) burst_per_conn = std::stoul(arg.substr(8));
+    if (arg.rfind("--duration-s=", 0) == 0) duration_s = std::stod(arg.substr(13));
+    if (arg.rfind("--reps=", 0) == 0) micro_reps = std::stoi(arg.substr(7));
+    if (arg.rfind("--seed=", 0) == 0) seed = std::stoull(arg.substr(7));
+  }
+
+  bench::PrintHeader(
+      "Work-stealing morsel scheduler — fork-join A/B + hot-shard serving",
+      "ParallelFor microbench (uniform must be within 5%) and the Zipf "
+      "hot-shard server sweep: thread-per-shard baseline vs shared "
+      "scheduler at 8 workers; identical rows required before timing",
+      1.0);
+
+  // ---- Part 1: microbench ----
+  const size_t kMicroN = 1 << 17, kMicroChunk = 64;
+  const unsigned kMicroWidth = 4;
+  std::printf("ParallelFor microbench: n=%zu chunk=%zu width=%u, best of %d\n",
+              kMicroN, kMicroChunk, kMicroWidth, micro_reps);
+  MicroResult uniform = MicroBench(kMicroN, kMicroChunk, kMicroWidth,
+                                   micro_reps, [](size_t) { return 4; });
+  // Skew: the first eighth of the chunks carries 16x the per-row work.
+  const size_t num_chunks = ThreadPool::NumChunks(kMicroN, kMicroChunk);
+  MicroResult skewed =
+      MicroBench(kMicroN, kMicroChunk, kMicroWidth, micro_reps,
+                 [num_chunks](size_t c) { return c < num_chunks / 8 ? 64 : 4; });
+  double uniform_ratio = uniform.steal_ms / uniform.forkjoin_ms;
+  double skewed_ratio = skewed.steal_ms / skewed.forkjoin_ms;
+  std::printf("  uniform: forkjoin %7.2f ms   steal %7.2f ms   (steal/forkjoin %.3f)\n",
+              uniform.forkjoin_ms, uniform.steal_ms, uniform_ratio);
+  std::printf("  skewed : forkjoin %7.2f ms   steal %7.2f ms   (steal/forkjoin %.3f)\n",
+              skewed.forkjoin_ms, skewed.steal_ms, skewed_ratio);
+  std::printf("  uniform overhead gate (<= 1.05): %s\n\n",
+              uniform_ratio <= 1.05 ? "PASS" : "FAIL");
+
+  // ---- Part 2: hot-shard server sweep ----
+  std::printf(
+      "hot-shard server sweep: %u-node graph, %u shards, disk %u us, "
+      "total buffer %zu KiB, %zu conns\n",
+      nodes, kShards, latency_us, total_buffer >> 10, conns);
+
+  Graph g = gen::ScaleFree(nodes, 3, kLabels, seed);
+  const std::vector<std::string> pool = BuildHotShardPool();
+
+  auto direct = GraphMatcher::Create(&g, {}, {});
+  FGPM_CHECK(direct.ok());
+  std::vector<std::vector<std::vector<NodeId>>> reference(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    auto r = (*direct)->Match(pool[i]);
+    FGPM_CHECK(r.ok());
+    r->SortRows();
+    reference[i] = std::move(r->rows);
+  }
+
+  // Runs one server config through the burst + two open-loop points at
+  // 0.8x / 1.4x of `anchor_qps` (<= 0 anchors on this run's own
+  // saturation — the baseline anchors itself, the steal run reuses the
+  // baseline's rates so latencies compare at identical offered load).
+  auto run_server = [&](bool shared_scheduler, double theta,
+                        double anchor_qps) {
+    ServerOptions opts;
+    opts.num_shards = kShards;
+    opts.use_shared_scheduler = shared_scheduler;
+    if (shared_scheduler) opts.matcher.exec.num_threads = exec_threads;
+    opts.matcher.label_to_shard = GroupPlacement(kShards);
+    opts.matcher.db.buffer_pool_bytes =
+        std::max<size_t>(total_buffer / kShards, 32 << 10);
+    opts.matcher.db.code_cache_capacity = 0;  // every query pays its reads
+    opts.dispatch_window = 16;
+    auto server = Server::Start(&g, opts);
+    FGPM_CHECK(server.ok());
+
+    // Row identity before the disk latency is switched on and before
+    // anything is timed.
+    {
+      auto cl = Client::Connect("127.0.0.1", (*server)->port());
+      FGPM_CHECK(cl.ok());
+      for (size_t i = 0; i < pool.size(); ++i) {
+        QueryRequest req;
+        req.id = i;
+        req.pattern = pool[i];
+        auto resp = (*cl)->Query(req);
+        FGPM_CHECK(resp.ok() && resp->ok());
+        auto rows = resp->rows;
+        std::sort(rows.begin(), rows.end());
+        FGPM_CHECK(rows == reference[i]);
+      }
+    }
+    for (uint32_t s = 0; s < kShards; ++s) {
+      (*server)->matcher()->shard(s)->db().buffer_pool()->disk()
+          ->set_simulated_read_latency_us(latency_us);
+    }
+
+    LoadConfig cfg{&pool, theta, seed, conns, (*server)->port()};
+    ServerRun run;
+    auto stats0 = Scheduler::Global().GetStats();
+    auto w0 = Clock::now();
+    run.saturation_qps = SaturationBurst(cfg, burst_per_conn);
+    if (anchor_qps <= 0) anchor_qps = run.saturation_qps;
+    std::vector<double> rates = {0.8 * anchor_qps, 1.4 * anchor_qps};
+    for (double rate : rates) {
+      size_t total =
+          std::min<size_t>(static_cast<size_t>(rate * duration_s), 4000);
+      run.points.push_back(OpenLoop(cfg, rate, total));
+    }
+    auto stats1 = Scheduler::Global().GetStats();
+    double window_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - w0).count();
+    run.steals = stats1.steals - stats0.steals;
+    run.splits = stats1.splits - stats0.splits;
+    if (shared_scheduler) run.workers = BusyDeltas(stats0, stats1, window_ns);
+    (*server)->Stop();
+    return run;
+  };
+
+  std::vector<ThetaResult> results;
+  for (double theta : {0.6, 0.9, 1.2}) {
+    ThetaResult res;
+    res.theta = theta;
+    // Baseline first: its capacity anchors the shared arrival rates
+    // (below baseline capacity, and past it).
+    res.baseline = run_server(/*shared_scheduler=*/false, theta, 0);
+    res.steal = run_server(/*shared_scheduler=*/true, theta,
+                           res.baseline.saturation_qps);
+
+    std::printf("  theta %.1f: saturation baseline %7.0f q/s   steal %7.0f q/s"
+                "   (%.2fx)\n",
+                theta, res.baseline.saturation_qps, res.steal.saturation_qps,
+                res.steal.saturation_qps / res.baseline.saturation_qps);
+    for (size_t j = 0; j < res.baseline.points.size(); ++j) {
+      const RatePoint& b = res.baseline.points[j];
+      const RatePoint& s = res.steal.points[j];
+      std::printf("      rate %7.0f q/s: p99 baseline %9.0f us   steal %9.0f us"
+                  "   (%.2fx lower)\n",
+                  b.offered_qps, b.p99_us, s.p99_us,
+                  s.p99_us > 0 ? b.p99_us / s.p99_us : 0);
+    }
+    std::printf("      steal run: %llu steals, %llu splits\n",
+                (unsigned long long)res.steal.steals,
+                (unsigned long long)res.steal.splits);
+    for (const auto& w : res.steal.workers) {
+      if (w.busy_frac < 0.005 && w.tasks == 0) continue;
+      std::printf("        worker %-6s busy %5.1f%%  tasks %6llu  steals %6llu\n",
+                  w.tag.c_str(), 100 * w.busy_frac,
+                  (unsigned long long)w.tasks, (unsigned long long)w.steals);
+    }
+    std::fflush(stdout);
+    results.push_back(std::move(res));
+  }
+
+  const ThetaResult& hot = results.back();  // theta 1.2
+  double sat_ratio = hot.steal.saturation_qps / hot.baseline.saturation_qps;
+  double p99_ratio =
+      hot.steal.points.back().p99_us > 0
+          ? hot.baseline.points.back().p99_us / hot.steal.points.back().p99_us
+          : 0;
+  bool gate = sat_ratio >= 2.0 || p99_ratio >= 2.0;
+  std::printf(
+      "\ntheta 1.2 gate (>= 2x saturation OR >= 2x lower p99): "
+      "saturation %.2fx, p99 %.2fx lower -> %s\n",
+      sat_ratio, p99_ratio, gate ? "PASS" : "FAIL");
+
+  FILE* f = std::fopen("BENCH_sched.json", "w");
+  FGPM_CHECK(f != nullptr);
+  std::fprintf(f,
+               "{\n  \"bench\": \"sched\",\n  \"identical_rows\": true,\n"
+               "  \"micro\": {\n"
+               "    \"n\": %zu, \"chunk\": %zu, \"width\": %u,\n"
+               "    \"uniform\": {\"forkjoin_ms\": %.3f, \"steal_ms\": %.3f, "
+               "\"steal_over_forkjoin\": %.4f},\n"
+               "    \"skewed\": {\"forkjoin_ms\": %.3f, \"steal_ms\": %.3f, "
+               "\"steal_over_forkjoin\": %.4f},\n"
+               "    \"uniform_within_5pct\": %s\n  },\n"
+               "  \"server\": {\n"
+               "    \"nodes\": %u, \"shards\": %u, \"disk_latency_us\": %u,\n"
+               "    \"total_buffer_kb\": %zu, \"conns\": %zu,\n"
+               "    \"thetas\": [\n",
+               kMicroN, kMicroChunk, kMicroWidth, uniform.forkjoin_ms,
+               uniform.steal_ms, uniform_ratio, skewed.forkjoin_ms,
+               skewed.steal_ms, skewed_ratio,
+               uniform_ratio <= 1.05 ? "true" : "false", nodes, kShards,
+               latency_us, total_buffer >> 10, conns);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThetaResult& r = results[i];
+    auto dump_run = [&](const char* name, const ServerRun& run, bool last) {
+      std::fprintf(f, "        \"%s\": {\"saturation_qps\": %.1f, ", name,
+                   run.saturation_qps);
+      std::fprintf(f, "\"steals\": %llu, \"splits\": %llu, \"rates\": [",
+                   (unsigned long long)run.steals,
+                   (unsigned long long)run.splits);
+      for (size_t j = 0; j < run.points.size(); ++j) {
+        const RatePoint& p = run.points[j];
+        std::fprintf(f,
+                     "{\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+                     "\"rejected\": %zu, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                     "\"p99_us\": %.1f}%s",
+                     p.offered_qps, p.achieved_qps, p.rejected, p.p50_us,
+                     p.p95_us, p.p99_us, j + 1 < run.points.size() ? ", " : "");
+      }
+      std::fprintf(f, "]");
+      if (!run.workers.empty()) {
+        std::fprintf(f, ", \"workers\": [");
+        for (size_t j = 0; j < run.workers.size(); ++j) {
+          const WorkerLoad& w = run.workers[j];
+          std::fprintf(f,
+                       "{\"tag\": \"%s\", \"busy_frac\": %.4f, \"tasks\": %llu, "
+                       "\"steals\": %llu}%s",
+                       w.tag.c_str(), w.busy_frac, (unsigned long long)w.tasks,
+                       (unsigned long long)w.steals,
+                       j + 1 < run.workers.size() ? ", " : "");
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "}%s\n", last ? "" : ",");
+    };
+    std::fprintf(f, "      {\"theta\": %.2f,\n", r.theta);
+    dump_run("baseline", r.baseline, false);
+    dump_run("steal", r.steal, true);
+    std::fprintf(f, "      }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "    ]\n  },\n  \"gate_theta\": 1.2,\n"
+               "  \"saturation_ratio\": %.3f,\n  \"p99_ratio\": %.3f,\n"
+               "  \"gate_2x\": %s\n}\n",
+               sat_ratio, p99_ratio, gate ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_sched.json\n");
+  return gate && uniform_ratio <= 1.05 ? 0 : 1;
+}

@@ -30,6 +30,7 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/scheduler.h"
 #include "core/graph_matcher.h"
 #include "graph/generators.h"
 #include "net/client.h"
@@ -92,11 +93,41 @@ struct RatePoint {
   size_t rejected = 0;  // admission-control sheds during overload
 };
 
+struct WorkerLoad {
+  std::string tag;       // "srv<k>" for server workers, "int<i>" internal
+  double busy_frac = 0;  // fraction of the run spent inside morsel bodies
+  uint64_t tasks = 0;
+  uint64_t steals = 0;
+};
+
 struct ShardRun {
   uint32_t shards = 0;
   double saturation_qps = 0;
   std::vector<RatePoint> points;
+  std::vector<WorkerLoad> workers;  // scheduler busy fractions over the run
 };
+
+// Per-worker scheduler deltas over a measurement window — makes skew
+// imbalance visible in the JSON (a hot shard shows up as one worker at
+// ~100% busy while the rest idle or steal). Worker slots are
+// append-only, so before/after indices line up.
+std::vector<WorkerLoad> BusyDeltas(const Scheduler::Stats& before,
+                                   const Scheduler::Stats& after,
+                                   double window_ns) {
+  std::vector<WorkerLoad> out;
+  for (size_t i = 0; i < after.workers.size(); ++i) {
+    const auto& w1 = after.workers[i];
+    Scheduler::WorkerStats w0;
+    if (i < before.workers.size()) w0 = before.workers[i];
+    WorkerLoad l;
+    l.tag = w1.tag.empty() ? ("int" + std::to_string(i)) : w1.tag;
+    l.busy_frac = window_ns > 0 ? (w1.busy_ns - w0.busy_ns) / window_ns : 0;
+    l.tasks = w1.tasks - w0.tasks;
+    l.steals = w1.steals - w0.steals;
+    out.push_back(std::move(l));
+  }
+  return out;
+}
 
 double Pct(std::vector<double>& v, double q) {
   if (v.empty()) return 0;
@@ -313,6 +344,8 @@ int main(int argc, char** argv) {
     LoadConfig cfg{&pool, theta, seed, conns, (*server)->port()};
     ShardRun run;
     run.shards = shards;
+    auto sched0 = Scheduler::Global().GetStats();
+    auto w0 = Clock::now();
     run.saturation_qps = SaturationBurst(cfg, burst_per_conn);
     std::printf("  %u shard%s: saturation %8.0f q/s\n", shards,
                 shards == 1 ? " " : "s", run.saturation_qps);
@@ -334,6 +367,16 @@ int main(int argc, char** argv) {
                       : "");
       std::fflush(stdout);
       run.points.push_back(pt);
+    }
+    auto sched1 = Scheduler::Global().GetStats();
+    double window_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - w0).count();
+    run.workers = BusyDeltas(sched0, sched1, window_ns);
+    for (const auto& w : run.workers) {
+      if (w.busy_frac < 0.005 && w.tasks == 0) continue;
+      std::printf("      worker %-6s busy %5.1f%%  tasks %6llu  steals %6llu\n",
+                  w.tag.c_str(), 100 * w.busy_frac, (unsigned long long)w.tasks,
+                  (unsigned long long)w.steals);
     }
     std::fflush(stdout);
     runs.push_back(std::move(run));
@@ -366,7 +409,17 @@ int main(int argc, char** argv) {
                    p.offered_qps, p.achieved_qps, p.sent, p.rejected, p.p50_us,
                    p.p95_us, p.p99_us, j + 1 < r.points.size() ? "," : "");
     }
-    std::fprintf(f, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
+    std::fprintf(f, "    ], \"workers\": [");
+    for (size_t j = 0; j < r.workers.size(); ++j) {
+      const WorkerLoad& w = r.workers[j];
+      std::fprintf(f,
+                   "{\"tag\": \"%s\", \"busy_frac\": %.4f, \"tasks\": %llu, "
+                   "\"steals\": %llu}%s",
+                   w.tag.c_str(), w.busy_frac, (unsigned long long)w.tasks,
+                   (unsigned long long)w.steals,
+                   j + 1 < r.workers.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < runs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

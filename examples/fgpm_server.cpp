@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   using namespace fgpm;
 
   uint16_t port = 7777;
-  uint32_t shards = 2, nodes = 2000, labels = 8;
+  uint32_t shards = 2, nodes = 2000, labels = 8, exec_threads = 0;
   std::string load_path, demo = "L0->L1; L1->L2";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -30,6 +30,13 @@ int main(int argc, char** argv) {
     if (arg.rfind("--labels=", 0) == 0) labels = std::stoul(arg.substr(9));
     if (arg.rfind("--load=", 0) == 0) load_path = arg.substr(7);
     if (arg.rfind("--demo=", 0) == 0) demo = arg.substr(7);
+    // Per-query parallelism. Safe at any value: the shared scheduler
+    // reserves the server workers as participants, so this widens the
+    // morsel fan-out instead of multiplying thread counts (no more
+    // shards x exec-threads oversubscription). 0 = one per worker.
+    if (arg.rfind("--exec-threads=", 0) == 0) {
+      exec_threads = std::stoul(arg.substr(15));
+    }
   }
 
   Graph g;
@@ -51,6 +58,7 @@ int main(int argc, char** argv) {
   opts.port = port;
   opts.num_shards = shards;
   opts.trace_requests = true;
+  if (exec_threads > 0) opts.matcher.exec.num_threads = exec_threads;
   auto server = net::Server::Start(&g, opts);
   if (!server.ok()) {
     std::fprintf(stderr, "start: %s\n", server.status().ToString().c_str());

@@ -1,6 +1,11 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/scheduler.h"
 
 namespace fgpm {
 
@@ -10,7 +15,30 @@ unsigned ResolveThreads(unsigned requested) {
   return hw == 0 ? 1 : hw;
 }
 
-ThreadPool::ThreadPool(unsigned num_threads)
+namespace {
+
+bool UseForkJoin() {
+  static const bool use = [] {
+    const char* v = std::getenv("FGPM_SCHED");
+    return v != nullptr && std::strcmp(v, "forkjoin") == 0;
+  }();
+  return use;
+}
+
+#ifndef NDEBUG
+// Reentrancy guard for the legacy pool: a fork-join region body must not
+// open another fork-join region (the cursor/active state is per-pool and
+// not stacked). The work-stealing path has no such restriction.
+thread_local bool tls_in_forkjoin_region = false;
+#endif
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ForkJoinPool — the PR 1 implementation, verbatim plus the debug
+// reentrancy assert.
+
+ForkJoinPool::ForkJoinPool(unsigned num_threads)
     : num_threads_(std::max(1u, ResolveThreads(num_threads))) {
   workers_.reserve(num_threads_ - 1);
   for (unsigned w = 1; w < num_threads_; ++w) {
@@ -18,7 +46,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
   }
 }
 
-ThreadPool::~ThreadPool() {
+ForkJoinPool::~ForkJoinPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -27,7 +55,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks(unsigned worker) {
+void ForkJoinPool::RunChunks(unsigned worker) {
   for (;;) {
     size_t begin = cursor_.fetch_add(chunk_size_, std::memory_order_relaxed);
     if (begin >= n_) break;
@@ -36,7 +64,7 @@ void ThreadPool::RunChunks(unsigned worker) {
   }
 }
 
-void ThreadPool::WorkerLoop(unsigned worker) {
+void ForkJoinPool::WorkerLoop(unsigned worker) {
   uint64_t seen = 0;
   for (;;) {
     {
@@ -53,7 +81,7 @@ void ThreadPool::WorkerLoop(unsigned worker) {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
+void ForkJoinPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
   if (n == 0) return;
   if (chunk_size == 0) chunk_size = 1;
   if (num_threads_ == 1 || n <= chunk_size) {
@@ -63,6 +91,12 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
     }
     return;
   }
+#ifndef NDEBUG
+  // Reentrant fork-join regions deadlock/corrupt the shared cursor;
+  // nested regions need the work-stealing scheduler (default mode).
+  FGPM_CHECK(!tls_in_forkjoin_region);
+  tls_in_forkjoin_region = true;
+#endif
   {
     std::lock_guard<std::mutex> lock(mu_);
     body_ = &body;
@@ -77,6 +111,40 @@ void ThreadPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return active_ == 0; });
   body_ = nullptr;
+#ifndef NDEBUG
+  tls_in_forkjoin_region = false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool — facade over the shared work-stealing scheduler.
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::max(1u, ResolveThreads(num_threads))) {
+  if (UseForkJoin()) {
+    legacy_ = std::make_unique<ForkJoinPool>(num_threads_);
+  } else if (num_threads_ > 1) {
+    Scheduler::Global().EnsureWidth(num_threads_);
+  }
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::ParallelFor(size_t n, size_t chunk_size, const Body& body) {
+  if (legacy_ != nullptr) {
+    legacy_->ParallelFor(n, chunk_size, body);
+    return;
+  }
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  if (num_threads_ == 1 || n <= chunk_size) {
+    // Inline: same chunk decomposition, no synchronization.
+    for (size_t begin = 0; begin < n; begin += chunk_size) {
+      body(0, begin / chunk_size, begin, std::min(n, begin + chunk_size));
+    }
+    return;
+  }
+  Scheduler::Global().ParallelFor(n, chunk_size, body, num_threads_);
 }
 
 }  // namespace fgpm

@@ -1,20 +1,23 @@
-// Chunked fork-join parallelism for intra-query execution.
+// Parallel-for entry point for intra-query execution.
 //
-// A ThreadPool owns `size() - 1` persistent workers (the calling thread
-// is always worker 0). Work is dispatched as parallel-for regions over
-// an index range [0, n): the range is cut into fixed-size contiguous
-// chunks and participants claim chunks from a shared atomic cursor — no
-// work stealing, but skewed chunks still load-balance because fast
-// workers simply claim more chunks.
+// ThreadPool is now a facade over the process-wide work-stealing morsel
+// scheduler (common/scheduler.h): a pool no longer owns threads, it only
+// records its width and forwards ParallelFor regions to the shared
+// scheduler, which runs them with work stealing, nested-region support
+// and adaptive morsel sizing. The PR 1 chunked fork-join implementation
+// is preserved as ForkJoinPool for A/B benchmarking and can be selected
+// process-wide with FGPM_SCHED=forkjoin.
 //
-// Determinism contract: the body receives the *chunk index* (a pure
-// function of `begin` and the chunk size), so callers can write each
-// chunk's output into a pre-sized slot and concatenate slots in chunk
-// order afterwards. The merged output is then byte-identical no matter
-// how many threads ran or how chunks were scheduled. A pool of size 1
-// never spawns threads and runs every chunk inline on the caller,
-// preserving the exact sequential behavior (and stack traces) of a
-// non-parallel build.
+// Determinism contract (unchanged): the body receives the *chunk index*
+// (a pure function of `begin` and the chunk size), so callers can write
+// each chunk's output into a pre-sized slot and concatenate slots in
+// chunk order afterwards. The merged output is then byte-identical no
+// matter how many threads ran or how morsels were scheduled or stolen.
+// A pool of size 1 never touches the scheduler and runs every chunk
+// inline on the caller, preserving the exact sequential behavior (and
+// stack traces) of a non-parallel build. The `worker` id passed to the
+// body is always < size(), so per-worker scratch sized to the pool
+// stays valid.
 #ifndef FGPM_COMMON_PARALLEL_H_
 #define FGPM_COMMON_PARALLEL_H_
 
@@ -22,6 +25,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -32,31 +36,25 @@ namespace fgpm {
 // hardware thread", anything else is taken literally (>= 1).
 unsigned ResolveThreads(unsigned requested);
 
-class ThreadPool {
+// The PR 1 chunked fork-join pool: `size() - 1` persistent private
+// workers, fixed-size contiguous chunks claimed off a shared atomic
+// cursor, no stealing, no reentrancy (enforced with a debug assert).
+// Kept as the A/B baseline for bench_sched and selectable process-wide
+// via FGPM_SCHED=forkjoin.
+class ForkJoinPool {
  public:
-  // body(worker, chunk, begin, end): process [begin, end). `worker` is in
-  // [0, size()) and identifies the executing participant (for scratch
-  // reuse); `chunk` = begin / chunk_size (for deterministic output slots).
-  using Body =
-      std::function<void(unsigned worker, size_t chunk, size_t begin,
-                         size_t end)>;
+  using Body = std::function<void(unsigned worker, size_t chunk, size_t begin,
+                                  size_t end)>;
 
-  // num_threads == 0 resolves to hardware_concurrency.
-  explicit ThreadPool(unsigned num_threads = 0);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
+  explicit ForkJoinPool(unsigned num_threads = 0);
+  ~ForkJoinPool();
+  ForkJoinPool(const ForkJoinPool&) = delete;
+  ForkJoinPool& operator=(const ForkJoinPool&) = delete;
 
   unsigned size() const { return num_threads_; }
 
-  // Number of chunks ParallelFor(n, chunk_size, ...) will execute.
-  static size_t NumChunks(size_t n, size_t chunk_size) {
-    if (chunk_size == 0) chunk_size = 1;
-    return (n + chunk_size - 1) / chunk_size;
-  }
-
-  // Runs `body` over every chunk of [0, n). Blocks until all chunks are
-  // done. Reentrant calls from within a body are not supported.
+  // Blocks until all chunks are done. Reentrant calls from within a
+  // body are not supported (asserted in debug builds).
   void ParallelFor(size_t n, size_t chunk_size, const Body& body);
 
  private:
@@ -78,6 +76,39 @@ class ThreadPool {
   size_t n_ = 0;
   size_t chunk_size_ = 1;
   std::atomic<size_t> cursor_{0};
+};
+
+class ThreadPool {
+ public:
+  // body(worker, chunk, begin, end): process [begin, end). `worker` is in
+  // [0, size()) and identifies the executing participant (for scratch
+  // reuse); `chunk` = begin / chunk_size (for deterministic output slots).
+  using Body = std::function<void(unsigned worker, size_t chunk, size_t begin,
+                                  size_t end)>;
+
+  // num_threads == 0 resolves to hardware_concurrency.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return num_threads_; }
+
+  // Number of chunks ParallelFor(n, chunk_size, ...) will execute.
+  static size_t NumChunks(size_t n, size_t chunk_size) {
+    if (chunk_size == 0) chunk_size = 1;
+    return (n + chunk_size - 1) / chunk_size;
+  }
+
+  // Runs `body` over every chunk of [0, n). Blocks until all chunks are
+  // done. Reentrant: a body may open a nested region on this or any
+  // other pool (the blocked participant helps execute it) — except in
+  // FGPM_SCHED=forkjoin legacy mode, where nesting still aborts.
+  void ParallelFor(size_t n, size_t chunk_size, const Body& body);
+
+ private:
+  const unsigned num_threads_;
+  std::unique_ptr<ForkJoinPool> legacy_;  // only in FGPM_SCHED=forkjoin mode
 };
 
 }  // namespace fgpm

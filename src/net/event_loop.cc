@@ -72,6 +72,17 @@ void EventLoop::Post(std::function<void()> task) {
   [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
 }
 
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::SetIdleHelper(std::function<bool()> help,
+                              std::function<void(bool)> arm) {
+  help_ = std::move(help);
+  arm_ = std::move(arm);
+}
+
 void EventLoop::DrainTasks() {
   // Swap out the current batch; tasks posted by tasks run next
   // iteration (no starvation of I/O events).
@@ -90,8 +101,26 @@ void EventLoop::Run() {
       std::lock_guard<std::mutex> lock(mu_);
       if (stop_) return;
     }
+    int timeout_ms = 100;
+    bool armed = false;
+    if (help_) {
+      if (help_()) {
+        timeout_ms = 0;  // did a morsel: poll I/O, then keep helping
+      } else if (arm_) {
+        // Nothing queued: arm the scheduler wake hook, then close the
+        // arm/publish race with one more probe before blocking.
+        arm_(true);
+        armed = true;
+        if (help_()) {
+          arm_(false);
+          armed = false;
+          timeout_ms = 0;
+        }
+      }
+    }
     int n = epoll_wait(epoll_fd_, events.data(),
-                       static_cast<int>(events.size()), /*timeout_ms=*/100);
+                       static_cast<int>(events.size()), timeout_ms);
+    if (armed) arm_(false);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;  // epoll fd gone — nothing sane left to do

@@ -36,8 +36,23 @@ class EventLoop {
   void Remove(int fd);
 
   // Enqueue a task for the loop thread and wake it. Thread-safe; the
-  // only method callable off the loop thread (besides Stop).
+  // only method callable off the loop thread (besides Stop and Wake).
   void Post(std::function<void()> task);
+
+  // Thread-safe: interrupts the current (or next) epoll_wait without
+  // queueing anything. Used as a scheduler wake hook — a morsel
+  // published while this loop blocks makes it resurface and help.
+  void Wake();
+
+  // Makes the loop scheduler-aware. After each iteration's I/O the loop
+  // calls `help` (run at most one queued scheduler morsel; true if it
+  // did); while morsels keep coming the loop polls with timeout 0 so
+  // socket I/O interleaves with stolen work. When `help` reports
+  // nothing to do, `arm(true)` is called before blocking in epoll_wait
+  // and `arm(false)` right after — pair it with Scheduler::ArmWakeHook
+  // on a hook that calls Wake(). Set before Run(); loop thread only.
+  void SetIdleHelper(std::function<bool()> help,
+                     std::function<void(bool)> arm);
 
   // Runs until Stop(). Tasks posted before Run still execute.
   void Run();
@@ -53,6 +68,8 @@ class EventLoop {
 
   int epoll_fd_;
   int wake_fd_;
+  std::function<bool()> help_;       // run one scheduler morsel
+  std::function<void(bool)> arm_;    // arm/disarm the wake hook
   std::unordered_map<int, IoCallback> handlers_;
   std::mutex mu_;                           // guards tasks_ + stop_
   std::deque<std::function<void()>> tasks_;

@@ -59,6 +59,14 @@ struct ServerOptions {
   // Record a QueryTrace per request (spans: queue, exec) into a small
   // ring readable via RecentTraces().
   bool trace_requests = false;
+  // Join every worker to the process-wide work-stealing scheduler: the
+  // workers are reserved as external scheduler participants (so shard
+  // executors spawn no extra threads), matcher.exec.num_threads
+  // defaults to num_shards (a hot shard's query fans morsels out to
+  // idle workers), and each worker's epoll loop helps execute queued
+  // morsels between I/O events. false reproduces the pre-scheduler
+  // thread-per-shard behavior exactly (the bench_sched A/B baseline).
+  bool use_shared_scheduler = true;
 };
 
 class Server {
@@ -110,6 +118,7 @@ class Server {
   uint16_t port_ = 0;
   std::vector<std::unique_ptr<Worker>> workers_;
   bool stopped_ = false;
+  bool sched_reserved_ = false;  // workers counted via ReserveExternal
 
   std::mutex trace_mu_;
   std::deque<QueryTrace> traces_;  // ring, newest at back

@@ -1,0 +1,30 @@
+// Bridge from the work-stealing scheduler (common/scheduler.h, which
+// cannot depend on the obs layer) into the metrics registry. Call
+// PublishSchedulerMetrics() before exporting — the server does so in
+// its /metrics and /stats handlers — and the scheduler's cumulative
+// counters are mirrored as monotonic registry counters plus gauges:
+//
+//   fgpm_sched_regions_total      parallel regions executed
+//   fgpm_sched_tasks_total        morsels executed
+//   fgpm_sched_steals_total       morsels obtained from another deque
+//   fgpm_sched_steal_fails_total  full sweeps that found nothing
+//   fgpm_sched_splits_total       morsels split for starving workers
+//   fgpm_sched_queue_depth        morsels currently queued (gauge)
+//   fgpm_sched_workers            attached worker slots (gauge)
+//   fgpm_sched_busy_fraction      mean per-worker busy_ns / wall_ns
+#ifndef FGPM_OBS_SCHED_METRICS_H_
+#define FGPM_OBS_SCHED_METRICS_H_
+
+namespace fgpm::obs {
+
+class MetricsRegistry;
+
+// Mirrors Scheduler::Global().GetStats() into `reg` (Default() when
+// null). Idempotent and delta-based: safe to call from any thread at
+// any rate; counters only ever advance by the delta since the previous
+// publish into that registry's process-wide snapshot.
+void PublishSchedulerMetrics(MetricsRegistry* reg = nullptr);
+
+}  // namespace fgpm::obs
+
+#endif  // FGPM_OBS_SCHED_METRICS_H_
