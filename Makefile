@@ -28,7 +28,7 @@
 #   make verify-asan  - AddressSanitizer pass over the same labels
 #
 # verify-tsan / verify-asan are the one-command sanitizer gates for the
-# `concurrency`, `reach`, `exec` and `obs` ctest labels (buffer-pool /
+# `concurrency`, `reach`, `exec`, `obs` and `obs2` ctest labels (buffer-pool /
 # code-cache hammer tests, code-layout round-trips, the multi-threaded
 # probe differentials, the eager-vs-factorized materialization
 # differentials and the metrics/trace suites with their 8-thread
@@ -81,9 +81,9 @@ bench-sched: build
 verify-tsan:
 	cmake -B $(TSAN_BUILD_DIR) -S . -DFGPM_SANITIZE=thread
 	cmake --build $(TSAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net|sched' --output-on-failure
+	ctest --test-dir $(TSAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|obs2|wcoj|mqo|net|sched' --output-on-failure
 
 verify-asan:
 	cmake -B $(ASAN_BUILD_DIR) -S . -DFGPM_SANITIZE=address
 	cmake --build $(ASAN_BUILD_DIR) -j $(JOBS)
-	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|wcoj|mqo|net|sched' --output-on-failure
+	ctest --test-dir $(ASAN_BUILD_DIR) -L 'concurrency|reach|exec|obs|obs2|wcoj|mqo|net|sched' --output-on-failure

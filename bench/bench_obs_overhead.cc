@@ -19,6 +19,9 @@
 #include "bench/bench_util.h"
 #include "common/logging.h"
 #include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -59,6 +62,97 @@ double RunRep(GraphMatcher& matcher, int inner) {
     }
   }
   return t.ElapsedMillis();
+}
+
+// One server-path rep: the pattern set over a real socket,
+// checksum-only responses (wire cost without row payload noise).
+double RunServerRep(net::Client& client, int inner) {
+  WallTimer t;
+  uint64_t id = 0;
+  for (int i = 0; i < inner; ++i) {
+    for (const char* p : kPatterns) {
+      net::QueryRequest req;
+      req.id = ++id;
+      req.flags = net::kFlagChecksumOnly;
+      req.pattern = p;
+      auto r = client.Query(req);
+      FGPM_CHECK(r.ok() && r->ok());
+    }
+  }
+  return t.ElapsedMillis();
+}
+
+// A/B over real sockets: the full serving-path observability plane
+// (head-based trace sampling + windowed metrics + SLO watchdog +
+// scheduler profiler) against a server with sampling and profiling off.
+// Both servers answer the same queries; checksums are verified
+// identical before anything is timed.
+struct ServerPathResult {
+  double off_median_ms = 0;
+  double on_median_ms = 0;
+  double overhead_pct = 0;
+  bool pass = true;
+  bool ran = false;
+};
+
+ServerPathResult RunServerPath(const Graph* g, int reps, int inner) {
+  ServerPathResult out;
+  net::ServerOptions off_opts;
+  off_opts.num_shards = 2;
+  off_opts.trace_sample_n = 0;
+  off_opts.metrics_window_s = 0;
+  net::ServerOptions on_opts = off_opts;
+  on_opts.trace_sample_n = 4;    // trace every 4th request per worker
+  on_opts.metrics_window_s = 30; // windowed p50/p95/p99 + exemplars
+  on_opts.slo_p99_ms = 1000;     // watchdog armed but never breaching
+  on_opts.profile_sample_us = 1000;
+
+  auto off_server = net::Server::Start(g, off_opts);
+  auto on_server = net::Server::Start(g, on_opts);
+  FGPM_CHECK(off_server.ok() && on_server.ok());
+  net::Server* servers[2] = {off_server->get(), on_server->get()};
+  std::unique_ptr<net::Client> clients[2];
+  for (int m = 0; m < 2; ++m) {
+    auto c = net::Client::Connect("127.0.0.1", servers[m]->port());
+    FGPM_CHECK(c.ok());
+    clients[m] = std::move(*c);
+  }
+
+  // Rows identical across modes, verified before timing.
+  for (const char* p : kPatterns) {
+    uint64_t counts[2], sums[2];
+    for (int m = 0; m < 2; ++m) {
+      net::QueryRequest req;
+      req.id = 1;
+      req.flags = net::kFlagChecksumOnly;
+      req.pattern = p;
+      auto r = clients[m]->Query(req);
+      FGPM_CHECK(r.ok() && r->ok());
+      counts[m] = r->row_count;
+      sums[m] = r->checksum;
+    }
+    FGPM_CHECK(counts[0] == counts[1] && sums[0] == sums[1]);
+  }
+
+  // Interleaved reps, same rationale as the direct-path bench.
+  std::vector<double> times[2];
+  for (int m = 0; m < 2; ++m) (void)RunServerRep(*clients[m], 1);  // warm
+  for (int r = 0; r < reps; ++r) {
+    for (int m = 0; m < 2; ++m) {
+      times[m].push_back(RunServerRep(*clients[m], inner));
+    }
+  }
+  out.off_median_ms = Median(times[0]);
+  out.on_median_ms = Median(times[1]);
+  out.overhead_pct =
+      (out.on_median_ms - out.off_median_ms) / out.off_median_ms * 100.0;
+  out.pass = out.overhead_pct < 3.0;
+  out.ran = true;
+  for (int m = 0; m < 2; ++m) {
+    clients[m].reset();
+    servers[m]->Stop();
+  }
+  return out;
 }
 
 }  // namespace
@@ -124,10 +218,21 @@ int Main(int argc, char** argv) {
 
   const double overhead_l0 = (medians[1] - medians[0]) / medians[0] * 100.0;
   const double overhead_l1 = (medians[2] - medians[0]) / medians[0] * 100.0;
-  const bool pass = overhead_l0 < 3.0;
+  const bool direct_pass = overhead_l0 < 3.0;
   std::printf("\ntrace_level=0 overhead vs obs-off: %+.2f%% (budget < 3%%) "
               "%s\ntrace_level=1 overhead vs obs-off: %+.2f%%\n",
-              overhead_l0, pass ? "PASS" : "FAIL", overhead_l1);
+              overhead_l0, direct_pass ? "PASS" : "FAIL", overhead_l1);
+
+  // Server path: sampling + windows + profiler on vs off, real sockets.
+  ServerPathResult sp = RunServerPath(&g, reps, inner);
+  std::printf("\nserver path (2 shards, checksum-only, loopback):\n"
+              "  sampling off  median %.3f ms/rep\n"
+              "  sampling on   median %.3f ms/rep (trace 1/4 + windows + "
+              "profiler)\n"
+              "  overhead %+.2f%% (budget < 3%%) %s\n",
+              sp.off_median_ms, sp.on_median_ms, sp.overhead_pct,
+              sp.pass ? "PASS" : "FAIL");
+  const bool pass = direct_pass && sp.pass;
 
   FILE* f = std::fopen("BENCH_obs.json", "w");
   FGPM_CHECK(f != nullptr);
@@ -147,8 +252,12 @@ int Main(int argc, char** argv) {
   std::fprintf(f,
                "  ],\n  \"overhead_pct\": {\"level0\": %.3f, "
                "\"level1\": %.3f},\n"
+               "  \"server_path\": {\"off_median_ms\": %.3f, "
+               "\"on_median_ms\": %.3f, \"overhead_pct\": %.3f, "
+               "\"pass\": %s},\n"
                "  \"budget_pct\": 3.0,\n  \"pass\": %s\n}\n",
-               overhead_l0, overhead_l1, pass ? "true" : "false");
+               sp.off_median_ms, sp.on_median_ms, sp.overhead_pct,
+               sp.pass ? "true" : "false", pass ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_obs.json\n");
   return 0;

@@ -4,11 +4,18 @@
 #include <bit>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 
 #include "common/logging.h"
 
 namespace fgpm {
 namespace {
+
+// Profiler gate + interned-label table. The table is append-only and
+// node-based, so c_str() pointers stay valid for the process lifetime —
+// which is what lets worker labels be plain atomic<const char*>.
+std::atomic<bool> g_profiling{false};
+std::mutex g_label_mu;
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
@@ -65,6 +72,8 @@ struct SchedRegion {
   size_t n = 0;
   size_t chunk_size = 1;
   size_t num_chunks = 0;
+  // Interned phase label of the submitting thread (profiling only).
+  const char* label = nullptr;
   unsigned width = 1;           // max concurrent participants (<= 64)
   size_t min_split_chunks = 1;  // adaptive-split floor
   std::atomic<size_t> chunks_done{0};
@@ -119,6 +128,11 @@ struct Scheduler::Worker {
   std::atomic<uint64_t> tasks{0};
   std::atomic<uint64_t> steals{0};
   std::atomic<uint64_t> splits{0};
+  // Profiler-sampled: interned label of the morsel being executed (or
+  // the thread's scoped label) and a coarse run state. Only written
+  // when profiling is enabled.
+  std::atomic<const char*> label{nullptr};
+  std::atomic<uint8_t> state{0};  // Scheduler::WorkerState
 
   uint32_t NextVictim(uint32_t n) {
     rng ^= rng << 13;
@@ -131,6 +145,7 @@ struct Scheduler::Worker {
 namespace {
 
 thread_local Scheduler::Worker* tls_worker = nullptr;
+thread_local const char* tls_label = nullptr;
 
 // Reclaims the worker slot when a participating thread exits without an
 // explicit DetachCurrentThread (test threads, executor owners). Main-
@@ -300,6 +315,16 @@ bool Scheduler::RunTask(Worker* self, void* opaque, bool may_requeue) {
   size_t c0 = t->begin_chunk;
   size_t c1 = t->end_chunk;
   delete t;
+  const bool prof = g_profiling.load(std::memory_order_relaxed);
+  const char* prev_label = nullptr;
+  if (prof) {
+    prev_label = self->label.load(std::memory_order_relaxed);
+    if (r->label != nullptr) {
+      self->label.store(r->label, std::memory_order_relaxed);
+    }
+    self->state.store(static_cast<uint8_t>(Scheduler::WorkerState::kRunning),
+                      std::memory_order_relaxed);
+  }
   const uint64_t t0 = NowNs();
   size_t executed = 0;
   while (c0 < c1) {
@@ -322,6 +347,11 @@ bool Scheduler::RunTask(Worker* self, void* opaque, bool may_requeue) {
     (*r->body)(static_cast<unsigned>(slot), c0, begin, end);
     ++c0;
     ++executed;
+  }
+  if (prof) {
+    self->label.store(prev_label, std::memory_order_relaxed);
+    self->state.store(static_cast<uint8_t>(Scheduler::WorkerState::kIdle),
+                      std::memory_order_relaxed);
   }
   self->busy_ns.fetch_add(NowNs() - t0, std::memory_order_relaxed);
   self->tasks.fetch_add(1, std::memory_order_relaxed);
@@ -363,11 +393,20 @@ void Scheduler::Publish() {
 
 void Scheduler::WaitForWork(const SchedRegion* region) {
   const int spin = GetSchedTuning().steal_spin;
+  const bool prof = g_profiling.load(std::memory_order_relaxed);
+  if (prof && tls_worker != nullptr) {
+    tls_worker->state.store(static_cast<uint8_t>(WorkerState::kStarving),
+                            std::memory_order_relaxed);
+  }
   starving_.fetch_add(1, std::memory_order_relaxed);
   for (int i = 0; i < spin; ++i) {
     if (HasWork() || shutdown_.load(std::memory_order_relaxed) ||
         (region != nullptr && region->done.load(std::memory_order_acquire))) {
       starving_.fetch_sub(1, std::memory_order_relaxed);
+      if (prof && tls_worker != nullptr) {
+        tls_worker->state.store(static_cast<uint8_t>(WorkerState::kIdle),
+                                std::memory_order_relaxed);
+      }
       return;
     }
     std::this_thread::yield();
@@ -384,6 +423,10 @@ void Scheduler::WaitForWork(const SchedRegion* region) {
   }
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
   starving_.fetch_sub(1, std::memory_order_relaxed);
+  if (prof && tls_worker != nullptr) {
+    tls_worker->state.store(static_cast<uint8_t>(WorkerState::kIdle),
+                            std::memory_order_relaxed);
+  }
 }
 
 void Scheduler::InternalLoop(Worker* self) {
@@ -419,6 +462,7 @@ void Scheduler::ParallelFor(size_t n, size_t chunk_size, const Body& body,
   r.n = n;
   r.chunk_size = chunk_size;
   r.num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (g_profiling.load(std::memory_order_relaxed)) r.label = tls_label;
   r.width = std::min<unsigned>(width, 64);
   r.min_split_chunks =
       std::max<size_t>(1, GetSchedTuning().morsel_rows / chunk_size);
@@ -494,6 +538,56 @@ Scheduler::Stats Scheduler::GetStats() const {
     s.workers.push_back(std::move(ws));
   }
   return s;
+}
+
+const char* Scheduler::InternLabel(std::string_view label) {
+  static std::set<std::string, std::less<>>* table =
+      new std::set<std::string, std::less<>>();
+  std::lock_guard<std::mutex> lock(g_label_mu);
+  auto it = table->find(label);
+  if (it == table->end()) it = table->emplace(label).first;
+  return it->c_str();
+}
+
+void Scheduler::SetProfilingEnabled(bool on) {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool Scheduler::ProfilingEnabled() {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+void Scheduler::SampleWorkers(std::vector<WorkerSample>* out) const {
+  out->clear();
+  uint32_t n = num_workers_.load(std::memory_order_acquire);
+  out->reserve(n);
+  std::lock_guard<std::mutex> lock(spawn_mu_);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Worker* w = workers_[i].get();
+    WorkerSample s;
+    s.tag = w->tag;
+    s.internal = w->internal;
+    s.state = static_cast<WorkerState>(w->state.load(std::memory_order_relaxed));
+    s.label = w->label.load(std::memory_order_relaxed);
+    s.deque_depth = w->deque.SizeApprox();
+    s.steals = w->steals.load(std::memory_order_relaxed);
+    out->push_back(std::move(s));
+  }
+}
+
+ScopedSchedLabel::ScopedSchedLabel(const char* interned_label) {
+  prev_ = tls_label;
+  tls_label = interned_label;
+  if (Scheduler::ProfilingEnabled() && tls_worker != nullptr) {
+    tls_worker->label.store(interned_label, std::memory_order_relaxed);
+  }
+}
+
+ScopedSchedLabel::~ScopedSchedLabel() {
+  if (Scheduler::ProfilingEnabled() && tls_worker != nullptr) {
+    tls_worker->label.store(prev_, std::memory_order_relaxed);
+  }
+  tls_label = prev_;
 }
 
 int Scheduler::AddWakeHook(std::function<void()> hook) {

@@ -55,6 +55,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -140,6 +141,13 @@ class TaskDeque {
   bool Empty() const {
     return bottom_.load(std::memory_order_relaxed) <=
            top_.load(std::memory_order_relaxed);
+  }
+
+  // Racy depth estimate for profiler sampling (any thread).
+  size_t SizeApprox() const {
+    uint64_t b = bottom_.load(std::memory_order_relaxed);
+    uint64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
   }
 
  private:
@@ -240,6 +248,38 @@ class Scheduler {
   };
   Stats GetStats() const;
 
+  // --- profiler support ------------------------------------------------
+
+  // Interns `label` into a process-lifetime table and returns a stable
+  // pointer, so a sampling profiler can read worker labels as a single
+  // relaxed atomic<const char*> load with no lifetime question. Equal
+  // strings return the same pointer. Intended for a small, bounded set
+  // of operator/phase labels, not per-row data.
+  static const char* InternLabel(std::string_view label);
+
+  // Global gate: when off (the default), morsels skip label publication
+  // entirely — the profiler costs one relaxed load per morsel.
+  static void SetProfilingEnabled(bool on);
+  static bool ProfilingEnabled();
+
+  enum class WorkerState : uint8_t { kIdle = 0, kRunning = 1, kStarving = 2 };
+
+  // One sampled observation of a worker, taken racily (see
+  // SampleWorkers). `label` is an interned pointer or null.
+  struct WorkerSample {
+    std::string tag;
+    bool internal = false;
+    WorkerState state = WorkerState::kIdle;
+    const char* label = nullptr;
+    size_t deque_depth = 0;
+    uint64_t steals = 0;
+  };
+  // Snapshots every worker's running label / state / deque depth for
+  // the sampling profiler. Racy by design: each field is an independent
+  // relaxed load, so a sample may mix moments — fine for statistical
+  // attribution.
+  void SampleWorkers(std::vector<WorkerSample>* out) const;
+
   ~Scheduler();
 
  private:
@@ -298,6 +338,23 @@ class Scheduler {
   std::atomic<uint64_t> regions_{0};
   std::atomic<uint64_t> steal_fails_{0};
   std::chrono::steady_clock::time_point start_;
+};
+
+// RAII operator/phase label for the calling thread. While in scope,
+// regions this thread submits carry `interned_label` (see
+// Scheduler::InternLabel), and every worker running one of their
+// morsels publishes it for SampleWorkers — so a profiler sample reads
+// "what phase is this worker executing". Nests (restores the previous
+// label on destruction). Near-free when profiling is disabled.
+class ScopedSchedLabel {
+ public:
+  explicit ScopedSchedLabel(const char* interned_label);
+  ~ScopedSchedLabel();
+  ScopedSchedLabel(const ScopedSchedLabel&) = delete;
+  ScopedSchedLabel& operator=(const ScopedSchedLabel&) = delete;
+
+ private:
+  const char* prev_;
 };
 
 }  // namespace fgpm

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 
 #include "exec/naive_matcher.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "opt/cost_model.h"
 #include "opt/dp_optimizer.h"
@@ -290,6 +291,7 @@ Result<bool> GraphMatcher::TryResultCache(
                          e->rows.begin() + (r + 1) * e->arity);
     }
     *cache_hit = 1;
+    obs::RecordFlight(obs::FlightEvent::kCacheHit, e->num_rows);
     SyncResultCacheMetrics();
     return true;
   }
@@ -324,6 +326,7 @@ Result<bool> GraphMatcher::TryResultCache(
     }
   }
   cache->RecordMiss();
+  obs::RecordFlight(obs::FlightEvent::kCacheMiss);
   SyncResultCacheMetrics();
   return false;
 }
@@ -343,6 +346,8 @@ void GraphMatcher::RecordQuery(const Pattern& pattern, Engine engine,
     if (obs::Enabled()) {
       MatcherMetrics::Get().slow_queries->Increment();
     }
+    obs::RecordFlight(obs::FlightEvent::kSlowQuery,
+                      static_cast<uint64_t>(stats.elapsed_ms * 1e3));
     if (slow_queries_.size() >= kSlowLogCapacity) {
       slow_queries_.pop_front();
     }

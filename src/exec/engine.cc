@@ -1,8 +1,10 @@
 #include "exec/engine.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/scheduler.h"
 #include "common/timer.h"
 #include "exec/temporal_table.h"
 #include "exec/wcoj.h"
@@ -173,6 +175,14 @@ Status RunPlanSteps(const GraphDatabase& db, const Pattern& pattern,
                               static_cast<int32_t>(query_span));
       ops_before = stats->operators;
       io_before_step = db.Io();
+    }
+    // Phase label for the scheduler profiler: morsels this step fans
+    // out carry "match;<step>" so folded stacks attribute worker busy
+    // time to plan steps. Interning only happens while profiling.
+    std::optional<ScopedSchedLabel> sched_label;
+    if (Scheduler::ProfilingEnabled()) {
+      sched_label.emplace(
+          Scheduler::InternLabel("match;" + StepLabel(pattern, step)));
     }
     WallTimer step_timer;
 

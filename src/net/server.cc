@@ -11,13 +11,17 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
 
 #include "common/scheduler.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/sched_metrics.h"
 #include "storage/page.h"
 
@@ -33,6 +37,22 @@ uint64_t ElapsedUs(Clock::time_point since) {
           .count());
 }
 
+uint64_t NowSteadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+// SplitMix64: worker index + local sequence -> well-spread trace id.
+uint64_t MixTraceId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x != 0 ? x : 1;
+}
+
 struct ServerMetrics {
   obs::Gauge* connections;
   obs::Counter* requests;
@@ -45,6 +65,9 @@ struct ServerMetrics {
   obs::Counter* rx_bytes;
   obs::Counter* tx_bytes;
   obs::Counter* rows;
+  obs::Counter* trace_dropped;
+  obs::Counter* slo_breach;
+  obs::Counter* shard_exec_us;
   obs::Histogram* latency_us;
   obs::Histogram* queue_us;
   static ServerMetrics& Get() {
@@ -68,6 +91,15 @@ struct ServerMetrics {
       m.rx_bytes = r.GetCounter("fgpm_server_rx_bytes_total", "Bytes read");
       m.tx_bytes = r.GetCounter("fgpm_server_tx_bytes_total", "Bytes written");
       m.rows = r.GetCounter("fgpm_server_rows_total", "Result rows returned");
+      m.trace_dropped = r.GetCounter(
+          "fgpm_trace_dropped_total",
+          "Completed traces evicted from a full per-worker trace ring");
+      m.slo_breach = r.GetCounter(
+          "fgpm_slo_breach_total",
+          "Windowed-p99 latency crossings of ServerOptions::slo_p99_ms");
+      m.shard_exec_us = r.GetCounter(
+          "fgpm_server_shard_exec_us_total",
+          "Microseconds spent in shard-local Match calls (sum over shards)");
       m.latency_us = r.GetHistogram("fgpm_server_latency_us",
                                     "Admission-to-response latency (us)");
       m.queue_us = r.GetHistogram("fgpm_server_queue_us",
@@ -120,7 +152,9 @@ QueryResponse ErrorResponse(uint64_t id, const Status& s) {
 QueryResponse OkResponse(const QueryRequest& req, MatchResult result) {
   QueryResponse resp;
   resp.id = req.id;
-  resp.flags = req.flags;
+  // Echo the request flags minus the extensions bit: responses carry no
+  // extension block, and a pre-extension client must not see the bit.
+  resp.flags = req.flags & static_cast<uint8_t>(~kFlagHasExtensions);
   resp.columns = std::move(result.column_labels);
   resp.row_count = result.rows.size();
   if (req.checksum_only()) {
@@ -171,6 +205,14 @@ struct Server::Worker {
   size_t inflight = 0;          // dispatched requests not yet completed
   bool scheduling = false;      // reentrancy guard for Schedule()
   uint64_t next_conn_id = 1;    // worker-local; ids are (worker << 48) | n
+  uint64_t admitted = 0;        // head-sampling counter (worker-local)
+  uint64_t trace_id_seq = 0;    // NewTraceId input (worker-local)
+
+  // Bounded ring of completed traces. Pushed only by this worker
+  // (Complete runs on the origin), read by RecentTraces/HTTP from any
+  // worker — hence the mutex; it is never held across user code.
+  std::mutex trace_mu;
+  std::deque<std::pair<uint64_t, QueryTrace>> traces;  // (seq, trace)
 };
 
 struct Server::InFlight {
@@ -178,6 +220,7 @@ struct Server::InFlight {
   uint32_t origin = 0;
   QueryRequest req;
   Clock::time_point arrival;
+  uint64_t dispatch_ns = 0;  // scatter time; base of sub queue spans
   std::unique_ptr<QueryTrace> trace;
   uint32_t root_span = 0;
   uint32_t exec_span = 0;
@@ -242,6 +285,17 @@ Result<std::unique_ptr<Server>> Server::Start(const Graph* g,
     server->workers_.push_back(std::move(w));
   }
   server->port_ = port;
+  if (options.metrics_window_s > 0) {
+    const uint64_t win_ns = 1'000'000'000ull * options.metrics_window_s;
+    ServerMetrics::Get().latency_us->EnableWindow(win_ns);
+    ServerMetrics::Get().queue_us->EnableWindow(win_ns);
+  }
+  if (options.profile_sample_us > 0) {
+    obs::SchedProfiler::Options po;
+    po.sample_interval_us = options.profile_sample_us;
+    obs::SchedProfiler::Default().Start(po);
+    server->profiler_started_ = true;
+  }
   for (auto& w : server->workers_) {
     w->thread = std::thread([srv = server.get(), wp = w.get()] {
       srv->WorkerMain(wp);
@@ -265,6 +319,10 @@ void Server::Stop() {
   if (sched_reserved_) {
     Scheduler::Global().ReleaseExternal(options_.num_shards);
     sched_reserved_ = false;
+  }
+  if (profiler_started_) {
+    obs::SchedProfiler::Default().Stop();
+    profiler_started_ = false;
   }
 }
 
@@ -295,15 +353,68 @@ void Server::WorkerMain(Worker* w) {
 }
 
 std::vector<QueryTrace> Server::RecentTraces() {
-  std::lock_guard<std::mutex> lock(trace_mu_);
-  return {traces_.begin(), traces_.end()};
+  // Merge the per-worker rings on the global completion sequence so the
+  // result is oldest-first regardless of which worker finished what.
+  std::vector<std::pair<uint64_t, QueryTrace>> all;
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->trace_mu);
+    for (const auto& [seq, t] : w->traces) all.emplace_back(seq, t);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<QueryTrace> out;
+  out.reserve(all.size());
+  for (auto& [seq, t] : all) out.push_back(std::move(t));
+  return out;
 }
 
-void Server::PushTrace(std::unique_ptr<QueryTrace> trace) {
+void Server::PushTrace(Worker* w, std::unique_ptr<QueryTrace> trace) {
   if (trace == nullptr) return;
-  std::lock_guard<std::mutex> lock(trace_mu_);
-  traces_.push_back(std::move(*trace));
-  while (traces_.size() > kTraceRing) traces_.pop_front();
+  const uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+  const size_t cap = std::max<size_t>(1, options_.trace_ring);
+  std::lock_guard<std::mutex> lock(w->trace_mu);
+  w->traces.emplace_back(seq, std::move(*trace));
+  while (w->traces.size() > cap) {
+    w->traces.pop_front();
+    ServerMetrics::Get().trace_dropped->Increment();
+    obs::RecordFlight(obs::FlightEvent::kTraceDropped, w->index);
+  }
+}
+
+uint64_t Server::NewTraceId(Worker* w) {
+  return MixTraceId((static_cast<uint64_t>(w->index) << 48) |
+                    ++w->trace_id_seq);
+}
+
+// Throttled windowed-p99 watchdog, called from Complete after the
+// latency observation. At most one windowed recompute per 250ms
+// process-wide; on a breach, counts fgpm_slo_breach_total and freezes a
+// flight-recorder dump for /debug/slo.
+void Server::CheckSlo(uint64_t latency_us) {
+  if (options_.slo_p99_ms == 0) return;
+  const uint64_t slo_us = 1000ull * options_.slo_p99_ms;
+  if (latency_us > slo_us) {
+    obs::RecordFlight(obs::FlightEvent::kSlowQuery, latency_us);
+  }
+  obs::Histogram* h = ServerMetrics::Get().latency_us;
+  if (!h->window_enabled()) return;
+  const uint64_t now = NowSteadyNs();
+  uint64_t last = slo_last_check_ns_.load(std::memory_order_relaxed);
+  if (now - last < 250'000'000ull ||
+      !slo_last_check_ns_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    return;  // another completion holds this check interval
+  }
+  obs::Histogram::Snapshot win = h->WindowSnap();
+  if (win.count == 0) return;
+  const double p99 = win.Percentile(0.99);
+  if (p99 <= static_cast<double>(slo_us)) return;
+  ServerMetrics::Get().slo_breach->Increment();
+  obs::RecordFlight(obs::FlightEvent::kSloBreach,
+                    static_cast<uint64_t>(p99));
+  std::string dump = obs::FlightRecorder::Default().DumpJson();
+  std::lock_guard<std::mutex> lock(slo_mu_);
+  slo_dump_ = std::move(dump);
 }
 
 // --- connection I/O ---------------------------------------------------------
@@ -406,6 +517,11 @@ void Server::HandleHttp(Worker* w, Conn* c) {
   std::string path = path_end == std::string::npos
                          ? ""
                          : c->sniff.substr(path_begin, path_end - path_begin);
+  std::string query;
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
   std::string body;
   const char* status = "200 OK";
   const char* ctype = "text/plain; charset=utf-8";
@@ -418,6 +534,21 @@ void Server::HandleHttp(Worker* w, Conn* c) {
   } else if (path == "/stats") {
     obs::PublishSchedulerMetrics();
     body = obs::MetricsRegistry::Default().ToJson();
+    ctype = "application/json";
+  } else if (path == "/debug/traces") {
+    body = DebugTracesBody(query, &ctype);
+    if (body.empty()) {
+      status = "404 Not Found";
+      body = "trace not found\n";
+    }
+  } else if (path == "/debug/profile") {
+    body = obs::SchedProfiler::Default().FoldedStacks();
+  } else if (path == "/debug/flightrecorder") {
+    body = obs::FlightRecorder::Default().DumpJson();
+    ctype = "application/json";
+  } else if (path == "/debug/slo") {
+    std::lock_guard<std::mutex> lock(slo_mu_);
+    body = slo_dump_.empty() ? "[]\n" : slo_dump_;
     ctype = "application/json";
   } else {
     status = "404 Not Found";
@@ -432,6 +563,38 @@ void Server::HandleHttp(Worker* w, Conn* c) {
   c->outbuf += body;
   c->closing = true;
   TryWrite(w, c);
+}
+
+// /debug/traces: no args -> JSON index of retained traces;
+// "trace_id=<hex16>" -> that trace's Chrome JSON. Empty return = 404.
+std::string Server::DebugTracesBody(const std::string& query,
+                                    const char** ctype) {
+  uint64_t want_id = 0;
+  if (query.rfind("trace_id=", 0) == 0) {
+    want_id = std::strtoull(query.c_str() + 9, nullptr, 16);
+    if (want_id == 0) return "";
+  }
+  std::vector<QueryTrace> traces = RecentTraces();
+  *ctype = "application/json";
+  if (want_id != 0) {
+    for (const QueryTrace& t : traces) {
+      if (t.trace_id() == want_id) return t.ToChromeJson();
+    }
+    return "";
+  }
+  std::string body = "[";
+  char buf[96];
+  bool first = true;
+  for (const QueryTrace& t : traces) {
+    if (!first) body += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"trace_id\": \"%016" PRIx64 "\", \"spans\": %zu}",
+                  t.trace_id(), t.spans().size());
+    body += buf;
+  }
+  body += "\n]\n";
+  return body;
 }
 
 void Server::SendResponse(Worker* w, Conn* c, const QueryResponse& resp) {
@@ -534,6 +697,7 @@ void Server::ProcessDecoded(Worker* w, Conn* c) {
     }
     if (w->queued_total >= options_.max_queue) {
       ServerMetrics::Get().rejected->Increment();
+      obs::RecordFlight(obs::FlightEvent::kAdmissionShed, w->queued_total);
       if (!reply(ErrorResponse(req.id, Status::ResourceExhausted(
                                            "admission queue full")))) {
         return;
@@ -544,11 +708,27 @@ void Server::ProcessDecoded(Worker* w, Conn* c) {
     Conn::Pending p;
     p.req = std::move(req);
     p.arrival = Clock::now();
-    if (options_.trace_requests) {
+    // Head-based sampling: trace everything when trace_requests, honor
+    // a client context marked sampled, else every trace_sample_n-th
+    // admitted request on this worker.
+    ++w->admitted;
+    bool sample = options_.trace_requests ||
+                  (p.req.has_trace && p.req.trace_sampled) ||
+                  (options_.trace_sample_n > 0 &&
+                   w->admitted % options_.trace_sample_n == 0);
+    if (sample) {
       p.trace = std::make_unique<QueryTrace>();
+      p.trace->set_trace_id(p.req.has_trace && p.req.trace_id != 0
+                                ? p.req.trace_id
+                                : NewTraceId(w));
       p.root_span = p.trace->BeginSpan(p.req.pattern, "server");
+      p.trace->SetSpanTid(p.root_span, w->index);
+      if (p.req.has_trace && p.req.parent_span != 0) {
+        p.trace->AddArg(p.root_span, "client_parent_span", p.req.parent_span);
+      }
       p.queue_span = p.trace->BeginSpan("queue", "server",
                                         static_cast<int32_t>(p.root_span));
+      p.trace->SetSpanTid(p.queue_span, w->index);
     }
     c->pending.push_back(std::move(p));
     ++w->queued_total;
@@ -559,6 +739,7 @@ void Server::ProcessDecoded(Worker* w, Conn* c) {
   }
   if (c->pending.size() >= options_.max_conn_queue && !c->reads_paused) {
     c->reads_paused = true;
+    obs::RecordFlight(obs::FlightEvent::kBackpressurePause, c->id);
     (void)w->loop->Modify(c->fd, c->want_write ? EPOLLOUT : 0u);
   }
 }
@@ -605,14 +786,15 @@ void Server::Dispatch(Worker* w, Conn* c) {
   Conn::Pending p = std::move(c->pending.front());
   c->pending.pop_front();
   --w->queued_total;
-  ServerMetrics::Get().queue_us->Observe(ElapsedUs(p.arrival));
+  ServerMetrics::Get().queue_us->ObserveWithExemplar(
+      ElapsedUs(p.arrival), p.trace != nullptr ? p.trace->trace_id() : 0);
   if (p.trace != nullptr) p.trace->EndSpan(p.queue_span);
 
   auto finish_early = [&](const Status& st) {
     if (p.trace != nullptr) {
       p.trace->AddArg(p.root_span, "error", 1);
       p.trace->EndSpan(p.root_span);
-      PushTrace(std::move(p.trace));
+      PushTrace(w, std::move(p.trace));
     }
     SendResponse(w, c, ErrorResponse(p.req.id, st));
   };
@@ -621,6 +803,7 @@ void Server::Dispatch(Worker* w, Conn* c) {
       p.req.deadline_ms != 0 ? p.req.deadline_ms : options_.default_deadline_ms;
   if (deadline_ms != 0 && ElapsedUs(p.arrival) > 1000ull * deadline_ms) {
     ServerMetrics::Get().deadline_exceeded->Increment();
+    obs::RecordFlight(obs::FlightEvent::kDeadlineDrop, p.req.id);
     finish_early(Status::DeadlineExceeded("deadline expired in queue"));
     return;
   }
@@ -640,9 +823,11 @@ void Server::Dispatch(Worker* w, Conn* c) {
   fl->pattern = (fl->req.flags & kFlagTransitiveReduction)
                     ? parsed->TransitiveReduction()
                     : std::move(*parsed);
+  fl->dispatch_ns = NowSteadyNs();
   if (fl->trace != nullptr) {
     fl->exec_span = fl->trace->BeginSpan("exec", "server",
                                          static_cast<int32_t>(fl->root_span));
+    fl->trace->SetSpanTid(fl->exec_span, w->index);
   }
 
   std::optional<uint32_t> home = matcher_->Route(fl->pattern);
@@ -688,18 +873,49 @@ void Server::Dispatch(Worker* w, Conn* c) {
 }
 
 // Runs on the shard's worker thread — the only thread that may touch
-// matcher_->shard(shard).
+// matcher_->shard(shard). When the request is traced, builds a child
+// QueryTrace against the origin trace's epoch (same process, same
+// steady clock) with the shard's queue + exec sub-spans; the origin
+// worker stitches it under the request's exec span. fl->trace itself is
+// never touched here — only its immutable epoch/trace_id are read.
 void Server::ExecuteSub(uint32_t shard, std::shared_ptr<InFlight> fl,
                         int sub_index) {
   MatchOptions mo;
   mo.engine = static_cast<Engine>(fl->req.engine);
   const Pattern& p =
       sub_index < 0 ? fl->pattern : fl->plan.subs[sub_index].pattern;
+  std::shared_ptr<QueryTrace> child;
+  const uint64_t t0 = NowSteadyNs();
+  if (fl->trace != nullptr) {
+    const uint64_t epoch = fl->trace->epoch_steady_ns();
+    child = std::make_shared<QueryTrace>(epoch);
+    char name[32];
+    std::snprintf(name, sizeof(name), "queue:shard%u", shard);
+    uint32_t qs = child->AddCompleteSpan(
+        name, "shard", -1,
+        static_cast<double>(fl->dispatch_ns - epoch) * 1e-3,
+        static_cast<double>(t0 - fl->dispatch_ns) * 1e-3, 0);
+    child->SetSpanTid(qs, shard);
+  }
   auto result = std::make_shared<Result<MatchResult>>(
       matcher_->shard(shard)->Match(p, mo));
+  const uint64_t t1 = NowSteadyNs();
+  ServerMetrics::Get().shard_exec_us->Increment((t1 - t0) / 1000);
+  if (child != nullptr) {
+    const uint64_t epoch = fl->trace->epoch_steady_ns();
+    char name[32];
+    std::snprintf(name, sizeof(name), "exec:shard%u", shard);
+    uint32_t es = child->AddCompleteSpan(
+        name, "shard", -1, static_cast<double>(t0 - epoch) * 1e-3,
+        static_cast<double>(t1 - t0) * 1e-3, 0);
+    child->SetSpanTid(es, shard);
+  }
   Worker* origin = workers_[fl->origin].get();
   if (sub_index < 0) {
-    origin->loop->Post([this, origin, fl, result] {
+    origin->loop->Post([this, origin, fl, result, child] {
+      if (child != nullptr) {
+        fl->trace->Stitch(*child, static_cast<int32_t>(fl->exec_span));
+      }
       QueryResponse resp = result->ok()
                                ? OkResponse(fl->req, std::move(**result))
                                : ErrorResponse(fl->req.id, result->status());
@@ -708,7 +924,10 @@ void Server::ExecuteSub(uint32_t shard, std::shared_ptr<InFlight> fl,
     return;
   }
   int ki = sub_index;
-  origin->loop->Post([this, origin, fl, result, ki] {
+  origin->loop->Post([this, origin, fl, result, ki, child] {
+    if (child != nullptr) {
+      fl->trace->Stitch(*child, static_cast<int32_t>(fl->exec_span));
+    }
     if (result->ok()) {
       fl->subs[ki] = std::move(**result);
     } else if (fl->fail.ok()) {
@@ -723,9 +942,16 @@ void Server::FinishCross(Worker* w, std::shared_ptr<InFlight> fl) {
   if (!fl->fail.ok()) {
     resp = ErrorResponse(fl->req.id, fl->fail);
   } else {
+    uint32_t gather_span = 0;
+    if (fl->trace != nullptr) {
+      gather_span = fl->trace->BeginSpan(
+          "gather", "server", static_cast<int32_t>(fl->exec_span));
+      fl->trace->SetSpanTid(gather_span, w->index);
+    }
     CrossShardStats stats;
     Result<MatchResult> joined = matcher_->JoinCross(
         fl->pattern, fl->plan, std::move(fl->subs), &stats);
+    if (fl->trace != nullptr) fl->trace->EndSpan(gather_span);
     if (joined.ok()) {
       if (fl->trace != nullptr) {
         fl->trace->AddArg(fl->exec_span, "filters_shipped",
@@ -744,13 +970,16 @@ void Server::FinishCross(Worker* w, std::shared_ptr<InFlight> fl) {
 void Server::Complete(Worker* w, std::shared_ptr<InFlight> fl,
                       QueryResponse resp) {
   --w->inflight;
-  ServerMetrics::Get().latency_us->Observe(ElapsedUs(fl->arrival));
+  const uint64_t latency = ElapsedUs(fl->arrival);
+  ServerMetrics::Get().latency_us->ObserveWithExemplar(
+      latency, fl->trace != nullptr ? fl->trace->trace_id() : 0);
   if (fl->trace != nullptr) {
     fl->trace->EndSpan(fl->exec_span);
     fl->trace->AddArg(fl->root_span, "rows", resp.row_count);
     fl->trace->EndSpan(fl->root_span);
-    PushTrace(std::move(fl->trace));
+    PushTrace(w, std::move(fl->trace));
   }
+  CheckSlo(latency);
   Conn* c = FindConn(w, fl->conn_id);
   if (c != nullptr) {
     --c->inflight;
@@ -759,6 +988,7 @@ void Server::Complete(Worker* w, std::shared_ptr<InFlight> fl,
     if (c != nullptr && c->reads_paused &&
         c->pending.size() <= options_.max_conn_queue / 2 && !c->closing) {
       c->reads_paused = false;
+      obs::RecordFlight(obs::FlightEvent::kBackpressureResume, c->id);
       (void)w->loop->Modify(c->fd, c->want_write ? (EPOLLIN | EPOLLOUT)
                                                  : EPOLLIN);
       ProcessDecoded(w, c);  // frames buffered while paused

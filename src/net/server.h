@@ -22,6 +22,7 @@
 #ifndef FGPM_NET_SERVER_H_
 #define FGPM_NET_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -56,9 +57,28 @@ struct ServerOptions {
   size_t dispatch_window = 4;
   // Applied when a request carries deadline_ms == 0. 0 = none.
   uint32_t default_deadline_ms = 0;
-  // Record a QueryTrace per request (spans: queue, exec) into a small
-  // ring readable via RecentTraces().
+  // Record a QueryTrace per request (spans: queue, exec, per-shard
+  // sub-spans, gather) into per-worker rings readable via
+  // RecentTraces() / GET /debug/traces.
   bool trace_requests = false;
+  // Head-based sampling: trace every Nth admitted request per worker
+  // even when trace_requests is false. A request whose wire trace
+  // context says sampled is always traced. 0 = no sampling.
+  uint32_t trace_sample_n = 0;
+  // Per-worker completed-trace ring capacity; the oldest trace is
+  // dropped (counted in fgpm_trace_dropped_total) when full.
+  size_t trace_ring = 64;
+  // Sliding window (seconds) for fgpm_server_latency_us /
+  // fgpm_server_queue_us windowed percentiles + exemplars. 0 disables.
+  uint32_t metrics_window_s = 30;
+  // Windowed-p99 SLO (ms). When > 0 and the windowed p99 crosses it,
+  // fgpm_slo_breach_total increments and the flight recorder is dumped
+  // to /debug/slo; per-query latencies above it record kSlowQuery
+  // flight events. 0 disables.
+  uint32_t slo_p99_ms = 0;
+  // When > 0, starts the scheduler sampling profiler (SchedProfiler)
+  // with this sampling period; folded stacks at /debug/profile.
+  uint64_t profile_sample_us = 0;
   // Join every worker to the process-wide work-stealing scheduler: the
   // workers are reserved as external scheduler participants (so shard
   // executors spawn no extra threads), matcher.exec.num_threads
@@ -85,7 +105,10 @@ class Server {
   uint32_t num_workers() const { return static_cast<uint32_t>(workers_.size()); }
   ShardedMatcher* matcher() { return matcher_.get(); }
 
-  // Most recent completed request traces (empty unless trace_requests).
+  // Most recent completed request traces across all workers, oldest
+  // first (empty unless tracing/sampling is on). Each worker keeps a
+  // bounded ring of options.trace_ring traces; completions beyond that
+  // drop the oldest and count fgpm_trace_dropped_total.
   std::vector<QueryTrace> RecentTraces();
 
  private:
@@ -111,7 +134,10 @@ class Server {
   void TryWrite(Worker* w, Conn* c);
   void CloseConn(Worker* w, uint64_t conn_id);
   Conn* FindConn(Worker* w, uint64_t conn_id);
-  void PushTrace(std::unique_ptr<QueryTrace> trace);
+  void PushTrace(Worker* w, std::unique_ptr<QueryTrace> trace);
+  uint64_t NewTraceId(Worker* w);
+  void CheckSlo(uint64_t latency_us);
+  std::string DebugTracesBody(const std::string& query, const char** ctype);
 
   ServerOptions options_;
   std::unique_ptr<ShardedMatcher> matcher_;
@@ -119,10 +145,16 @@ class Server {
   std::vector<std::unique_ptr<Worker>> workers_;
   bool stopped_ = false;
   bool sched_reserved_ = false;  // workers counted via ReserveExternal
+  bool profiler_started_ = false;
 
-  std::mutex trace_mu_;
-  std::deque<QueryTrace> traces_;  // ring, newest at back
-  static constexpr size_t kTraceRing = 64;
+  // Global completion order for merging per-worker trace rings.
+  std::atomic<uint64_t> trace_seq_{0};
+
+  // SLO watchdog (Complete on any worker): throttled windowed-p99
+  // check + last breach's flight-recorder dump for /debug/slo.
+  std::atomic<uint64_t> slo_last_check_ns_{0};
+  std::mutex slo_mu_;
+  std::string slo_dump_;  // guarded by slo_mu_
 };
 
 }  // namespace fgpm::net

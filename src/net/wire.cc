@@ -63,9 +63,23 @@ void EncodeQueryRequest(const QueryRequest& req, std::string* out) {
   Put<uint64_t>(out, req.id);
   Put<uint32_t>(out, req.deadline_ms);
   Put<uint8_t>(out, req.engine);
-  Put<uint8_t>(out, req.flags);
+  uint8_t flags = req.flags;
+  if (req.has_trace) {
+    flags |= kFlagHasExtensions;
+  } else {
+    flags &= static_cast<uint8_t>(~kFlagHasExtensions);
+  }
+  Put<uint8_t>(out, flags);
   Put<uint16_t>(out, static_cast<uint16_t>(req.pattern.size()));
   out->append(req.pattern);
+  if (req.has_trace) {
+    Put<uint8_t>(out, 1);  // extension count
+    Put<uint8_t>(out, kExtTraceContext);
+    Put<uint16_t>(out, kExtTraceContextLen);
+    Put<uint64_t>(out, req.trace_id);
+    Put<uint64_t>(out, req.parent_span);
+    Put<uint8_t>(out, req.trace_sampled ? 1 : 0);
+  }
   EndFrame(out, len_at);
 }
 
@@ -81,6 +95,37 @@ Status DecodeQueryRequest(std::span<const char> payload, QueryRequest* req) {
     return Status::InvalidArgument("pattern exceeds kMaxPatternBytes");
   }
   FGPM_RETURN_IF_ERROR(r.GetString(plen, &req->pattern));
+  req->has_trace = false;
+  req->trace_id = 0;
+  req->parent_span = 0;
+  req->trace_sampled = false;
+  if (req->flags & kFlagHasExtensions) {
+    uint8_t count = 0;
+    FGPM_RETURN_IF_ERROR(r.Get(&count));
+    for (uint8_t i = 0; i < count; ++i) {
+      uint8_t type = 0;
+      uint16_t len = 0;
+      FGPM_RETURN_IF_ERROR(r.Get(&type));
+      FGPM_RETURN_IF_ERROR(r.Get(&len));
+      if (type == kExtTraceContext) {
+        if (len != kExtTraceContextLen) {
+          return Status::InvalidArgument("bad trace-context extension length");
+        }
+        uint8_t sampled = 0;
+        FGPM_RETURN_IF_ERROR(r.Get(&req->trace_id));
+        FGPM_RETURN_IF_ERROR(r.Get(&req->parent_span));
+        FGPM_RETURN_IF_ERROR(r.Get(&sampled));
+        req->has_trace = true;
+        req->trace_sampled = sampled != 0;
+      } else {
+        // Unknown extension: a client newer than this server. The frame
+        // is self-describing, but forward-skipping would silently drop
+        // semantics we cannot honor — reject, framed, so the client
+        // downgrades explicitly.
+        return Status::InvalidArgument("unknown request extension type");
+      }
+    }
+  }
   return r.ExpectDone();
 }
 

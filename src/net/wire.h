@@ -6,7 +6,13 @@
 //
 //   frame    := [u32 payload_len][payload]          len <= kMaxFrameBytes
 //   request  := [u64 id][u32 deadline_ms][u8 engine][u8 flags]
-//               [u16 pattern_len][pattern bytes]
+//               [u16 pattern_len][pattern bytes][extensions?]
+//   extensions (only when flags has kFlagHasExtensions) :=
+//               [u8 count][count x (u8 type, u16 len, len bytes)]
+//               type 1 (trace context, len 17):
+//                 [u64 trace_id][u64 parent_span][u8 sampled]
+//               unknown types / wrong lengths are InvalidArgument —
+//               framed back to the client, never asserted on.
 //   response := [u64 id][u8 status_code]
 //               ok:    [u8 flags][u16 ncols][ncols x (u16 len, bytes)]
 //                      checksum_only: [u64 row_count][u64 checksum]
@@ -40,6 +46,15 @@ inline constexpr uint32_t kMaxPatternBytes = 1u << 14;
 // QueryRequest::flags bits.
 inline constexpr uint8_t kFlagChecksumOnly = 1u << 0;
 inline constexpr uint8_t kFlagTransitiveReduction = 1u << 1;
+// Request carries a TLV extension block after the pattern. Old decoders
+// reject the flag (unknown bit => trailing bytes error) rather than
+// silently mis-parse; old encoders never set it, so the base frame is
+// byte-identical with extensions absent.
+inline constexpr uint8_t kFlagHasExtensions = 1u << 2;
+
+// Extension types.
+inline constexpr uint8_t kExtTraceContext = 1;
+inline constexpr uint16_t kExtTraceContextLen = 17;  // u64 + u64 + u8
 
 struct QueryRequest {
   uint64_t id = 0;
@@ -49,6 +64,15 @@ struct QueryRequest {
   uint8_t engine = 0;  // fgpm::Engine value; planned engines only
   uint8_t flags = 0;
   std::string pattern;
+
+  // Distributed trace context (kExtTraceContext). When has_trace, the
+  // server joins this trace instead of starting one: the request's root
+  // span parents under `parent_span` of `trace_id`, and trace_sampled
+  // forces head-sampling regardless of the server's trace_sample_n.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  bool trace_sampled = false;
 
   bool checksum_only() const { return flags & kFlagChecksumOnly; }
 };

@@ -1,0 +1,161 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace fgpm::obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+size_t RingIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot % FlightRecorder::kRings;
+}
+
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      *out += buf;
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+struct DumpedEvent {
+  uint64_t ts_ns;
+  uint64_t arg;
+  const char* detail;
+  uint8_t type;
+};
+
+}  // namespace
+
+const char* FlightEventName(FlightEvent e) {
+  switch (e) {
+    case FlightEvent::kAdmissionShed:
+      return "admission_shed";
+    case FlightEvent::kDeadlineDrop:
+      return "deadline_drop";
+    case FlightEvent::kBackpressurePause:
+      return "backpressure_pause";
+    case FlightEvent::kBackpressureResume:
+      return "backpressure_resume";
+    case FlightEvent::kCacheHit:
+      return "cache_hit";
+    case FlightEvent::kCacheMiss:
+      return "cache_miss";
+    case FlightEvent::kStealBurst:
+      return "steal_burst";
+    case FlightEvent::kSlowQuery:
+      return "slow_query";
+    case FlightEvent::kSloBreach:
+      return "slo_breach";
+    case FlightEvent::kTraceDropped:
+      return "trace_dropped";
+    case FlightEvent::kEventTypes:
+      break;
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Default() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::RecordSlow(FlightEvent type, uint64_t arg,
+                                const char* detail) {
+  Ring& r = rings_[RingIndex()];
+  const uint64_t seq = r.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = r.slots[seq % kRingSize];
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.detail.store(detail, std::memory_order_relaxed);
+  s.type.store(static_cast<uint8_t>(type), std::memory_order_relaxed);
+  // ts last: a nonzero ts means the slot has been written at least once.
+  s.ts_ns.store(NowNs(), std::memory_order_release);
+}
+
+size_t FlightRecorder::EventCount() const {
+  size_t n = 0;
+  for (const Ring& r : rings_) {
+    for (const Slot& s : r.slots) {
+      if (s.ts_ns.load(std::memory_order_acquire) != 0) ++n;
+    }
+  }
+  return n;
+}
+
+std::string FlightRecorder::DumpJson() const {
+  std::vector<DumpedEvent> events;
+  events.reserve(kRings * 8);
+  for (const Ring& r : rings_) {
+    for (const Slot& s : r.slots) {
+      const uint64_t ts = s.ts_ns.load(std::memory_order_acquire);
+      if (ts == 0) continue;
+      DumpedEvent e;
+      e.ts_ns = ts;
+      e.arg = s.arg.load(std::memory_order_relaxed);
+      e.detail = s.detail.load(std::memory_order_relaxed);
+      e.type = s.type.load(std::memory_order_relaxed);
+      events.push_back(e);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DumpedEvent& a, const DumpedEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  std::string out = "[";
+  char buf[96];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const DumpedEvent& e = events[i];
+    if (i != 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"ts_us\": %" PRIu64 ", \"event\": \"%s\", \"arg\": %"
+                  PRIu64,
+                  e.ts_ns / 1000,
+                  FlightEventName(static_cast<FlightEvent>(e.type)), e.arg);
+    out += buf;
+    if (e.detail != nullptr) {
+      out += ", \"detail\": \"";
+      AppendJsonEscaped(&out, e.detail);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void FlightRecorder::Reset() {
+  for (Ring& r : rings_) {
+    r.head.store(0, std::memory_order_relaxed);
+    for (Slot& s : r.slots) {
+      s.ts_ns.store(0, std::memory_order_relaxed);
+      s.arg.store(0, std::memory_order_relaxed);
+      s.detail.store(nullptr, std::memory_order_relaxed);
+      s.type.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace fgpm::obs

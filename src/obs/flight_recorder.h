@@ -1,0 +1,120 @@
+// Always-on flight recorder: a small set of hashed, fixed-size rings of
+// structured events (admission sheds, deadline drops, backpressure
+// transitions, cache hits/misses, steal bursts, slow queries, SLO
+// breaches) that the serving path records with a handful of relaxed
+// atomic stores — no locks, no allocation, nothing the hot path can
+// block on. The rings keep the most recent ~kRingSize events per ring;
+// older events are silently overwritten, which is exactly the "last N
+// seconds before the incident" semantic a flight recorder wants.
+//
+// Every event field is an atomic written with relaxed ordering and the
+// timestamp written last; a reader that observes a torn slot merely
+// renders one stale event — dumps are diagnostics, not ground truth.
+// DumpJson() merges all rings by timestamp so /debug/flightrecorder
+// shows one coherent timeline across workers.
+#ifndef FGPM_OBS_FLIGHT_RECORDER_H_
+#define FGPM_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace fgpm::obs {
+
+enum class FlightEvent : uint8_t {
+  kAdmissionShed = 0,
+  kDeadlineDrop,
+  kBackpressurePause,
+  kBackpressureResume,
+  kCacheHit,
+  kCacheMiss,
+  kStealBurst,
+  kSlowQuery,
+  kSloBreach,
+  kTraceDropped,
+  kEventTypes,  // count sentinel
+};
+
+const char* FlightEventName(FlightEvent e);
+
+class FlightRecorder {
+ public:
+  // Ring geometry: kRings rings of kRingSize slots each, threads hash
+  // to rings so concurrent recorders rarely share a head counter.
+  static constexpr size_t kRings = 32;
+  static constexpr size_t kRingSize = 256;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Process-wide recorder every instrumentation site uses.
+  static FlightRecorder& Default();
+
+  // Records one event. `arg` is event-specific (query id, shed count,
+  // latency in us, ...); `detail` must point at storage that outlives
+  // the recorder — string literals and interned labels qualify, stack
+  // buffers do not. nullptr is fine.
+  void Record(FlightEvent type, uint64_t arg = 0,
+              const char* detail = nullptr) {
+#if FGPM_OBS_ENABLED
+    if (!enabled_.load(std::memory_order_relaxed) || !Enabled()) return;
+    RecordSlow(type, arg, detail);
+#else
+    (void)type;
+    (void)arg;
+    (void)detail;
+#endif
+  }
+
+  // All retained events across all rings, merged ascending by
+  // timestamp, as a JSON array of
+  // {ts_us, event, arg, detail?} objects.
+  std::string DumpJson() const;
+
+  // Number of events currently retained (post-merge; tests).
+  size_t EventCount() const;
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Clears every ring (tests).
+  void Reset();
+
+ private:
+  // One event slot, all-atomic so concurrent overwrite + dump is
+  // data-race-free (a reader may see a mix of old/new fields — see
+  // header comment). ts == 0 marks an empty slot; the writer stores ts
+  // last (release) so a nonzero ts implies the other fields are from
+  // this or a later event.
+  struct Slot {
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> arg{0};
+    std::atomic<const char*> detail{nullptr};
+    std::atomic<uint8_t> type{0};
+  };
+  struct alignas(64) Ring {
+    std::atomic<uint64_t> head{0};
+    std::array<Slot, kRingSize> slots{};
+  };
+
+  void RecordSlow(FlightEvent type, uint64_t arg, const char* detail);
+
+  std::array<Ring, kRings> rings_{};
+  std::atomic<bool> enabled_{true};
+};
+
+// Convenience for instrumentation sites.
+inline void RecordFlight(FlightEvent type, uint64_t arg = 0,
+                         const char* detail = nullptr) {
+  FlightRecorder::Default().Record(type, arg, detail);
+}
+
+}  // namespace fgpm::obs
+
+#endif  // FGPM_OBS_FLIGHT_RECORDER_H_

@@ -115,18 +115,37 @@ class Gauge {
 // there is no overflow bucket to mis-size; percentiles interpolate
 // linearly inside a bucket, giving a relative error bounded by the
 // bucket width (factor of 2) — plenty for latency attribution.
+//
+// Windowed view (EnableWindow): alongside the cumulative series the
+// histogram keeps a ring of bucketed snapshots rotated on *read* at
+// window/kWindowSlices boundaries against an injectable clock. The
+// windowed snapshot is "cumulative now minus cumulative one window
+// ago", so the write path stays the same two relaxed fetch_adds —
+// rotation cost is paid by the scraper, not the query. Exemplars:
+// ObserveWithExemplar(sample, trace_id) additionally stamps the
+// sample's bucket with the most recent sampled trace_id + clock time,
+// so a windowed p99 spike links directly to a stitched trace.
 class Histogram {
  public:
   static constexpr int kBuckets = 65;
+  static constexpr int kWindowSlices = 6;
 
-  void Observe(uint64_t sample) {
+  void Observe(uint64_t sample) { ObserveWithExemplar(sample, 0); }
+
+  void ObserveWithExemplar(uint64_t sample, uint64_t trace_id) {
 #if FGPM_OBS_ENABLED
     if (!Enabled()) return;
     Cell& c = cells_[CellIndex()];
-    c.counts[BucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    const int b = BucketOf(sample);
+    c.counts[b].fetch_add(1, std::memory_order_relaxed);
     c.sum.fetch_add(sample, std::memory_order_relaxed);
+    if (trace_id != 0) {
+      WindowState* w = win_.load(std::memory_order_acquire);
+      if (w != nullptr) StampExemplar(w, b, trace_id);
+    }
 #else
     (void)sample;
+    (void)trace_id;
 #endif
   }
 
@@ -165,19 +184,72 @@ class Histogram {
     return s;
   }
 
-  void Reset() {
-    for (Cell& c : cells_) {
-      for (auto& n : c.counts) n.store(0, std::memory_order_relaxed);
-      c.sum.store(0, std::memory_order_relaxed);
-    }
+  void Reset();
+
+  // --- sliding window ------------------------------------------------------
+
+  // Nanosecond monotonic clock; injectable so window-rotation tests are
+  // deterministic. Plain function pointer (no allocation on read path).
+  using ClockFn = uint64_t (*)();
+
+  // A sample window of `window_ns`, quantized into kWindowSlices slices.
+  // Idempotent re-enable reconfigures and clears the ring. Thread-safe
+  // against concurrent Observe (observers only ever see the fully
+  // constructed state through the acquire load).
+  void EnableWindow(uint64_t window_ns, ClockFn clock = nullptr);
+  bool window_enabled() const {
+    return win_.load(std::memory_order_acquire) != nullptr;
   }
+  uint64_t window_ns() const;
+
+  // Rotates the ring as far as the clock demands, then returns the
+  // bucketed view of (roughly) the last window. Zero snapshot when
+  // windowing is not enabled.
+  Snapshot WindowSnap() const;
+
+  // Most recent sampled trace_id that landed in bucket `b`, with its
+  // clock stamp; {0, 0} when none. Exported next to the windowed
+  // series so a latency bucket resolves to a stitched trace.
+  struct Exemplar {
+    uint64_t trace_id = 0;
+    uint64_t ts_ns = 0;
+  };
+  Exemplar BucketExemplar(int b) const;
+
+  ~Histogram();
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
 
  private:
   struct alignas(64) Cell {
     std::array<std::atomic<uint64_t>, kBuckets> counts{};
     std::atomic<uint64_t> sum{0};
   };
+
+  // Lazily allocated window + exemplar state: a histogram that never
+  // calls EnableWindow stays exactly as lean as before.
+  struct WindowState {
+    uint64_t window_ns = 0;
+    uint64_t slice_ns = 0;
+    ClockFn clock = nullptr;
+    // Guards ring rotation (readers only — the write path never locks).
+    mutable std::mutex mu;
+    // ring[i] = cumulative snapshot captured at a past slice boundary;
+    // head = next slot to overwrite, which is also the oldest snapshot
+    // (one window ago once the ring has wrapped).
+    std::array<Snapshot, kWindowSlices> ring{};
+    int head = 0;
+    uint64_t slice_start_ns = 0;
+    // Per-bucket exemplars, last-writer-wins.
+    std::array<std::atomic<uint64_t>, kBuckets> ex_id{};
+    std::array<std::atomic<uint64_t>, kBuckets> ex_ts{};
+  };
+
+  static void StampExemplar(WindowState* w, int bucket, uint64_t trace_id);
+
   std::array<Cell, kCells> cells_;
+  std::atomic<WindowState*> win_{nullptr};
 };
 
 // Name -> metric registry. Get* registers on first use and returns the

@@ -1,0 +1,94 @@
+#include "obs/profiler.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/scheduler.h"
+#include "obs/flight_recorder.h"
+
+namespace fgpm::obs {
+
+SchedProfiler& SchedProfiler::Default() {
+  static SchedProfiler* p = new SchedProfiler();
+  return *p;
+}
+
+SchedProfiler::~SchedProfiler() { Stop(); }
+
+void SchedProfiler::Start(const Options& opts) {
+  bool was = running_.exchange(true, std::memory_order_acq_rel);
+  if (was) return;
+  Scheduler::SetProfilingEnabled(true);
+  sampler_ = std::thread([this, opts] { SamplerLoop(opts); });
+}
+
+void SchedProfiler::Stop() {
+  bool was = running_.exchange(false, std::memory_order_acq_rel);
+  if (!was) return;
+  Scheduler::SetProfilingEnabled(false);
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void SchedProfiler::SamplerLoop(Options opts) {
+  std::vector<Scheduler::WorkerSample> samples;
+  char namebuf[32];
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(opts.sample_interval_us));
+    Scheduler::Global().SampleWorkers(&samples);
+    samples_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (last_steals_.size() < samples.size()) {
+      last_steals_.resize(samples.size(), 0);
+    }
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Scheduler::WorkerSample& w = samples[i];
+      // Steal-burst watch: rate between consecutive samples.
+      const uint64_t delta =
+          w.steals >= last_steals_[i] ? w.steals - last_steals_[i] : 0;
+      last_steals_[i] = w.steals;
+      if (delta >= opts.steal_burst_threshold) {
+        RecordFlight(FlightEvent::kStealBurst, delta,
+                     w.internal ? "internal" : "external");
+      }
+      if (w.state == Scheduler::WorkerState::kIdle) continue;
+      std::string stack;
+      if (!w.tag.empty()) {
+        stack = w.tag;
+      } else {
+        std::snprintf(namebuf, sizeof(namebuf), "worker%zu", i);
+        stack = namebuf;
+      }
+      if (w.state == Scheduler::WorkerState::kStarving) {
+        stack += ";starving";
+      } else if (w.label != nullptr) {
+        stack += ";";
+        stack += w.label;
+      } else {
+        stack += ";run";
+      }
+      ++folded_[stack];
+    }
+  }
+}
+
+std::string SchedProfiler::FoldedStacks() const {
+  std::string out;
+  char buf[32];
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [stack, count] : folded_) {
+    out += stack;
+    std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", count);
+    out += buf;
+  }
+  return out;
+}
+
+void SchedProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  folded_.clear();
+  samples_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace fgpm::obs

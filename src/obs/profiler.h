@@ -1,0 +1,86 @@
+// Sampling profiler over the work-stealing scheduler. A single sampler
+// thread wakes every `sample_interval_us`, snapshots every worker's
+// running state / interned phase label / deque depth via
+// Scheduler::SampleWorkers, and accumulates folded-stack lines
+// ("srv0;match;BIND 42 <count>") that flamegraph tooling consumes
+// directly. It also watches per-worker steal counters and records a
+// flight-recorder kStealBurst event when a worker's steal rate between
+// consecutive samples exceeds a threshold — the "steal storm" signal
+// that explains latency spikes after the fact.
+//
+// Cost model: when stopped (the default) the only residual cost is one
+// relaxed atomic load per morsel inside the scheduler
+// (Scheduler::ProfilingEnabled). Start() flips that gate and spawns the
+// sampler; Stop() joins it. Folded output is aggregated under a mutex
+// owned by the sampler, so readers never touch scheduler internals.
+#ifndef FGPM_OBS_PROFILER_H_
+#define FGPM_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fgpm::obs {
+
+class SchedProfiler {
+ public:
+  struct Options {
+    // Sampling period. 1ms default: ~0.1% of a 1ms-granularity worker's
+    // time spent publishing labels, invisible in bench_obs_overhead.
+    uint64_t sample_interval_us = 1000;
+    // Steals-per-sample-interval above which a kStealBurst flight event
+    // is recorded for the worker.
+    uint64_t steal_burst_threshold = 64;
+  };
+
+  SchedProfiler() = default;
+  SchedProfiler(const SchedProfiler&) = delete;
+  SchedProfiler& operator=(const SchedProfiler&) = delete;
+  ~SchedProfiler();
+
+  // Process-wide profiler driven by /debug/profile and ServerOptions.
+  static SchedProfiler& Default();
+
+  // Enables scheduler label publication and spawns the sampler thread.
+  // Idempotent while running.
+  void Start(const Options& opts);
+  void Start() { Start(Options{}); }
+  // Joins the sampler and disables the scheduler gate. Folded stacks
+  // remain readable after Stop.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // Folded-stack output, one "stack count" line per distinct stack,
+  // sorted by stack. Stack frames: worker tag (or "worker<i>"), then
+  // the sampled phase label split on its own ';' separators; workers
+  // observed starving fold into "<tag>;starving".
+  std::string FoldedStacks() const;
+
+  // Total samples taken since Start (tests: proves the sampler ran).
+  uint64_t SampleCount() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+  // Drops accumulated folded stacks (tests).
+  void Reset();
+
+ private:
+  void SamplerLoop(Options opts);
+
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> folded_;       // stack -> sample count
+  std::vector<uint64_t> last_steals_;            // per worker index
+  std::atomic<uint64_t> samples_{0};
+  std::atomic<bool> running_{false};
+  std::thread sampler_;
+};
+
+}  // namespace fgpm::obs
+
+#endif  // FGPM_OBS_PROFILER_H_

@@ -25,6 +25,31 @@ QueryTrace::QueryTrace() {
           .count());
 }
 
+QueryTrace::QueryTrace(uint64_t epoch_steady_ns)
+    : epoch_steady_ns_(epoch_steady_ns) {}
+
+uint32_t QueryTrace::Stitch(const QueryTrace& child, int32_t parent) {
+  const uint32_t base = static_cast<uint32_t>(spans_.size());
+  // Child spans were measured against the child's epoch; rebase onto
+  // ours. Both epochs come from the same steady clock, so the delta is
+  // exact (and usually zero: shard traces are built with our epoch).
+  const double shift_us =
+      (static_cast<double>(child.epoch_steady_ns_) -
+       static_cast<double>(epoch_steady_ns_)) *
+      1e-3;
+  spans_.reserve(spans_.size() + child.spans_.size());
+  for (const TraceSpan& cs : child.spans_) {
+    TraceSpan s = cs;
+    s.id = static_cast<uint32_t>(spans_.size());
+    s.parent = cs.parent < 0 ? parent
+                             : static_cast<int32_t>(base) + cs.parent;
+    s.start_us += shift_us;
+    spans_.push_back(std::move(s));
+    cpu_at_begin_.push_back(0);
+  }
+  return base;
+}
+
 double QueryTrace::NowUs() const {
   uint64_t now_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -80,11 +105,20 @@ uint32_t QueryTrace::AddCompleteSpan(std::string name, std::string category,
 }
 
 std::string QueryTrace::ToChromeJson() const {
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  std::string out = "{\"displayTimeUnit\": \"ms\"";
   char buf[128];
+  if (trace_id_ != 0) {
+    std::snprintf(buf, sizeof(buf), ", \"traceId\": \"%016" PRIx64 "\"",
+                  trace_id_);
+    out += buf;
+  }
+  out += ", \"traceEvents\": [\n";
   for (size_t i = 0; i < spans_.size(); ++i) {
     const TraceSpan& s = spans_[i];
-    out += "{\"ph\": \"X\", \"pid\": 1, \"tid\": 1, \"name\": \"";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"name\": \"",
+                  s.tid + 1);
+    out += buf;
     AppendEscaped(&out, s.name);
     out += "\", \"cat\": \"";
     AppendEscaped(&out, s.category);

@@ -31,6 +31,7 @@ namespace fgpm {
 struct TraceSpan {
   uint32_t id = 0;
   int32_t parent = -1;  // index into spans(); -1 = root
+  uint32_t tid = 0;     // Chrome-trace row: worker/shard that ran the span
   std::string name;     // e.g. "FETCH(C->D)" or the pattern text
   std::string category; // "query" | "operator" | "optimize" | ...
   double start_us = 0;  // relative to the trace epoch
@@ -50,6 +51,10 @@ struct TraceSpan {
 class QueryTrace {
  public:
   QueryTrace();  // stamps the epoch
+  // Builds a trace against a caller-supplied epoch, so per-shard child
+  // traces of one distributed request share a timeline with the origin
+  // trace (same process => same steady clock) and stitch without skew.
+  explicit QueryTrace(uint64_t epoch_steady_ns);
 
   // Opens a span starting now. Returns its id (== index in spans()).
   uint32_t BeginSpan(std::string name, std::string category,
@@ -67,6 +72,22 @@ class QueryTrace {
                            int32_t parent, double start_us, double wall_us,
                            double cpu_us);
 
+  // Chrome-trace row for a span (shard/worker index in stitched dumps).
+  void SetSpanTid(uint32_t id, uint32_t tid) { spans_[id].tid = tid; }
+
+  // Distributed-trace identity. 0 = unsampled/anonymous.
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+  uint64_t trace_id() const { return trace_id_; }
+
+  uint64_t epoch_steady_ns() const { return epoch_steady_ns_; }
+
+  // Grafts every span of `child` under this trace's span `parent`
+  // (child roots re-parent to `parent`; child-internal parent links are
+  // preserved with rebased indices). Span starts are shifted by the
+  // epoch delta so a child built against a different epoch lands at the
+  // right wall offset. Returns the index of the first grafted span.
+  uint32_t Stitch(const QueryTrace& child, int32_t parent);
+
   const std::vector<TraceSpan>& spans() const { return spans_; }
 
   // Chrome trace_event JSON ({"displayTimeUnit", "traceEvents": [...]}).
@@ -79,6 +100,7 @@ class QueryTrace {
   static double CpuNowUs();
 
   uint64_t epoch_steady_ns_ = 0;
+  uint64_t trace_id_ = 0;
   std::vector<TraceSpan> spans_;
   std::vector<double> cpu_at_begin_;  // parallel to spans_
 };

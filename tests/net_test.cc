@@ -77,6 +77,92 @@ TEST(WireTest, RequestRoundtrip) {
   EXPECT_TRUE(back.checksum_only());
 }
 
+TEST(WireTest, TraceContextExtensionRoundtrip) {
+  QueryRequest req;
+  req.id = 99;
+  req.pattern = "A->B";
+  req.has_trace = true;
+  req.trace_id = 0xabcdef0123456789ull;
+  req.parent_span = 17;
+  req.trace_sampled = true;
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+
+  FrameDecoder dec;
+  dec.Append(frame);
+  std::string payload;
+  ASSERT_TRUE(*dec.Next(&payload));
+  QueryRequest back;
+  ASSERT_TRUE(DecodeQueryRequest(payload, &back).ok());
+  EXPECT_TRUE(back.has_trace);
+  EXPECT_EQ(back.trace_id, req.trace_id);
+  EXPECT_EQ(back.parent_span, req.parent_span);
+  EXPECT_TRUE(back.trace_sampled);
+  EXPECT_EQ(back.pattern, "A->B");
+  EXPECT_TRUE(back.flags & net::kFlagHasExtensions);
+
+  // A request without a trace context encodes byte-identically to the
+  // pre-extension wire format: no flag, no extension block.
+  QueryRequest plain;
+  plain.id = 100;
+  plain.pattern = "A->B";
+  std::string plain_frame;
+  EncodeQueryRequest(plain, &plain_frame);
+  dec.Append(plain_frame);
+  ASSERT_TRUE(*dec.Next(&payload));
+  QueryRequest plain_back;
+  ASSERT_TRUE(DecodeQueryRequest(payload, &plain_back).ok());
+  EXPECT_FALSE(plain_back.has_trace);
+  EXPECT_EQ(plain_back.flags & net::kFlagHasExtensions, 0);
+}
+
+TEST(WireTest, MalformedExtensionsAreFramedErrors) {
+  QueryRequest req;
+  req.id = 5;
+  req.pattern = "A->B";
+  req.has_trace = true;
+  req.trace_id = 1;
+  std::string frame;
+  EncodeQueryRequest(req, &frame);
+  // Strip the length prefix: operate on the payload directly.
+  std::string payload = frame.substr(4);
+
+  // Unknown extension type -> InvalidArgument (never an assert).
+  {
+    std::string p = payload;
+    p[p.size() - net::kExtTraceContextLen - 3] = 0x7f;  // the type byte
+    QueryRequest back;
+    Status st = DecodeQueryRequest(p, &back);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  // Wrong trace-context length -> InvalidArgument.
+  {
+    std::string p = payload;
+    // The u16 length sits right after the type byte.
+    size_t len_at = p.size() - net::kExtTraceContextLen - 2;
+    uint16_t bad = net::kExtTraceContextLen + 1;
+    std::memcpy(p.data() + len_at, &bad, 2);
+    QueryRequest back;
+    Status st = DecodeQueryRequest(p, &back);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  // Truncated extension payload -> InvalidArgument.
+  for (size_t cut = 1; cut <= net::kExtTraceContextLen + 4; ++cut) {
+    std::string p = payload.substr(0, payload.size() - cut);
+    QueryRequest back;
+    Status st = DecodeQueryRequest(p, &back);
+    EXPECT_FALSE(st.ok()) << "cut=" << cut;
+  }
+  // Extensions flag set but no extension bytes at all -> error, because
+  // the count byte itself is missing.
+  {
+    std::string p = payload.substr(0, payload.size() -
+                                          (net::kExtTraceContextLen + 4));
+    QueryRequest back;
+    EXPECT_FALSE(DecodeQueryRequest(p, &back).ok());
+  }
+}
+
 TEST(WireTest, ResponseRoundtripsRowsChecksumAndError) {
   QueryResponse rows_resp;
   rows_resp.id = 7;
@@ -208,10 +294,20 @@ TEST(FrameDecoderTest, FuzzTruncatedAndMutatedRealFrames) {
   QueryRequest req;
   req.id = 77;
   req.pattern = "L0->L1; L1->L2";
-  std::string frame;
-  EncodeQueryRequest(req, &frame);
-  for (int round = 0; round < 300; ++round) {
-    std::string mutated = frame;
+  std::string plain;
+  EncodeQueryRequest(req, &plain);
+  // Second base frame carries the trace-context extension so mutation and
+  // truncation exercise the TLV parser (bad counts, bad types, bad lengths,
+  // cut-off payloads). Every outcome must be a framed Status, never a crash.
+  req.has_trace = true;
+  req.trace_id = 0x1122334455667788ull;
+  req.parent_span = 9;
+  req.trace_sampled = true;
+  std::string traced;
+  EncodeQueryRequest(req, &traced);
+  const std::string* bases[] = {&plain, &traced};
+  for (int round = 0; round < 600; ++round) {
+    std::string mutated = *bases[round % 2];
     size_t flips = 1 + rng.NextBounded(4);
     for (size_t i = 0; i < flips; ++i) {
       mutated[rng.NextBounded(mutated.size())] =

@@ -4,6 +4,8 @@
 // exposition and the Chrome trace_event JSON.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -239,6 +241,164 @@ TEST(RegistryTest, EmptyExports) {
   EXPECT_EQ(reg.ToPrometheusText(), "");
   EXPECT_EQ(reg.ToJson(),
             "{\"counters\": {}, \"gauges\": {}, \"histograms\": {}}");
+}
+
+// --- sliding window ---------------------------------------------------------
+
+uint64_t g_fake_now_ns = 0;
+uint64_t FakeClock() { return g_fake_now_ns; }
+
+// 6 slices of 1000ns each; one full window is 6000ns of fake time.
+constexpr uint64_t kWin = 6000;
+
+TEST(WindowTest, EmptyAndDisabledWindows) {
+  SKIP_IF_COMPILED_OUT();
+  Histogram no_window;
+  no_window.Observe(5);
+  EXPECT_FALSE(no_window.window_enabled());
+  EXPECT_EQ(no_window.WindowSnap().count, 0u);
+
+  g_fake_now_ns = 0;
+  Histogram h;
+  h.EnableWindow(kWin, FakeClock);
+  EXPECT_TRUE(h.window_enabled());
+  Histogram::Snapshot w = h.WindowSnap();
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.99), 0.0);
+}
+
+TEST(WindowTest, WindowedP99MatchesOfflineRecompute) {
+  SKIP_IF_COMPILED_OUT();
+  g_fake_now_ns = 0;
+  Histogram h;
+  h.EnableWindow(kWin, FakeClock);
+
+  // Phase A: stale samples that must age out of the window.
+  for (uint64_t s : {100u, 200u, 3000u, 3000u}) h.Observe(s);
+  // Jump two full windows ahead: every ring slot rotates to "now", so
+  // phase A sits entirely behind the oldest retained boundary.
+  g_fake_now_ns = 2 * kWin;
+  EXPECT_EQ(h.WindowSnap().count, 0u);
+
+  // Phase B: the live window.
+  const std::vector<uint64_t> live = {1, 5, 5, 9000};
+  for (uint64_t s : live) h.Observe(s);
+
+  // Offline recompute over exactly the live samples.
+  Histogram::Snapshot expect;
+  for (uint64_t s : live) {
+    expect.counts[Histogram::BucketOf(s)]++;
+    expect.count++;
+    expect.sum += s;
+  }
+  Histogram::Snapshot w = h.WindowSnap();
+  EXPECT_EQ(w.count, expect.count);
+  EXPECT_EQ(w.sum, expect.sum);
+  EXPECT_EQ(w.counts, expect.counts);
+  EXPECT_DOUBLE_EQ(w.Percentile(0.50), expect.Percentile(0.50));
+  EXPECT_DOUBLE_EQ(w.Percentile(0.95), expect.Percentile(0.95));
+  EXPECT_DOUBLE_EQ(w.Percentile(0.99), expect.Percentile(0.99));
+  // The cumulative view still has everything: the window is a view, not
+  // a second histogram.
+  EXPECT_EQ(h.Snap().count, 8u);
+}
+
+TEST(WindowTest, SingleRotationKeepsThenAgesSamples) {
+  SKIP_IF_COMPILED_OUT();
+  g_fake_now_ns = 0;
+  Histogram h;
+  h.EnableWindow(kWin, FakeClock);
+  h.Observe(7);
+  h.Observe(7);
+
+  // One slice boundary: a single rotation. The ring has not wrapped, so
+  // the oldest snapshot is still the zero snapshot — both samples stay
+  // in the window.
+  g_fake_now_ns = kWin / Histogram::kWindowSlices;
+  EXPECT_EQ(h.WindowSnap().count, 2u);
+
+  // One full window later the boundary snapshot that contains them
+  // becomes the subtrahend and they age out.
+  g_fake_now_ns += kWin;
+  EXPECT_EQ(h.WindowSnap().count, 0u);
+}
+
+TEST(WindowTest, ExemplarStampsBucketLastWriterWins) {
+  SKIP_IF_COMPILED_OUT();
+  g_fake_now_ns = 42;
+  Histogram h;
+  h.EnableWindow(kWin, FakeClock);
+  h.ObserveWithExemplar(5, 0xdeadu);
+  Histogram::Exemplar ex = h.BucketExemplar(Histogram::BucketOf(5));
+  EXPECT_EQ(ex.trace_id, 0xdeadu);
+  h.ObserveWithExemplar(6, 0xbeefu);  // same bucket [4,7]
+  EXPECT_EQ(h.BucketExemplar(Histogram::BucketOf(5)).trace_id, 0xbeefu);
+  // Untouched bucket has no exemplar; trace_id 0 never stamps.
+  EXPECT_EQ(h.BucketExemplar(Histogram::BucketOf(1u << 20)).trace_id, 0u);
+  h.Observe(1u << 20);
+  EXPECT_EQ(h.BucketExemplar(Histogram::BucketOf(1u << 20)).trace_id, 0u);
+}
+
+TEST(RegistryTest, WindowedSeriesInExports) {
+  SKIP_IF_COMPILED_OUT();
+  g_fake_now_ns = 0;
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("w_hist", "windowed");
+  h->EnableWindow(kWin, FakeClock);
+  h->ObserveWithExemplar(5, 0xabcu);
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("w_hist_window{quantile=\"p50\"}"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("w_hist_window{quantile=\"p99\"}"), std::string::npos);
+  EXPECT_NE(text.find("w_hist_window_count 1"), std::string::npos);
+  EXPECT_NE(text.find("# {trace_id=\"0000000000000abc\"}"), std::string::npos)
+      << text;
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"window\": {\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"0000000000000abc\""), std::string::npos);
+}
+
+// --- exporter hardening -----------------------------------------------------
+
+TEST(RegistryTest, PoisonedGaugeDegradesGracefully) {
+  SKIP_IF_COMPILED_OUT();
+  MetricsRegistry reg;
+  reg.GetGauge("poisoned_a")->Set(std::nan(""));
+  reg.GetGauge("poisoned_b")->Set(std::numeric_limits<double>::infinity());
+  reg.GetGauge("poisoned_c")->Set(-std::numeric_limits<double>::infinity());
+  reg.GetCounter("fine_total")->Increment(1);
+
+  // Prometheus exposition has canonical spellings for non-finite values.
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("poisoned_a NaN\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("poisoned_b +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("poisoned_c -Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("fine_total 1\n"), std::string::npos);
+
+  // JSON has no NaN/Inf literals at all: poisoned values become null and
+  // the document stays parseable.
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"poisoned_a\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"poisoned_b\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"poisoned_c\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("Inf"), std::string::npos);
+}
+
+TEST(RegistryTest, MetricNamesSanitizedInExposition) {
+  SKIP_IF_COMPILED_OUT();
+  MetricsRegistry reg;
+  reg.GetCounter("bad name-1!", "weird\nhelp\\text")->Increment(2);
+  reg.GetCounter("9starts_with_digit")->Increment(1);
+  std::string text = reg.ToPrometheusText();
+  // Every char outside [a-zA-Z0-9_:] maps to '_'; a leading digit too.
+  EXPECT_NE(text.find("bad_name_1_ 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("_starts_with_digit 1\n"), std::string::npos);
+  // HELP text escapes newline and backslash per the exposition format.
+  EXPECT_NE(text.find("# HELP bad_name_1_ weird\\nhelp\\\\text\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("bad name"), std::string::npos);
 }
 
 TEST(TraceTest, ChromeJsonGolden) {
